@@ -1,0 +1,112 @@
+package csbsim
+
+// One testing.B benchmark per figure of the paper's evaluation section
+// (and per extension experiment). Each iteration regenerates the full
+// figure — every scheme at every transfer size — on the simulated
+// machine, and reports headline values as custom metrics so regressions
+// in the reproduced shapes are visible in benchmark output:
+//
+//	go test -bench=Figure -benchmem
+//
+// The cmd/csbfig tool prints the same results as human-readable tables;
+// EXPERIMENTS.md records the measured values against the paper's.
+
+import (
+	"strings"
+	"testing"
+
+	"csbsim/internal/bench"
+)
+
+// reportSeries attaches the last (largest-transfer) value of selected
+// series as benchmark metrics.
+func reportSeries(b *testing.B, r bench.Result, names ...string) {
+	b.Helper()
+	for _, s := range r.Series {
+		for _, want := range names {
+			if s.Name == want && len(s.Y) > 0 {
+				// Metric units must not contain whitespace.
+				unit := strings.NewReplacer(" ", "_", "(", "", ")", "").Replace(want)
+				b.ReportMetric(s.Y[len(s.Y)-1], unit+"@max")
+			}
+		}
+	}
+}
+
+func benchFigure(b *testing.B, id string, metrics ...string) {
+	b.Helper()
+	var last bench.Result
+	for i := 0; i < b.N; i++ {
+		r, err := bench.ByID(id)
+		if err != nil {
+			b.Fatal(err)
+		}
+		last = r
+	}
+	reportSeries(b, last, metrics...)
+}
+
+// Figure 3(a)-(c): store bandwidth vs CPU:bus frequency ratio on the
+// 8-byte multiplexed bus.
+func BenchmarkFigure3aRatio2(b *testing.B) { benchFigure(b, "3a", "no-combine", "CSB") }
+func BenchmarkFigure3bRatio4(b *testing.B) { benchFigure(b, "3b", "no-combine", "CSB") }
+func BenchmarkFigure3cRatio6(b *testing.B) { benchFigure(b, "3c", "no-combine", "CSB") }
+
+// Figure 3(d)-(f): store bandwidth vs cache line size.
+func BenchmarkFigure3dLine32(b *testing.B)  { benchFigure(b, "3d", "combine-32", "CSB") }
+func BenchmarkFigure3eLine64(b *testing.B)  { benchFigure(b, "3e", "combine-64", "CSB") }
+func BenchmarkFigure3fLine128(b *testing.B) { benchFigure(b, "3f", "combine-128", "CSB") }
+
+// Figure 3(g)-(i): store bandwidth under bus overheads.
+func BenchmarkFigure3gTurnaround(b *testing.B) { benchFigure(b, "3g", "no-combine", "CSB") }
+func BenchmarkFigure3hAckDelay4(b *testing.B)  { benchFigure(b, "3h", "no-combine", "CSB") }
+func BenchmarkFigure3iAckDelay8(b *testing.B)  { benchFigure(b, "3i", "no-combine", "CSB") }
+
+// Figure 4(a)-(b): split address/data bus widths.
+func BenchmarkFigure4aSplit128(b *testing.B) { benchFigure(b, "4a", "no-combine", "CSB") }
+func BenchmarkFigure4bSplit256(b *testing.B) { benchFigure(b, "4b", "no-combine", "CSB") }
+
+// Figure 4(c)-(e): split bus under overheads.
+func BenchmarkFigure4cTurnaround(b *testing.B) { benchFigure(b, "4c", "no-combine", "CSB") }
+func BenchmarkFigure4dAckDelay4(b *testing.B)  { benchFigure(b, "4d", "no-combine", "CSB") }
+func BenchmarkFigure4eAckDelay8(b *testing.B)  { benchFigure(b, "4e", "no-combine", "CSB") }
+
+// Figure 5: lock-access-unlock vs CSB atomic access latency.
+func BenchmarkFigure5aLockHit(b *testing.B)  { benchFigure(b, "5a", "lock+no-combine", "CSB") }
+func BenchmarkFigure5bLockMiss(b *testing.B) { benchFigure(b, "5b", "lock+no-combine", "CSB") }
+
+// Extensions and ablations (DESIGN.md §4).
+func BenchmarkAblationDoubleBuffer(b *testing.B) {
+	benchFigure(b, "X1", "single-buffer", "double-buffer")
+}
+func BenchmarkExtensionPIOvsDMA(b *testing.B) {
+	benchFigure(b, "X2", "PIO-uncached", "PIO-CSB", "DMA")
+}
+func BenchmarkExtensionPIOvsDMALatency(b *testing.B) {
+	benchFigure(b, "X2L", "PIO-uncached", "PIO-CSB", "DMA")
+}
+func BenchmarkAblationR10KCombining(b *testing.B) {
+	benchFigure(b, "X4", "combine-64 (any order)", "combine-64 (R10K sequential)")
+}
+
+// BenchmarkMachineThroughput measures raw simulator speed (simulated
+// cycles per wall-clock second) on the bandwidth microbenchmark — not a
+// paper figure, but useful when sizing longer experiments.
+func BenchmarkMachineThroughput(b *testing.B) {
+	p := bench.DefaultParams()
+	p.Scheme = bench.SchemeCSB
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		if _, err := bench.MeasureBandwidth(p, 1024); err != nil {
+			b.Fatal(err)
+		}
+	}
+}
+
+func BenchmarkExtensionSharedNIC(b *testing.B) {
+	benchFigure(b, "X6", "lock+uncached", "CSB lock-free")
+}
+
+func BenchmarkExtensionPingPong(b *testing.B) {
+	benchFigure(b, "X8", "PIO-uncached", "PIO-CSB", "DMA")
+}

@@ -1,0 +1,80 @@
+// Command csbfig regenerates the paper's evaluation figures as text
+// tables (or CSV).
+//
+// Usage:
+//
+//	csbfig -list
+//	csbfig -fig 3a
+//	csbfig -all
+//
+// Figure IDs follow the paper: 3a-3i (uncached store bandwidth on a
+// multiplexed bus), 4a-4e (split bus), 5a/5b (locking vs CSB). Extension
+// IDs: X1 (double-buffered CSB), X2/X2L (PIO vs DMA), X4 (R10000-style
+// combining).
+package main
+
+import (
+	"flag"
+	"fmt"
+	"os"
+
+	"csbsim"
+)
+
+var figureIDs = []string{
+	"3a", "3b", "3c", "3d", "3e", "3f", "3g", "3h", "3i",
+	"4a", "4b", "4c", "4d", "4e",
+	"5a", "5b",
+	"X1", "X2", "X2L", "X4", "X6", "X8",
+}
+
+func main() {
+	fig := flag.String("fig", "", "figure ID to regenerate (see -list)")
+	all := flag.Bool("all", false, "regenerate every paper figure (3a-5b)")
+	list := flag.Bool("list", false, "list available figure IDs")
+	csv := flag.Bool("csv", false, "emit CSV instead of a table")
+	bars := flag.Bool("bars", false, "render grouped ASCII bars instead of a table")
+	flag.Parse()
+
+	switch {
+	case *list:
+		fmt.Println("available figures:")
+		for _, id := range figureIDs {
+			fmt.Printf("  %s\n", id)
+		}
+	case *all:
+		results, err := csbsim.AllFigures()
+		if err != nil {
+			fatal(err)
+		}
+		for _, r := range results {
+			emit(r, *csv, *bars)
+		}
+	case *fig != "":
+		r, err := csbsim.Figure(*fig)
+		if err != nil {
+			fatal(err)
+		}
+		emit(r, *csv, *bars)
+	default:
+		flag.Usage()
+		os.Exit(2)
+	}
+}
+
+func emit(r csbsim.FigureResult, csv, bars bool) {
+	switch {
+	case csv:
+		fmt.Print(csbsim.FormatFigureCSV(r))
+	case bars:
+		fmt.Print(csbsim.FormatFigureBars(r))
+	default:
+		fmt.Print(csbsim.FormatFigure(r))
+	}
+	fmt.Println()
+}
+
+func fatal(err error) {
+	fmt.Fprintln(os.Stderr, "csbfig:", err)
+	os.Exit(1)
+}

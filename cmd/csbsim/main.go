@@ -1,0 +1,165 @@
+// Command csbsim runs an SV9L assembly program on the simulated machine
+// and reports execution statistics.
+//
+// Usage:
+//
+//	csbsim [flags] program.s
+//
+// The machine defaults to the paper's configuration (4-wide out-of-order
+// core, 64-byte lines, 8-byte multiplexed bus at a 6:1 clock ratio,
+// non-combining uncached buffer, 64-byte CSB). Flags adjust the bus model,
+// clock ratio, combining scheme and address-space layout; -combining and
+// -uncached map extra I/O ranges, e.g.:
+//
+//	csbsim -combining 0x40000000:64K prog.s
+package main
+
+import (
+	"flag"
+	"fmt"
+	"os"
+	"strconv"
+	"strings"
+
+	"csbsim"
+	"csbsim/internal/bus"
+	"csbsim/internal/mem"
+	"csbsim/internal/trace"
+)
+
+func main() {
+	var (
+		maxCycles = flag.Uint64("cycles", 100_000_000, "cycle limit")
+		ratio     = flag.Int("ratio", 6, "CPU-to-bus clock frequency ratio")
+		busModel  = flag.String("bus", "mux", "bus model: mux or split")
+		width     = flag.Int("width", 8, "bus data width in bytes")
+		turn      = flag.Int("turnaround", 0, "idle bus cycles after each transaction")
+		ack       = flag.Int("ackdelay", 0, "min bus cycles between ordered transaction starts")
+		line      = flag.Int("line", 64, "cache line / CSB burst size in bytes")
+		block     = flag.Int("combine", 0, "uncached buffer combining block (0 = off)")
+		comb      = flag.String("combining", "", "map combining space: addr:size (e.g. 0x40000000:64K)")
+		unc       = flag.String("uncached", "", "map uncached space: addr:size")
+		verbose   = flag.Bool("v", false, "print full statistics")
+		traceRun  = flag.Bool("trace", false, "stream the retired-instruction trace to stderr")
+	)
+	flag.Usage = func() {
+		fmt.Fprintf(os.Stderr, "usage: csbsim [flags] program.s\n")
+		flag.PrintDefaults()
+	}
+	flag.Parse()
+	if flag.NArg() != 1 {
+		flag.Usage()
+		os.Exit(2)
+	}
+
+	cfg := csbsim.DefaultConfig()
+	cfg.Ratio = *ratio
+	cfg.Bus.WidthBytes = *width
+	cfg.Bus.Turnaround = *turn
+	cfg.Bus.AckDelay = *ack
+	switch *busModel {
+	case "mux":
+		cfg.Bus.Model = bus.Multiplexed
+	case "split":
+		cfg.Bus.Model = bus.Split
+	default:
+		fatal(fmt.Errorf("unknown bus model %q", *busModel))
+	}
+	cfg.Caches.L1I.LineSize = *line
+	cfg.Caches.L1D.LineSize = *line
+	cfg.Caches.L2.LineSize = *line
+	cfg.CSB.LineSize = *line
+	cfg.UB.MaxBurst = *line
+	cfg.UB.BlockSize = *block
+
+	m, err := csbsim.NewMachine(cfg)
+	if err != nil {
+		fatal(err)
+	}
+	if err := mapRange(m, *comb, mem.KindCombining); err != nil {
+		fatal(err)
+	}
+	if err := mapRange(m, *unc, mem.KindUncached); err != nil {
+		fatal(err)
+	}
+
+	file := flag.Arg(0)
+	src, err := os.ReadFile(file)
+	if err != nil {
+		fatal(err)
+	}
+	if _, err := m.LoadSource(file, string(src)); err != nil {
+		fatal(err)
+	}
+	if *traceRun {
+		trace.New(os.Stderr, 0).Attach(m.CPU)
+	}
+	runErr := m.Run(*maxCycles)
+	if out := m.Console(); out != "" {
+		fmt.Print(out)
+		if !strings.HasSuffix(out, "\n") {
+			fmt.Println()
+		}
+	}
+	if runErr != nil {
+		fatal(runErr)
+	}
+
+	s := m.Stats()
+	if *verbose {
+		fmt.Print(s.Report())
+	} else {
+		fmt.Printf("halted after %d cycles (%d bus cycles), %d instructions, IPC %.2f\n",
+			s.Cycles, s.BusCycles, s.CPU.Retired, s.CPU.IPC())
+	}
+}
+
+// mapRange parses "addr:size" with optional K/M suffixes and maps it.
+func mapRange(m *csbsim.Machine, spec string, kind mem.Kind) error {
+	if spec == "" {
+		return nil
+	}
+	parts := strings.SplitN(spec, ":", 2)
+	if len(parts) != 2 {
+		return fmt.Errorf("bad range %q (want addr:size)", spec)
+	}
+	addr, err := parseNum(parts[0])
+	if err != nil {
+		return err
+	}
+	size, err := parseNum(parts[1])
+	if err != nil {
+		return err
+	}
+	m.MapRange(addr, size, kind)
+	return nil
+}
+
+func parseNum(s string) (uint64, error) {
+	mult := uint64(1)
+	switch {
+	case strings.HasSuffix(s, "K"), strings.HasSuffix(s, "k"):
+		mult = 1 << 10
+		s = s[:len(s)-1]
+	case strings.HasSuffix(s, "M"), strings.HasSuffix(s, "m"):
+		mult = 1 << 20
+		s = s[:len(s)-1]
+	}
+	v, err := strconv.ParseUint(strings.TrimPrefix(s, "0x"), pickBase(s), 64)
+	if err != nil {
+		return 0, fmt.Errorf("bad number %q", s)
+	}
+	return v * mult, nil
+}
+
+func pickBase(s string) int {
+	if strings.HasPrefix(s, "0x") {
+		return 16
+	}
+	return 10
+}
+
+func fatal(err error) {
+	fmt.Fprintln(os.Stderr, "csbsim:", err)
+	os.Exit(1)
+}

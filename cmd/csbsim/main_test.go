@@ -1,0 +1,58 @@
+package main
+
+import (
+	"testing"
+
+	"csbsim"
+	"csbsim/internal/mem"
+)
+
+func TestParseNum(t *testing.T) {
+	tests := []struct {
+		in   string
+		want uint64
+		ok   bool
+	}{
+		{"0x40000000", 0x4000_0000, true},
+		{"4096", 4096, true},
+		{"64K", 64 << 10, true},
+		{"64k", 64 << 10, true},
+		{"2M", 2 << 20, true},
+		{"0x10K", 0x10 << 10, true},
+		{"", 0, false},
+		{"xyz", 0, false},
+		{"12Q", 0, false},
+	}
+	for _, tt := range tests {
+		got, err := parseNum(tt.in)
+		if (err == nil) != tt.ok {
+			t.Errorf("parseNum(%q) err = %v, ok = %v", tt.in, err, tt.ok)
+			continue
+		}
+		if tt.ok && got != tt.want {
+			t.Errorf("parseNum(%q) = %d, want %d", tt.in, got, tt.want)
+		}
+	}
+}
+
+func TestMapRangeSpec(t *testing.T) {
+	m, err := csbsim.NewMachine(csbsim.DefaultConfig())
+	if err != nil {
+		t.Fatal(err)
+	}
+	if err := mapRange(m, "0x40000000:4096", mem.KindCombining); err != nil {
+		t.Fatal(err)
+	}
+	pte, ok := m.AddressSpace(0).Lookup(0x4000_0000)
+	if !ok || pte.Kind != mem.KindCombining {
+		t.Errorf("mapping not installed: %+v ok=%v", pte, ok)
+	}
+	if err := mapRange(m, "", mem.KindUncached); err != nil {
+		t.Errorf("empty spec should be a no-op: %v", err)
+	}
+	for _, bad := range []string{"justaddr", "x:y", "0x1000:"} {
+		if err := mapRange(m, bad, mem.KindUncached); err == nil {
+			t.Errorf("bad spec %q accepted", bad)
+		}
+	}
+}

@@ -1,0 +1,152 @@
+// Package csbsim is the public API of the conditional store buffer
+// reproduction: a cycle-level simulator of an out-of-order processor with
+// a software-controlled conditional store buffer (CSB), as described in
+// "Improving I/O Performance with a Conditional Store Buffer" (Schaelicke
+// & Davis, MICRO 1998).
+//
+// The package is a thin facade over the internal packages:
+//
+//   - Build a Machine from a Config (DefaultConfig matches the paper's
+//     evaluation machine: 4-wide OOO core, 64-byte lines, 8-byte
+//     multiplexed bus at a 6:1 clock ratio).
+//   - Assemble SV9L (SPARC-V9-flavored) assembly with Assemble, load it
+//     with Machine.Load, and Run.
+//   - Map uncached or combining (CSB) address space with Machine.MapRange;
+//     stores to combining pages are captured by the CSB and a swap to
+//     them is the conditional flush, exactly as in the paper's listing.
+//   - Add devices (a NIC with a descriptor FIFO and DMA engine is
+//     provided), spawn preemptively-scheduled processes with a Kernel,
+//     and read everything back through Stats.
+//   - Regenerate any of the paper's figures with Figure / AllFigures.
+//
+// See the examples directory for runnable walkthroughs and EXPERIMENTS.md
+// for the measured reproduction of every figure.
+package csbsim
+
+import (
+	"io"
+
+	"csbsim/internal/asm"
+	"csbsim/internal/bench"
+	"csbsim/internal/bus"
+	"csbsim/internal/cache"
+	"csbsim/internal/core"
+	"csbsim/internal/cpu"
+	"csbsim/internal/device"
+	"csbsim/internal/kernel"
+	"csbsim/internal/mem"
+	"csbsim/internal/sim"
+	"csbsim/internal/trace"
+	"csbsim/internal/uncbuf"
+)
+
+// Machine is the simulated node: core, caches, uncached buffer, CSB, bus,
+// memory and devices.
+type Machine = sim.Machine
+
+// Config collects every machine parameter.
+type Config = sim.Config
+
+// Stats is a full-machine counter snapshot.
+type Stats = sim.Stats
+
+// Program is an assembled SV9L program.
+type Program = asm.Program
+
+// Kernel is the minimal preemptive scheduler used for multi-process CSB
+// experiments.
+type Kernel = kernel.Kernel
+
+// Process is one schedulable context under a Kernel.
+type Process = kernel.Process
+
+// NIC is the simulated network interface (descriptor FIFO + DMA engine +
+// burst-capable packet buffer).
+type NIC = device.NIC
+
+// NICConfig parameterizes the NIC.
+type NICConfig = device.Config
+
+// Packet is one transmitted packet as observed on the simulated wire.
+type Packet = device.Packet
+
+// FigureResult is a regenerated figure: labeled series of measured values.
+type FigureResult = bench.Result
+
+// Memory page kinds, selecting the access policy per page (paper §3.1).
+const (
+	KindCached    = mem.KindCached
+	KindUncached  = mem.KindUncached
+	KindCombining = mem.KindCombining
+)
+
+// Bus models.
+const (
+	BusMultiplexed = bus.Multiplexed
+	BusSplit       = bus.Split
+)
+
+// NIC register offsets.
+const (
+	NICRegTxFIFO     = device.RegTxFIFO
+	NICRegDMA        = device.RegDMA
+	NICRegStatus     = device.RegStatus
+	NICRegIntAck     = device.RegIntAck
+	NICPacketBufBase = device.PacketBufBase
+	NICRegionSize    = device.RegionSize
+)
+
+// DefaultConfig returns the paper's evaluation machine.
+func DefaultConfig() Config { return sim.DefaultConfig() }
+
+// NewMachine builds a machine.
+func NewMachine(cfg Config) (*Machine, error) { return sim.New(cfg) }
+
+// Assemble translates SV9L assembly source into a Program.
+func Assemble(name, src string) (*Program, error) { return asm.Assemble(name, src) }
+
+// NewKernel creates a kernel scheduling processes on m with the given time
+// slice in CPU cycles.
+func NewKernel(m *Machine, quantum uint64) *Kernel { return kernel.New(m, quantum) }
+
+// NewNIC creates a NIC claiming [base, base+NICRegionSize); register it
+// with Machine.AddDevice.
+func NewNIC(cfg NICConfig, base uint64) *NIC { return device.NewNIC(cfg, base) }
+
+// DefaultNICConfig returns a 16-deep-FIFO NIC with 64-byte DMA bursts.
+func DefaultNICConfig() NICConfig { return device.DefaultConfig() }
+
+// Figure regenerates one paper figure or extension by ID: "3a".."3i",
+// "4a".."4e", "5a", "5b", or the extensions "X1", "X2", "X2L", "X4",
+// "X6", "X8".
+func Figure(id string) (FigureResult, error) { return bench.ByID(id) }
+
+// AllFigures regenerates every figure of the paper's evaluation section.
+func AllFigures() ([]FigureResult, error) { return bench.All() }
+
+// FormatFigure renders a figure as an aligned text table.
+func FormatFigure(r FigureResult) string { return bench.Format(r) }
+
+// FormatFigureCSV renders a figure as CSV.
+func FormatFigureCSV(r FigureResult) string { return bench.FormatCSV(r) }
+
+// FormatFigureBars renders a figure as grouped ASCII bars, the closest
+// terminal rendering of the paper's bar-group figures.
+func FormatFigureBars(r FigureResult) string { return bench.FormatBars(r) }
+
+// TraceRecorder records retired-instruction traces from a machine's CPU.
+type TraceRecorder = trace.Recorder
+
+// NewTrace creates a recorder streaming formatted events to w (may be
+// nil) and keeping the most recent ringSize events; attach it with
+// rec.Attach(m.CPU).
+func NewTrace(w io.Writer, ringSize int) *TraceRecorder { return trace.New(w, ringSize) }
+
+// Compile-time checks that the re-exported constructors stay wired to
+// compatible types.
+var (
+	_ = cpu.DefaultConfig
+	_ = cache.DefaultHierConfig
+	_ = uncbuf.DefaultConfig
+	_ = core.DefaultConfig
+)

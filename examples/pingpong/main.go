@@ -1,0 +1,37 @@
+// pingpong: two complete simulated machines joined by a wire bounce a
+// 64-byte message back and forth — the workstation-cluster setting that
+// motivates the paper (§2). Node A sends through the conditional store
+// buffer (one atomic line burst into the NIC, one store to launch it),
+// node B echoes everything back the same way. The round-trip time breaks
+// down into wire latency plus per-message software overhead; the CSB
+// attacks the overhead term.
+package main
+
+import (
+	"fmt"
+	"log"
+
+	"csbsim/internal/bench"
+)
+
+func main() {
+	const rounds = 20
+	fmt.Println("two-node ping-pong, 64-byte messages, 20 rounds per point")
+	fmt.Println()
+	fmt.Printf("%-14s %12s %12s %12s\n", "send method", "wire=0", "wire=120", "wire=480")
+	for _, m := range []bench.SendMethod{bench.SendPIO, bench.SendCSB, bench.SendDMA} {
+		fmt.Printf("%-14s", m)
+		for _, wire := range []uint64{0, 120, 480} {
+			rt, err := bench.MeasurePingPong(m, rounds, wire)
+			if err != nil {
+				log.Fatal(err)
+			}
+			fmt.Printf(" %9.0f cy", rt)
+		}
+		fmt.Println()
+	}
+	fmt.Println()
+	fmt.Println("the CSB column gap versus plain PIO is constant across wire")
+	fmt.Println("latencies: it is pure per-message overhead removed — exactly the")
+	fmt.Println("term that limits fine-grain parallel applications (paper §2, §5).")
+}

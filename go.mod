@@ -1,0 +1,3 @@
+module csbsim
+
+go 1.22

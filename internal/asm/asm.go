@@ -1,0 +1,543 @@
+package asm
+
+import (
+	"fmt"
+	"math"
+	"strings"
+
+	"csbsim/internal/isa"
+)
+
+// DefaultOrigin is where assembly starts when the source has no leading
+// .org directive.
+const DefaultOrigin uint64 = 0x10000
+
+// Assemble translates SV9L assembly source into a Program. name is used in
+// error messages.
+func Assemble(name, text string) (*Program, error) {
+	a := &assembler{
+		file:    name,
+		symbols: make(map[string]uint64),
+	}
+	if err := a.parse(text); err != nil {
+		return nil, err
+	}
+	if err := a.layout(); err != nil {
+		return nil, err
+	}
+	if err := a.emit(); err != nil {
+		return nil, err
+	}
+	delete(a.symbols, ".") // the location counter is not a real symbol
+	entry := a.entry
+	if !a.entrySet {
+		if v, ok := a.symbols["_start"]; ok {
+			entry = v
+		} else {
+			entry = a.firstAddr
+		}
+	}
+	return &Program{Entry: entry, Chunks: a.chunks, Symbols: a.symbols}, nil
+}
+
+type opndKind int
+
+const (
+	opndReg opndKind = iota
+	opndFReg
+	opndPR
+	opndMem
+	opndExpr
+)
+
+type operand struct {
+	kind opndKind
+	reg  isa.Reg
+	freg isa.FReg
+	pr   isa.PR
+	base isa.Reg // opndMem
+	disp expr    // opndMem
+	e    expr    // opndExpr
+}
+
+type stmt struct {
+	line      int
+	mn        string // instruction mnemonic, or ""
+	ops       []operand
+	dir       string // directive without leading dot, or ""
+	dirExprs  []expr
+	dirFloats []float64
+	dirStr    string
+	addr      uint64 // assigned in layout
+	size      int    // bytes occupied
+}
+
+type assembler struct {
+	file      string
+	stmts     []stmt
+	symbols   map[string]uint64
+	chunks    []Chunk
+	entry     uint64
+	entrySet  bool
+	firstAddr uint64
+}
+
+func (a *assembler) errf(line int, format string, args ...any) error {
+	return fmt.Errorf("%s:%d: %s", a.file, line, fmt.Sprintf(format, args...))
+}
+
+// ---- parsing ----
+
+func (a *assembler) parse(text string) error {
+	lines := strings.Split(text, "\n")
+	for li, raw := range lines {
+		lineNo := li + 1
+		line := strings.TrimSpace(stripComment(raw))
+		if line == "" {
+			continue
+		}
+		toks, err := tokenize(line)
+		if err != nil {
+			return a.errf(lineNo, "%v", err)
+		}
+		i := 0
+		// Leading labels: ident ':'.
+		for i+1 < len(toks) && toks[i].kind == tokIdent &&
+			toks[i+1].kind == tokPunct && toks[i+1].text == ":" {
+			a.stmts = append(a.stmts, stmt{line: lineNo, dir: "@label", dirStr: toks[i].text})
+			i += 2
+		}
+		if i >= len(toks) {
+			continue
+		}
+		if toks[i].kind != tokIdent {
+			return a.errf(lineNo, "expected mnemonic or directive, found %s", toks[i])
+		}
+		word := toks[i].text
+		i++
+		if strings.HasPrefix(word, ".") && !isMnemonic(word) {
+			st, err := a.parseDirective(lineNo, strings.ToLower(word[1:]), toks, i)
+			if err != nil {
+				return err
+			}
+			a.stmts = append(a.stmts, st)
+			continue
+		}
+		ops, err := a.parseOperands(lineNo, toks, i)
+		if err != nil {
+			return err
+		}
+		a.stmts = append(a.stmts, stmt{line: lineNo, mn: strings.ToLower(word), ops: ops})
+	}
+	return nil
+}
+
+// isMnemonic lets labels like ".RETRY" coexist with directives: a leading-dot
+// word followed by a colon was already consumed as a label, so here we only
+// need to claim dot-words that are actually instructions (there are none),
+// keeping every other dot-word a directive.
+func isMnemonic(string) bool { return false }
+
+func (a *assembler) parseDirective(line int, dir string, toks []token, i int) (stmt, error) {
+	st := stmt{line: line, dir: dir}
+	switch dir {
+	case "org", "align", "space", "skip":
+		e, err := parseExpr(toks, &i)
+		if err != nil {
+			return st, a.errf(line, ".%s: %v", dir, err)
+		}
+		st.dirExprs = []expr{e}
+	case "byte", "half", "word", "dword", "xword", "quad":
+		for {
+			e, err := parseExpr(toks, &i)
+			if err != nil {
+				return st, a.errf(line, ".%s: %v", dir, err)
+			}
+			st.dirExprs = append(st.dirExprs, e)
+			if i < len(toks) && toks[i].kind == tokPunct && toks[i].text == "," {
+				i++
+				continue
+			}
+			break
+		}
+	case "double", "float":
+		for {
+			neg := false
+			for i < len(toks) && toks[i].kind == tokPunct && toks[i].text == "-" {
+				neg = !neg
+				i++
+			}
+			if i >= len(toks) {
+				return st, a.errf(line, ".%s: expected float", dir)
+			}
+			var f float64
+			switch toks[i].kind {
+			case tokFloat:
+				f = toks[i].fnum
+			case tokNumber:
+				f = float64(toks[i].num)
+			default:
+				return st, a.errf(line, ".%s: expected float, found %s", dir, toks[i])
+			}
+			if neg {
+				f = -f
+			}
+			st.dirFloats = append(st.dirFloats, f)
+			i++
+			if i < len(toks) && toks[i].kind == tokPunct && toks[i].text == "," {
+				i++
+				continue
+			}
+			break
+		}
+	case "ascii", "asciz", "string":
+		if i >= len(toks) || toks[i].kind != tokString {
+			return st, a.errf(line, ".%s: expected string", dir)
+		}
+		st.dirStr = toks[i].text
+		if dir != "ascii" {
+			st.dirStr += "\x00"
+		}
+		i++
+	case "equ", "set":
+		if i >= len(toks) || toks[i].kind != tokIdent {
+			return st, a.errf(line, ".equ: expected name")
+		}
+		st.dirStr = toks[i].text
+		i++
+		if i < len(toks) && toks[i].kind == tokPunct && toks[i].text == "," {
+			i++
+		}
+		e, err := parseExpr(toks, &i)
+		if err != nil {
+			return st, a.errf(line, ".equ: %v", err)
+		}
+		st.dirExprs = []expr{e}
+		st.dir = "equ"
+	case "entry":
+		if i >= len(toks) || toks[i].kind != tokIdent {
+			return st, a.errf(line, ".entry: expected symbol")
+		}
+		st.dirStr = toks[i].text
+		i++
+	case "global", "globl", "text", "data", "section":
+		// Accepted for source compatibility; no effect.
+		return st, nil
+	default:
+		return st, a.errf(line, "unknown directive .%s", dir)
+	}
+	if i < len(toks) {
+		return st, a.errf(line, ".%s: trailing tokens starting at %s", dir, toks[i])
+	}
+	return st, nil
+}
+
+func (a *assembler) parseOperands(line int, toks []token, i int) ([]operand, error) {
+	var ops []operand
+	for i < len(toks) {
+		op, ni, err := a.parseOperand(line, toks, i)
+		if err != nil {
+			return nil, err
+		}
+		ops = append(ops, op)
+		i = ni
+		if i < len(toks) {
+			if toks[i].kind == tokPunct && toks[i].text == "," {
+				i++
+				continue
+			}
+			return nil, a.errf(line, "expected ',', found %s", toks[i])
+		}
+	}
+	return ops, nil
+}
+
+func (a *assembler) parseOperand(line int, toks []token, i int) (operand, int, error) {
+	t := toks[i]
+	switch {
+	case t.kind == tokPunct && t.text == "[":
+		i++
+		if i >= len(toks) || toks[i].kind != tokReg {
+			return operand{}, i, a.errf(line, "expected base register after '['")
+		}
+		r, err := isa.ParseReg(toks[i].text)
+		if err != nil {
+			return operand{}, i, a.errf(line, "%v", err)
+		}
+		i++
+		op := operand{kind: opndMem, base: r, disp: litExpr(0)}
+		if i < len(toks) && toks[i].kind == tokPunct && (toks[i].text == "+" || toks[i].text == "-") {
+			e, err := parseExpr(toks, &i)
+			if err != nil {
+				return operand{}, i, a.errf(line, "bad displacement: %v", err)
+			}
+			op.disp = e
+		}
+		if i >= len(toks) || toks[i].kind != tokPunct || toks[i].text != "]" {
+			return operand{}, i, a.errf(line, "expected ']'")
+		}
+		return op, i + 1, nil
+	case t.kind == tokReg:
+		if r, err := isa.ParseReg(t.text); err == nil {
+			return operand{kind: opndReg, reg: r}, i + 1, nil
+		}
+		if f, err := isa.ParseFReg(t.text); err == nil {
+			return operand{kind: opndFReg, freg: f}, i + 1, nil
+		}
+		if pr, ok := isa.PRByName(t.text); ok {
+			return operand{kind: opndPR, pr: pr}, i + 1, nil
+		}
+		return operand{}, i, a.errf(line, "unknown register %q", t.text)
+	default:
+		e, err := parseExpr(toks, &i)
+		if err != nil {
+			return operand{}, i, a.errf(line, "%v", err)
+		}
+		return operand{kind: opndExpr, e: e}, i, nil
+	}
+}
+
+// ---- layout (pass 1) ----
+
+func (a *assembler) layout() error {
+	loc := DefaultOrigin
+	locSet := false
+	first := true
+	for si := range a.stmts {
+		st := &a.stmts[si]
+		switch st.dir {
+		case "@label":
+			if _, dup := a.symbols[st.dirStr]; dup {
+				return a.errf(st.line, "duplicate label %q", st.dirStr)
+			}
+			a.symbols[st.dirStr] = loc
+			continue
+		case "equ":
+			a.symbols["."] = loc
+			v, err := st.dirExprs[0].eval(a.symbols)
+			if err != nil {
+				return a.errf(st.line, ".equ %s: %v (forward references not allowed in .equ)", st.dirStr, err)
+			}
+			if _, dup := a.symbols[st.dirStr]; dup {
+				return a.errf(st.line, "duplicate symbol %q", st.dirStr)
+			}
+			a.symbols[st.dirStr] = uint64(v)
+			continue
+		case "org":
+			v, err := st.dirExprs[0].eval(a.symbols)
+			if err != nil {
+				return a.errf(st.line, ".org: %v", err)
+			}
+			loc = uint64(v)
+			locSet = true
+			continue
+		case "align":
+			v, err := st.dirExprs[0].eval(a.symbols)
+			if err != nil {
+				return a.errf(st.line, ".align: %v", err)
+			}
+			if v <= 0 || v&(v-1) != 0 {
+				return a.errf(st.line, ".align: %d is not a power of two", v)
+			}
+			st.addr = loc
+			pad := (uint64(v) - loc%uint64(v)) % uint64(v)
+			st.size = int(pad)
+			loc += pad
+			continue
+		case "entry":
+			continue
+		case "":
+			// instruction below
+		default:
+			st.addr = loc
+			st.size = a.directiveSize(st)
+			loc += uint64(st.size)
+			continue
+		}
+		if st.mn == "" {
+			continue
+		}
+		if first || !locSet {
+			if first {
+				a.firstAddr = loc
+				first = false
+			}
+		}
+		st.addr = loc
+		st.size = instSize(st.mn)
+		loc += uint64(st.size)
+	}
+	if first {
+		a.firstAddr = loc
+	}
+	// Resolve .entry now that all labels are known.
+	for _, st := range a.stmts {
+		if st.dir == "entry" {
+			v, ok := a.symbols[st.dirStr]
+			if !ok {
+				return a.errf(st.line, ".entry: undefined symbol %q", st.dirStr)
+			}
+			a.entry = v
+			a.entrySet = true
+		}
+	}
+	return nil
+}
+
+func (a *assembler) directiveSize(st *stmt) int {
+	switch st.dir {
+	case "byte":
+		return len(st.dirExprs)
+	case "half":
+		return 2 * len(st.dirExprs)
+	case "word":
+		return 4 * len(st.dirExprs)
+	case "dword", "xword", "quad":
+		return 8 * len(st.dirExprs)
+	case "float":
+		return 4 * len(st.dirFloats)
+	case "double":
+		return 8 * len(st.dirFloats)
+	case "ascii", "asciz", "string":
+		return len(st.dirStr)
+	case "space", "skip":
+		v, err := st.dirExprs[0].eval(a.symbols)
+		if err != nil || v < 0 {
+			return 0 // reported during emit
+		}
+		return int(v)
+	}
+	return 0
+}
+
+// instSize returns the encoded size of a mnemonic in bytes. Only the `set`
+// pseudo-instruction expands to two words; everything else is one.
+func instSize(mn string) int {
+	if mn == "set" || mn == "set64lo" {
+		return 2 * isa.InstBytes
+	}
+	return isa.InstBytes
+}
+
+// ---- emission (pass 2) ----
+
+type emitter struct {
+	addr  uint64
+	bytes []byte
+	open  bool
+}
+
+func (a *assembler) flushChunk(e *emitter) {
+	if e.open && len(e.bytes) > 0 {
+		a.chunks = append(a.chunks, Chunk{Addr: e.addr, Data: e.bytes})
+	}
+	e.bytes = nil
+	e.open = false
+}
+
+func (a *assembler) emit() error {
+	var e emitter
+	loc := DefaultOrigin
+	start := func(addr uint64) {
+		if !e.open {
+			e.addr = addr
+			e.open = true
+		}
+	}
+	for si := range a.stmts {
+		st := &a.stmts[si]
+		switch st.dir {
+		case "@label", "equ", "entry", "global", "globl", "text", "data", "section":
+			continue
+		case "org":
+			v, _ := st.dirExprs[0].eval(a.symbols)
+			a.flushChunk(&e)
+			loc = uint64(v)
+			continue
+		}
+		if st.dir != "" {
+			start(st.addr)
+			if st.addr != loc {
+				a.flushChunk(&e)
+				start(st.addr)
+			}
+			a.symbols["."] = st.addr // the location counter
+			b, err := a.emitDirective(st)
+			if err != nil {
+				return err
+			}
+			e.bytes = append(e.bytes, b...)
+			loc = st.addr + uint64(len(b))
+			continue
+		}
+		if st.mn == "" {
+			continue
+		}
+		if st.addr != loc || !e.open {
+			a.flushChunk(&e)
+			start(st.addr)
+		}
+		a.symbols["."] = st.addr // the location counter
+		insts, err := a.buildInst(st)
+		if err != nil {
+			return err
+		}
+		for k, in := range insts {
+			w, err := isa.Encode(in)
+			if err != nil {
+				return a.errf(st.line, "%s: %v", st.mn, err)
+			}
+			var buf [4]byte
+			ByteOrder.PutUint32(buf[:], w)
+			e.bytes = append(e.bytes, buf[:]...)
+			_ = k
+		}
+		loc = st.addr + uint64(len(insts)*isa.InstBytes)
+		if len(insts)*isa.InstBytes != st.size {
+			return a.errf(st.line, "internal: %s sized %d but emitted %d bytes", st.mn, st.size, len(insts)*isa.InstBytes)
+		}
+	}
+	a.flushChunk(&e)
+	return nil
+}
+
+func (a *assembler) emitDirective(st *stmt) ([]byte, error) {
+	var out []byte
+	put := func(v uint64, n int) {
+		for k := 0; k < n; k++ {
+			out = append(out, byte(v>>(8*k)))
+		}
+	}
+	switch st.dir {
+	case "byte", "half", "word", "dword", "xword", "quad":
+		n := map[string]int{"byte": 1, "half": 2, "word": 4, "dword": 8, "xword": 8, "quad": 8}[st.dir]
+		for _, ex := range st.dirExprs {
+			v, err := ex.eval(a.symbols)
+			if err != nil {
+				return nil, a.errf(st.line, ".%s: %v", st.dir, err)
+			}
+			put(uint64(v), n)
+		}
+	case "float":
+		for _, f := range st.dirFloats {
+			put(uint64(math.Float32bits(float32(f))), 4)
+		}
+	case "double":
+		for _, f := range st.dirFloats {
+			put(math.Float64bits(f), 8)
+		}
+	case "ascii", "asciz", "string":
+		out = append(out, st.dirStr...)
+	case "space", "skip":
+		v, err := st.dirExprs[0].eval(a.symbols)
+		if err != nil || v < 0 {
+			return nil, a.errf(st.line, ".space: invalid size")
+		}
+		out = make([]byte, v)
+	case "align":
+		out = make([]byte, st.size)
+	default:
+		return nil, a.errf(st.line, "unknown directive .%s", st.dir)
+	}
+	return out, nil
+}

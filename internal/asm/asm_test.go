@@ -1,0 +1,476 @@
+package asm
+
+import (
+	"strings"
+	"testing"
+
+	"csbsim/internal/isa"
+)
+
+// decodeAll flattens the program and decodes every word as an instruction.
+func decodeAll(t *testing.T, p *Program) []isa.Inst {
+	t.Helper()
+	_, data, err := p.Bytes()
+	if err != nil {
+		t.Fatalf("Bytes: %v", err)
+	}
+	if len(data)%4 != 0 {
+		t.Fatalf("program size %d not word-aligned", len(data))
+	}
+	out := make([]isa.Inst, 0, len(data)/4)
+	for i := 0; i < len(data); i += 4 {
+		out = append(out, isa.Decode(ByteOrder.Uint32(data[i:])))
+	}
+	return out
+}
+
+func mustAssemble(t *testing.T, src string) *Program {
+	t.Helper()
+	p, err := Assemble("test.s", src)
+	if err != nil {
+		t.Fatalf("Assemble: %v", err)
+	}
+	return p
+}
+
+func TestPaperListingAssembles(t *testing.T) {
+	// The exact code fragment from section 3.2 of the paper, modulo the
+	// elided "5 additional dword stores".
+	src := `
+.RETRY:
+	set	8, %l4		! expected value
+	! store 8 dwords in any order
+	std	%f0, [%o1]
+	std	%f10, [%o1+40]
+	std	%f2, [%o1+16]
+	std	%f4, [%o1+24]
+	std	%f6, [%o1+32]
+	std	%f8, [%o1+8]
+	std	%f14, [%o1+56]
+	std	%f12, [%o1+48]
+	swap	[%o1], %l4	! conditional flush
+	cmp	%l4, 8		! compare values
+	bnz	.RETRY		! retry on failure
+	halt
+`
+	p := mustAssemble(t, src)
+	insts := decodeAll(t, p)
+	// set expands to 2 instructions; total = 2 + 8 std + swap + cmp + bnz + halt.
+	if want := 2 + 8 + 4; len(insts) != want {
+		t.Fatalf("got %d instructions, want %d", len(insts), want)
+	}
+	if insts[0].Op != isa.OpLUI || insts[1].Op != isa.OpORI {
+		t.Errorf("set expansion = %v, %v", insts[0], insts[1])
+	}
+	std := insts[2]
+	if std.Op != isa.OpSTF || std.Rs1 != 9 || std.Imm != 0 || std.Rd != 0 {
+		t.Errorf("std %%f0,[%%o1] = %v", std)
+	}
+	sw := insts[10]
+	if sw.Op != isa.OpSWAP || sw.Rd != 20 || sw.Rs1 != 9 {
+		t.Errorf("swap = %v", sw)
+	}
+	cmp := insts[11]
+	if cmp.Op != isa.OpSUBCCI || cmp.Rd != 0 || cmp.Rs1 != 20 || cmp.Imm != 8 {
+		t.Errorf("cmp = %v", cmp)
+	}
+	bnz := insts[12]
+	if bnz.Op != isa.OpBR || bnz.Cond != isa.CondNE {
+		t.Errorf("bnz = %v", bnz)
+	}
+	// Branch target: .RETRY at origin; bnz is instruction 12 (addr
+	// origin+48); offset = (0 - 52)/4 = -13.
+	if bnz.Imm != -13 {
+		t.Errorf("bnz offset = %d, want -13", bnz.Imm)
+	}
+}
+
+func TestLabelsAndSymbols(t *testing.T) {
+	src := `
+	.org 0x2000
+start:
+	nop
+loop:
+	addi %g1, 1, %g1
+	ba loop
+	halt
+`
+	p := mustAssemble(t, src)
+	if got, _ := p.Symbol("start"); got != 0x2000 {
+		t.Errorf("start = %#x, want 0x2000", got)
+	}
+	if got, _ := p.Symbol("loop"); got != 0x2004 {
+		t.Errorf("loop = %#x, want 0x2004", got)
+	}
+	insts := decodeAll(t, p)
+	ba := insts[2]
+	// ba at 0x2008, next = 0x200c, target 0x2004 → offset -2.
+	if ba.Op != isa.OpBR || ba.Cond != isa.CondA || ba.Imm != -2 {
+		t.Errorf("ba = %v, want offset -2", ba)
+	}
+}
+
+func TestEquAndExpressions(t *testing.T) {
+	src := `
+	.equ NIC_BASE, 0x40000
+	.equ DWORDS, 4
+	set NIC_BASE+8, %o1
+	stx %g1, [%o1 + DWORDS*0]  ! no multiply in exprs; this is just DWORDS...
+`
+	// Expression grammar has no '*', so rewrite without it.
+	src = strings.ReplaceAll(src, "DWORDS*0", "DWORDS-4")
+	p := mustAssemble(t, src)
+	insts := decodeAll(t, p)
+	// set NIC_BASE+8 = 0x40008: lui (0x40008>>13)=8, ori 8
+	if insts[0].Op != isa.OpLUI || insts[0].Imm != 0x40008>>13 {
+		t.Errorf("lui = %v", insts[0])
+	}
+	if insts[1].Op != isa.OpORI || insts[1].Imm != 0x40008&0x1fff {
+		t.Errorf("ori = %v", insts[1])
+	}
+	if insts[2].Op != isa.OpSTX || insts[2].Imm != 0 {
+		t.Errorf("stx = %v", insts[2])
+	}
+}
+
+func TestSetExpansionValues(t *testing.T) {
+	tests := []struct {
+		val  string
+		want uint64
+	}{
+		{"0", 0},
+		{"8", 8},
+		{"0x1fff", 0x1fff},
+		{"0x2000", 0x2000},
+		{"0x12345678", 0x12345678},
+		{"0xffffffff", 0xffffffff},
+		{"-1", 0xffffffffffffffff},
+		{"-8192", 0xffffffffffffe000},
+	}
+	for _, tt := range tests {
+		p := mustAssemble(t, "set "+tt.val+", %g1\nhalt\n")
+		insts := decodeAll(t, p)
+		// Emulate the two instructions.
+		var g1 uint64
+		for _, in := range insts[:2] {
+			switch in.Op {
+			case isa.OpLUI:
+				g1 = uint64(in.Imm) << 13
+			case isa.OpORI:
+				g1 |= uint64(in.Imm)
+			case isa.OpADDI:
+				g1 = uint64(in.Imm)
+			}
+		}
+		if g1 != tt.want {
+			t.Errorf("set %s: register = %#x, want %#x", tt.val, g1, tt.want)
+		}
+	}
+}
+
+func TestDataDirectives(t *testing.T) {
+	src := `
+	.org 0x1000
+	.byte 1, 2, 0xff
+	.half 0x1234
+	.align 4
+	.word 0xdeadbeef
+	.dword 0x1122334455667788
+	.double 1.5
+	.space 3
+	.asciz "ok"
+`
+	p := mustAssemble(t, src)
+	base, data, err := p.Bytes()
+	if err != nil {
+		t.Fatal(err)
+	}
+	if base != 0x1000 {
+		t.Fatalf("base = %#x", base)
+	}
+	want := []byte{1, 2, 0xff, 0x34, 0x12}
+	for i, b := range want {
+		if data[i] != b {
+			t.Errorf("data[%d] = %#x, want %#x", i, data[i], b)
+		}
+	}
+	// .align 4 pads to offset 8? 3+2=5 → align 4 pads 3 bytes to 8.
+	if data[8] != 0xef || data[9] != 0xbe || data[10] != 0xad || data[11] != 0xde {
+		t.Errorf(".word wrong: % x", data[8:12])
+	}
+	if data[12] != 0x88 || data[19] != 0x11 {
+		t.Errorf(".dword wrong: % x", data[12:20])
+	}
+	// 1.5 = 0x3FF8000000000000 little-endian: last byte 0x3f.
+	if data[20] != 0 || data[27] != 0x3f {
+		t.Errorf(".double wrong: % x", data[20:28])
+	}
+	if string(data[31:34]) != "ok\x00" {
+		t.Errorf(".asciz wrong: %q", data[31:34])
+	}
+}
+
+func TestOrgCreatesChunks(t *testing.T) {
+	src := `
+	.org 0x1000
+	nop
+	.org 0x8000
+	halt
+`
+	p := mustAssemble(t, src)
+	if len(p.Chunks) != 2 {
+		t.Fatalf("got %d chunks, want 2", len(p.Chunks))
+	}
+	if p.Chunks[0].Addr != 0x1000 || p.Chunks[1].Addr != 0x8000 {
+		t.Errorf("chunk addrs: %#x, %#x", p.Chunks[0].Addr, p.Chunks[1].Addr)
+	}
+}
+
+func TestEntryDirective(t *testing.T) {
+	src := `
+	.org 0x1000
+data:	.word 0
+	.entry main
+main:	halt
+`
+	p := mustAssemble(t, src)
+	if p.Entry != 0x1004 {
+		t.Errorf("entry = %#x, want 0x1004", p.Entry)
+	}
+}
+
+func TestEntryDefaultsToStart(t *testing.T) {
+	p := mustAssemble(t, "nop\n_start: halt\n")
+	if want := DefaultOrigin + 4; p.Entry != want {
+		t.Errorf("entry = %#x, want %#x (_start)", p.Entry, want)
+	}
+	p2 := mustAssemble(t, "nop\nhalt\n")
+	if p2.Entry != DefaultOrigin {
+		t.Errorf("entry = %#x, want first instruction", p2.Entry)
+	}
+}
+
+func TestPseudoInstructions(t *testing.T) {
+	tests := []struct {
+		src  string
+		want isa.Inst
+	}{
+		{"mov %g1, %g2", isa.Inst{Op: isa.OpOR, Rd: 2, Rs1: 1}},
+		{"mov 42, %g2", isa.Inst{Op: isa.OpADDI, Rd: 2, Imm: 42}},
+		{"cmp %l4, 8", isa.Inst{Op: isa.OpSUBCCI, Rs1: 20, Imm: 8}},
+		{"cmp %g1, %g2", isa.Inst{Op: isa.OpSUBCC, Rs1: 1, Rs2: 2}},
+		{"tst %g3", isa.Inst{Op: isa.OpORCC, Rs1: 3}},
+		{"clr %g4", isa.Inst{Op: isa.OpOR, Rd: 4}},
+		{"inc %g5", isa.Inst{Op: isa.OpADDI, Rd: 5, Rs1: 5, Imm: 1}},
+		{"inc 8, %g5", isa.Inst{Op: isa.OpADDI, Rd: 5, Rs1: 5, Imm: 8}},
+		{"dec %g5", isa.Inst{Op: isa.OpSUBI, Rd: 5, Rs1: 5, Imm: 1}},
+		{"neg %g1, %g2", isa.Inst{Op: isa.OpSUB, Rd: 2, Rs2: 1}},
+		{"not %g1, %g2", isa.Inst{Op: isa.OpXORI, Rd: 2, Rs1: 1, Imm: -1}},
+		{"ret", isa.Inst{Op: isa.OpJALR, Rd: 0, Rs1: isa.RegRA}},
+		{"jmp %g7", isa.Inst{Op: isa.OpJALR, Rd: 0, Rs1: 7}},
+		{"nop", isa.Inst{Op: isa.OpNOP}},
+		{"membar", isa.Inst{Op: isa.OpMEMBAR}},
+		{"rdpr %pid, %g1", isa.Inst{Op: isa.OpRDPR, Rd: 1, Imm: int64(isa.PRPID)}},
+		{"wrpr %g1, %ivec", isa.Inst{Op: isa.OpWRPR, Rs1: 1, Imm: int64(isa.PRIVEC)}},
+		{"trap 3", isa.Inst{Op: isa.OpTRAP, Imm: 3}},
+		{"ldx [%o1+16], %g1", isa.Inst{Op: isa.OpLDX, Rd: 1, Rs1: 9, Imm: 16}},
+		{"ldx [%o1-16], %g1", isa.Inst{Op: isa.OpLDX, Rd: 1, Rs1: 9, Imm: -16}},
+		{"ld [%o1], %g1", isa.Inst{Op: isa.OpLDW, Rd: 1, Rs1: 9}},
+		{"st %g1, [%o1]", isa.Inst{Op: isa.OpSTW, Rd: 1, Rs1: 9}},
+		{"ldd [%o1], %f2", isa.Inst{Op: isa.OpLDF, Rd: 2, Rs1: 9}},
+		{"add %g1, %g2, %g3", isa.Inst{Op: isa.OpADD, Rd: 3, Rs1: 1, Rs2: 2}},
+		{"add %g1, 5, %g3", isa.Inst{Op: isa.OpADDI, Rd: 3, Rs1: 1, Imm: 5}},
+		{"sll %g1, 3, %g3", isa.Inst{Op: isa.OpSLLI, Rd: 3, Rs1: 1, Imm: 3}},
+		{"subcc %g1, %g2, %g0", isa.Inst{Op: isa.OpSUBCC, Rs1: 1, Rs2: 2}},
+		{"faddd %f0, %f2, %f4", isa.Inst{Op: isa.OpFADD, Rd: 4, Rs1: 0, Rs2: 2}},
+		{"fitod %g1, %f0", isa.Inst{Op: isa.OpFITOD, Rd: 0, Rs1: 1}},
+		{"fdtoi %f2, %g1", isa.Inst{Op: isa.OpFDTOI, Rd: 1, Rs1: 2}},
+		{"movr2f %g1, %f3", isa.Inst{Op: isa.OpMOVR2F, Rd: 3, Rs1: 1}},
+		{"jalr %o7, 0, %g0", isa.Inst{Op: isa.OpJALR, Rs1: 15}},
+	}
+	for _, tt := range tests {
+		p := mustAssemble(t, tt.src+"\n")
+		insts := decodeAll(t, p)
+		if insts[0] != tt.want {
+			t.Errorf("%q = %+v, want %+v", tt.src, insts[0], tt.want)
+		}
+	}
+}
+
+func TestCallAndRet(t *testing.T) {
+	src := `
+	.org 0x1000
+main:
+	call func
+	halt
+func:
+	ret
+`
+	p := mustAssemble(t, src)
+	insts := decodeAll(t, p)
+	call := insts[0]
+	// call at 0x1000, next 0x1004, func at 0x1008 → offset +1.
+	if call.Op != isa.OpJAL || call.Rd != isa.RegRA || call.Imm != 1 {
+		t.Errorf("call = %v", call)
+	}
+	ret := insts[2]
+	if ret.Op != isa.OpJALR || ret.Rs1 != isa.RegRA || ret.Rd != 0 {
+		t.Errorf("ret = %v", ret)
+	}
+}
+
+func TestAssembleErrors(t *testing.T) {
+	bad := []string{
+		"bogus %g1",
+		"add %g1, %g2",          // missing operand
+		"addi %g1, %g2, %g3",    // imm form needs constant
+		"ldx %g1, [%o1]",        // operand order wrong
+		"set 0x100000000, %g1",  // too large
+		"stx %g1, [%o1+100000]", // displacement out of range
+		"ba undefined_label",
+		".equ X, Y", // forward ref in equ
+		".align 3",  // not power of two
+		"add %g1, %g2, %g3 extra",
+		"label: label2:\nlabel: nop", // duplicate
+		".org",
+		"swap %l4, [%o1]", // reversed operands
+	}
+	for _, src := range bad {
+		if _, err := Assemble("bad.s", src+"\n"); err == nil {
+			t.Errorf("Assemble(%q): expected error", src)
+		}
+	}
+}
+
+func TestErrorsIncludeLineNumbers(t *testing.T) {
+	_, err := Assemble("f.s", "nop\nnop\nbogus %g1\n")
+	if err == nil || !strings.Contains(err.Error(), "f.s:3") {
+		t.Errorf("error %v should mention f.s:3", err)
+	}
+}
+
+func TestDisassembleRoundTrip(t *testing.T) {
+	src := `
+	add %g1, %g2, %g3
+	addi %o0, -8, %o0
+	stx %g5, [%o1+40]
+	ldx [%o1], %g5
+	swap [%o1], %l4
+	stf %f12, [%o1+8]
+	bnz -4
+	membar
+	lui 42, %g1
+	jalr %o7, 0, %g0
+	rdpr %pid, %g2
+	wrpr %g2, %ivec
+	trap 9
+	halt
+`
+	p := mustAssemble(t, src)
+	lines, err := p.Disassemble(DefaultOrigin, 14)
+	if err != nil {
+		t.Fatal(err)
+	}
+	// Re-assemble the disassembly text and compare bytes.
+	var sb strings.Builder
+	for _, l := range lines {
+		parts := strings.SplitN(l, "  ", 3)
+		sb.WriteString(parts[2] + "\n")
+	}
+	p2 := mustAssemble(t, sb.String())
+	_, d1, _ := p.Bytes()
+	_, d2, _ := p2.Bytes()
+	if string(d1) != string(d2) {
+		t.Errorf("round trip mismatch:\n% x\n% x\nsrc:\n%s", d1, d2, sb.String())
+	}
+}
+
+func TestCommentStyles(t *testing.T) {
+	src := "nop ! sparc comment\nnop # hash\nnop // slashes\nnop ; semi\n"
+	p := mustAssemble(t, src)
+	if n := len(decodeAll(t, p)); n != 4 {
+		t.Errorf("got %d instructions, want 4", n)
+	}
+}
+
+func TestProgramBytesOverlapDetected(t *testing.T) {
+	src := `
+	.org 0x1000
+	.dword 0
+	.org 0x1004
+	.dword 0
+`
+	p := mustAssemble(t, src)
+	if _, _, err := p.Bytes(); err == nil {
+		t.Error("expected overlap error")
+	}
+}
+
+func TestCharLiteral(t *testing.T) {
+	p := mustAssemble(t, "mov 'A', %g1\n")
+	insts := decodeAll(t, p)
+	if insts[0].Imm != 65 {
+		t.Errorf("char literal = %d, want 65", insts[0].Imm)
+	}
+}
+
+func TestLocationCounter(t *testing.T) {
+	src := `
+	.org 0x2000
+	nop
+	ba .-4                 ! branch back to the nop: (0x2000 - 0x2008)/4 = -2
+	halt
+here:	.dword .
+`
+	p := mustAssemble(t, src)
+	insts := decodeAll(t, p)
+	ba := insts[1]
+	if ba.Op != isa.OpBR || ba.Imm != -2 {
+		t.Errorf("ba .-4 = %+v, want offset -2", ba)
+	}
+	// .dword . stores its own address.
+	_, data, _ := p.Bytes()
+	hereAddr, _ := p.Symbol("here")
+	got := uint64(0)
+	off := hereAddr - 0x2000
+	for k := 7; k >= 0; k-- {
+		got = got<<8 | uint64(data[off+uint64(k)])
+	}
+	if got != hereAddr {
+		t.Errorf(".dword . = %#x, want %#x", got, hereAddr)
+	}
+	if _, ok := p.Symbol("."); ok {
+		t.Error("location counter leaked into the symbol table")
+	}
+}
+
+// FuzzAssemble: the assembler must never panic, whatever the input; it
+// either produces a program or returns an error.
+func FuzzAssemble(f *testing.F) {
+	seeds := []string{
+		"nop\nhalt\n",
+		"set 8, %l4\nstd %f0, [%o1]\nswap [%o1], %l4\ncmp %l4, 8\nbnz .RETRY\n",
+		".org 0x1000\nx: .dword 1, 2, 3\n.align 8\n.asciz \"hi\"\n",
+		"loop: subcc %g1, 1, %g1\nbnz loop\n",
+		".equ A, 5\nadd %g1, A, %g2\n",
+		"ba .-4\n",
+		"! comment only\n",
+		"\x00\x01\x02",
+		"label:",
+		"set 0x",
+		"[%o1",
+		"add %g1, %g2",
+		"mov 'x, %g1",
+		".double 1.5e",
+	}
+	for _, s := range seeds {
+		f.Add(s)
+	}
+	f.Fuzz(func(t *testing.T, src string) {
+		p, err := Assemble("fuzz.s", src)
+		if err == nil && p != nil {
+			// A successful assembly must flatten without panicking too.
+			_, _, _ = p.Bytes()
+		}
+	})
+}

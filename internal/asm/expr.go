@@ -1,0 +1,95 @@
+package asm
+
+import "fmt"
+
+// expr is a constant expression: a sum of signed terms, where each term is
+// either a literal or a symbol reference. This covers everything the
+// microbenchmarks and examples need (label, label+off, a-b, plain numbers)
+// without a full expression grammar.
+type expr struct {
+	terms []exprTerm
+}
+
+type exprTerm struct {
+	neg bool
+	num int64
+	sym string // empty for literal terms
+}
+
+func litExpr(v int64) expr { return expr{terms: []exprTerm{{num: v}}} }
+
+// eval resolves the expression against a symbol table.
+func (e expr) eval(syms map[string]uint64) (int64, error) {
+	var v int64
+	for _, t := range e.terms {
+		tv := t.num
+		if t.sym != "" {
+			sv, ok := syms[t.sym]
+			if !ok {
+				return 0, fmt.Errorf("undefined symbol %q", t.sym)
+			}
+			tv = int64(sv)
+		}
+		if t.neg {
+			v -= tv
+		} else {
+			v += tv
+		}
+	}
+	return v, nil
+}
+
+// symbols returns the symbols referenced by the expression.
+func (e expr) symbols() []string {
+	var out []string
+	for _, t := range e.terms {
+		if t.sym != "" {
+			out = append(out, t.sym)
+		}
+	}
+	return out
+}
+
+// parseExpr parses a sum expression from toks starting at *i, leaving *i at
+// the first token that is not part of the expression.
+func parseExpr(toks []token, i *int) (expr, error) {
+	var e expr
+	neg := false
+	first := true
+	for {
+		if *i < len(toks) && toks[*i].kind == tokPunct {
+			switch toks[*i].text {
+			case "-":
+				neg = !neg
+				*i++
+				continue
+			case "+":
+				*i++
+				continue
+			}
+		}
+		if *i >= len(toks) {
+			return e, fmt.Errorf("expected expression term")
+		}
+		t := toks[*i]
+		switch t.kind {
+		case tokNumber:
+			e.terms = append(e.terms, exprTerm{neg: neg, num: t.num})
+		case tokIdent:
+			e.terms = append(e.terms, exprTerm{neg: neg, sym: t.text})
+		default:
+			if first {
+				return e, fmt.Errorf("expected expression, found %s", t)
+			}
+			return e, nil
+		}
+		*i++
+		neg = false
+		first = false
+		// Continue only if the next token is +/-.
+		if *i < len(toks) && toks[*i].kind == tokPunct && (toks[*i].text == "+" || toks[*i].text == "-") {
+			continue
+		}
+		return e, nil
+	}
+}

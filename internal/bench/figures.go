@@ -1,0 +1,345 @@
+package bench
+
+import (
+	"fmt"
+
+	"csbsim/internal/bus"
+)
+
+// TransferSizes is the x-axis of all bandwidth figures: 16 bytes (two
+// doubleword stores) to 1 KB.
+var TransferSizes = []int{16, 32, 64, 128, 256, 512, 1024}
+
+// LockTransferDwords is the x-axis of figure 5: 2 to 8 doublewords.
+var LockTransferDwords = []int{2, 3, 4, 5, 6, 7, 8}
+
+func sizeLabels() []string {
+	out := make([]string, len(TransferSizes))
+	for i, s := range TransferSizes {
+		out[i] = fmt.Sprintf("%dB", s)
+	}
+	return out
+}
+
+// bandwidthFigure sweeps all schemes over all transfer sizes on one
+// machine variation.
+func bandwidthFigure(id, title string, p MachineParams) (Result, error) {
+	r := Result{
+		ID: id, Title: title,
+		XLabel: "transfer size", YLabel: "bytes per bus cycle",
+		X: sizeLabels(),
+		Notes: fmt.Sprintf("%s %dB bus, ratio %d, line %dB, turnaround %d, ack delay %d",
+			p.Bus.Model, p.Bus.WidthBytes, p.Ratio, p.LineSize, p.Bus.Turnaround, p.Bus.AckDelay),
+	}
+	for _, scheme := range Schemes(p.LineSize) {
+		pp := p
+		pp.Scheme = scheme
+		s := Series{Name: scheme.String()}
+		for _, size := range TransferSizes {
+			bw, err := MeasureBandwidth(pp, size)
+			if err != nil {
+				return r, fmt.Errorf("figure %s %s %dB: %w", id, scheme, size, err)
+			}
+			s.Y = append(s.Y, bw)
+		}
+		r.Series = append(r.Series, s)
+	}
+	return r, nil
+}
+
+// Figure3FrequencyRatio regenerates figures 3(a)-(c): store bandwidth on
+// an 8-byte multiplexed bus at CPU:bus frequency ratios 2, 4 and 6
+// (32-byte line, no turnaround — peak is one line per 5 bus cycles).
+func Figure3FrequencyRatio() ([]Result, error) {
+	var out []Result
+	for i, ratio := range []int{2, 4, 6} {
+		p := DefaultParams()
+		p.Ratio = ratio
+		p.LineSize = 32
+		r, err := bandwidthFigure(fmt.Sprintf("3%c", 'a'+i),
+			fmt.Sprintf("uncached store bandwidth, multiplexed bus, CPU:bus ratio %d", ratio), p)
+		if err != nil {
+			return nil, err
+		}
+		out = append(out, r)
+	}
+	return out, nil
+}
+
+// Figure3BlockSize regenerates figures 3(d)-(f): cache line (= CSB burst)
+// size 32, 64 and 128 bytes at ratio 6.
+func Figure3BlockSize() ([]Result, error) {
+	var out []Result
+	for i, line := range []int{32, 64, 128} {
+		p := DefaultParams()
+		p.LineSize = line
+		r, err := bandwidthFigure(fmt.Sprintf("3%c", 'd'+i),
+			fmt.Sprintf("uncached store bandwidth, multiplexed bus, %dB cache line", line), p)
+		if err != nil {
+			return nil, err
+		}
+		out = append(out, r)
+	}
+	return out, nil
+}
+
+// Figure3BusOverhead regenerates figures 3(g)-(i): a mandatory turnaround
+// cycle, then selective-flow-control acknowledgment delays of 4 and 8 bus
+// cycles (64-byte line, ratio 6).
+func Figure3BusOverhead() ([]Result, error) {
+	variants := []struct {
+		id, what   string
+		turnaround int
+		ack        int
+	}{
+		{"3g", "turnaround cycle after every transaction", 1, 0},
+		{"3h", "4-cycle acknowledgment min-delay", 0, 4},
+		{"3i", "8-cycle acknowledgment min-delay", 0, 8},
+	}
+	var out []Result
+	for _, v := range variants {
+		p := DefaultParams()
+		p.Bus.Turnaround = v.turnaround
+		p.Bus.AckDelay = v.ack
+		r, err := bandwidthFigure(v.id, "uncached store bandwidth, multiplexed bus, "+v.what, p)
+		if err != nil {
+			return nil, err
+		}
+		out = append(out, r)
+	}
+	return out, nil
+}
+
+// Figure4BusWidth regenerates figures 4(a)-(b): a split address/data bus
+// 128 and 256 bits wide (ratio 6, 64-byte line, no turnaround).
+func Figure4BusWidth() ([]Result, error) {
+	var out []Result
+	for i, width := range []int{16, 32} {
+		p := DefaultParams()
+		p.Bus.Model = bus.Split
+		p.Bus.WidthBytes = width
+		r, err := bandwidthFigure(fmt.Sprintf("4%c", 'a'+i),
+			fmt.Sprintf("uncached store bandwidth, split bus, %d-bit data path", width*8), p)
+		if err != nil {
+			return nil, err
+		}
+		out = append(out, r)
+	}
+	return out, nil
+}
+
+// Figure4BusOverhead regenerates figures 4(c)-(e): the 16-byte split bus
+// with a turnaround cycle, then ack min-delays of 4 and 8 cycles.
+func Figure4BusOverhead() ([]Result, error) {
+	variants := []struct {
+		id, what   string
+		turnaround int
+		ack        int
+	}{
+		{"4c", "turnaround cycle after every transaction", 1, 0},
+		{"4d", "4-cycle acknowledgment min-delay", 0, 4},
+		{"4e", "8-cycle acknowledgment min-delay", 0, 8},
+	}
+	var out []Result
+	for _, v := range variants {
+		p := DefaultParams()
+		p.Bus.Model = bus.Split
+		p.Bus.WidthBytes = 16
+		p.Bus.Turnaround = v.turnaround
+		p.Bus.AckDelay = v.ack
+		r, err := bandwidthFigure(v.id, "uncached store bandwidth, split bus, "+v.what, p)
+		if err != nil {
+			return nil, err
+		}
+		out = append(out, r)
+	}
+	return out, nil
+}
+
+// Figure5 regenerates figure 5: CPU cycles for a lock-access-unlock
+// sequence under each combining scheme versus the CSB, for 2-8 doubleword
+// transfers. lockHit selects figure 5(a) (lock hits in L1) or 5(b) (lock
+// misses).
+func Figure5(lockHit bool) (Result, error) {
+	id, what := "5a", "lock hits in L1"
+	if !lockHit {
+		id, what = "5b", "lock misses in L1"
+	}
+	p := DefaultParams()
+	r := Result{
+		ID: id, Title: "locking vs conditional store buffer, " + what,
+		XLabel: "transfer size", YLabel: "CPU cycles",
+		Notes: fmt.Sprintf("%s %dB bus, ratio %d, line %dB",
+			p.Bus.Model, p.Bus.WidthBytes, p.Ratio, p.LineSize),
+	}
+	for _, n := range LockTransferDwords {
+		r.X = append(r.X, fmt.Sprintf("%dB", n*8))
+	}
+	for _, scheme := range Schemes(p.LineSize) {
+		pp := p
+		pp.Scheme = scheme
+		name := "lock+" + scheme.String()
+		if scheme == SchemeCSB {
+			name = "CSB"
+		}
+		s := Series{Name: name}
+		for _, n := range LockTransferDwords {
+			cycles, err := MeasureLockLatency(pp, n, lockHit)
+			if err != nil {
+				return r, fmt.Errorf("figure %s %s n=%d: %w", id, scheme, n, err)
+			}
+			s.Y = append(s.Y, cycles)
+		}
+		r.Series = append(r.Series, s)
+	}
+	return r, nil
+}
+
+// AblationDoubleBuffer measures what the second line buffer of §3.2
+// actually buys: it lets the program keep combining while earlier flushes
+// still wait for the system interface, i.e. it removes issue-side stalls.
+// Steady-state *bandwidth* is identical (the bus drains lines slower than
+// the core fills them in either configuration), so the metric here is the
+// CPU cycles the core needs to hand N back-to-back line sequences to the
+// CSB and move on.
+func AblationDoubleBuffer() (Result, error) {
+	counts := []int{1, 2, 3, 4, 6, 8}
+	r := Result{
+		ID: "X1", Title: "CSB single vs double line buffer: issue-side stalls",
+		XLabel: "back-to-back line sequences", YLabel: "CPU cycles until core is free",
+		Notes: "8-byte multiplexed bus, ratio 6; bursts drain in the background afterwards",
+	}
+	for _, n := range counts {
+		r.X = append(r.X, fmt.Sprintf("%d", n))
+	}
+	for _, double := range []bool{false, true} {
+		p := DefaultParams()
+		p.Scheme = SchemeCSB
+		p.DoubleBufferedCSB = double
+		name := "single-buffer"
+		if double {
+			name = "double-buffer"
+		}
+		s := Series{Name: name}
+		for _, n := range counts {
+			cycles, err := MeasureCSBIssueOverhead(p, n)
+			if err != nil {
+				return r, err
+			}
+			s.Y = append(s.Y, cycles)
+		}
+		r.Series = append(r.Series, s)
+	}
+	return r, nil
+}
+
+// AblationR10KCombining compares anywhere-in-block combining against the
+// R10000's strictly-sequential detection when the store order within each
+// line is shuffled (the failure mode §6 describes).
+func AblationR10KCombining() (Result, error) {
+	r := Result{
+		ID: "X4", Title: "block combining vs R10000 sequential-only combining, shuffled store order",
+		XLabel: "transfer size", YLabel: "bytes per bus cycle",
+		X:     sizeLabels(),
+		Notes: "stores within each line issue in a fixed shuffled order",
+	}
+	for _, seq := range []bool{false, true} {
+		p := DefaultParams()
+		p.Scheme = Scheme(64)
+		p.SequentialCombining = seq
+		name := "combine-64 (any order)"
+		if seq {
+			name = "combine-64 (R10K sequential)"
+		}
+		s := Series{Name: name}
+		for _, size := range TransferSizes {
+			bw, err := measureShuffledBandwidth(p, size)
+			if err != nil {
+				return r, err
+			}
+			s.Y = append(s.Y, bw)
+		}
+		r.Series = append(r.Series, s)
+	}
+	return r, nil
+}
+
+// All regenerates every paper figure in order.
+func All() ([]Result, error) {
+	var out []Result
+	add := func(rs []Result, err error) error {
+		if err != nil {
+			return err
+		}
+		out = append(out, rs...)
+		return nil
+	}
+	if err := add(Figure3FrequencyRatio()); err != nil {
+		return nil, err
+	}
+	if err := add(Figure3BlockSize()); err != nil {
+		return nil, err
+	}
+	if err := add(Figure3BusOverhead()); err != nil {
+		return nil, err
+	}
+	if err := add(Figure4BusWidth()); err != nil {
+		return nil, err
+	}
+	if err := add(Figure4BusOverhead()); err != nil {
+		return nil, err
+	}
+	for _, hit := range []bool{true, false} {
+		r, err := Figure5(hit)
+		if err != nil {
+			return nil, err
+		}
+		out = append(out, r)
+	}
+	return out, nil
+}
+
+// ByID regenerates one figure ("3a".."3i", "4a".."4e", "5a", "5b", "X1",
+// "X4").
+func ByID(id string) (Result, error) {
+	group := func(rs []Result, err error) (Result, error) {
+		if err != nil {
+			return Result{}, err
+		}
+		for _, r := range rs {
+			if r.ID == id {
+				return r, nil
+			}
+		}
+		return Result{}, fmt.Errorf("bench: figure %q produced no result", id)
+	}
+	switch id {
+	case "3a", "3b", "3c":
+		return group(Figure3FrequencyRatio())
+	case "3d", "3e", "3f":
+		return group(Figure3BlockSize())
+	case "3g", "3h", "3i":
+		return group(Figure3BusOverhead())
+	case "4a", "4b":
+		return group(Figure4BusWidth())
+	case "4c", "4d", "4e":
+		return group(Figure4BusOverhead())
+	case "5a":
+		return Figure5(true)
+	case "5b":
+		return Figure5(false)
+	case "X1":
+		return AblationDoubleBuffer()
+	case "X2":
+		return ExtensionPIOvsDMA()
+	case "X2L":
+		return ExtensionPIOvsDMALatency()
+	case "X4":
+		return AblationR10KCombining()
+	case "X6":
+		return ExtensionSharedNIC()
+	case "X8":
+		return ExtensionPingPong()
+	}
+	return Result{}, fmt.Errorf("bench: unknown figure %q", id)
+}

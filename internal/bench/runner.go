@@ -1,0 +1,256 @@
+package bench
+
+import (
+	"fmt"
+	"strings"
+
+	"csbsim/internal/bus"
+	"csbsim/internal/core"
+	"csbsim/internal/mem"
+	"csbsim/internal/sim"
+)
+
+// MachineParams selects the machine variation a measurement runs on.
+type MachineParams struct {
+	Ratio    int        // CPU:bus frequency ratio
+	LineSize int        // cache line = CSB burst size
+	Bus      bus.Config // bus model and overheads
+	Scheme   Scheme
+	// DoubleBufferedCSB enables the two-line CSB (ablation X1).
+	DoubleBufferedCSB bool
+	// SequentialCombining restricts the uncached buffer to R10000-style
+	// strictly sequential combining (ablation X4).
+	SequentialCombining bool
+	// CoreWidth overrides the fetch/dispatch/retire width (0 keeps the
+	// default 4-wide core). Used by X7: the paper reports lock overhead
+	// is insensitive to 2-way vs 8-way superscalar width.
+	CoreWidth int
+}
+
+// DefaultParams is the paper's base point: ratio 6, 64-byte lines, 8-byte
+// multiplexed bus, no turnaround, no ack delay.
+func DefaultParams() MachineParams {
+	return MachineParams{
+		Ratio:    6,
+		LineSize: 64,
+		Bus:      bus.Config{Model: bus.Multiplexed, WidthBytes: 8, ReadWait: 6, IOReadWait: 4},
+		Scheme:   0,
+	}
+}
+
+// build constructs a machine for the given parameters.
+func (p MachineParams) build() (*sim.Machine, error) {
+	cfg := sim.DefaultConfig()
+	cfg.Ratio = p.Ratio
+	cfg.Bus = p.Bus
+	ls := p.LineSize
+	cfg.Caches.L1I.LineSize = ls
+	cfg.Caches.L1D.LineSize = ls
+	cfg.Caches.L2.LineSize = ls
+	cfg.CSB = core.Config{LineSize: ls, CheckAddress: true, DoubleBuffered: p.DoubleBufferedCSB}
+	cfg.UB.MaxBurst = ls
+	cfg.UB.Sequential = p.SequentialCombining
+	switch {
+	case p.Scheme == SchemeCSB:
+		cfg.UB.BlockSize = 0
+	default:
+		cfg.UB.BlockSize = int(p.Scheme)
+	}
+	if p.CoreWidth > 0 {
+		cfg.CPU.FetchWidth = p.CoreWidth
+		cfg.CPU.DispatchWidth = p.CoreWidth
+		cfg.CPU.RetireWidth = p.CoreWidth
+		// Scale the issue bandwidth with the core, as the paper's 2- and
+		// 8-way variants would.
+		cfg.CPU.IntALUs = maxInt(1, p.CoreWidth/2)
+		cfg.CPU.FPUs = maxInt(1, p.CoreWidth/2)
+	}
+	return sim.New(cfg)
+}
+
+func maxInt(a, b int) int {
+	if a > b {
+		return a
+	}
+	return b
+}
+
+// span tracks the bus-cycle window occupied by the measured I/O store
+// traffic.
+type span struct {
+	first, last uint64
+	bytes       uint64
+	txns        uint64
+	seen        bool
+}
+
+func (s *span) observe(t *bus.Txn) {
+	if !t.Write || !t.IO {
+		return
+	}
+	if !s.seen || t.Start < s.first {
+		s.first = t.Start
+		s.seen = true
+	}
+	if t.End > s.last {
+		s.last = t.End
+	}
+	s.bytes += uint64(t.Size)
+	s.txns++
+}
+
+func (s *span) cycles() uint64 {
+	if !s.seen {
+		return 0
+	}
+	return s.last - s.first + 1
+}
+
+// MeasureBandwidth runs the store-bandwidth microbenchmark for one
+// (transfer size, scheme, machine) point and returns the effective
+// bandwidth in useful bytes per bus cycle.
+func MeasureBandwidth(p MachineParams, totalBytes int) (float64, error) {
+	m, err := p.build()
+	if err != nil {
+		return 0, err
+	}
+	kind := mem.KindUncached
+	if p.Scheme == SchemeCSB {
+		kind = mem.KindCombining
+	}
+	m.MapRange(IOBase, 1<<20, kind)
+
+	src := StoreBandwidthProgram(totalBytes, p.LineSize, p.Scheme == SchemeCSB)
+	prog, err := m.LoadSource("bandwidth.s", src)
+	if err != nil {
+		return 0, err
+	}
+	m.WarmProgram(prog)
+
+	var sp span
+	m.Bus.Observer = sp.observe
+
+	if err := m.Run(50_000_000); err != nil {
+		return 0, err
+	}
+	if err := m.Drain(1_000_000); err != nil {
+		return 0, err
+	}
+	cyc := sp.cycles()
+	if cyc == 0 {
+		return 0, fmt.Errorf("bench: no I/O transactions observed")
+	}
+	return float64(totalBytes) / float64(cyc), nil
+}
+
+// measureShuffledBandwidth is MeasureBandwidth with the shuffled-order
+// workload (ablation X4).
+func measureShuffledBandwidth(p MachineParams, totalBytes int) (float64, error) {
+	m, err := p.build()
+	if err != nil {
+		return 0, err
+	}
+	m.MapRange(IOBase, 1<<20, mem.KindUncached)
+	prog, err := m.LoadSource("shuffled.s", ShuffledStoreProgram(totalBytes, p.LineSize))
+	if err != nil {
+		return 0, err
+	}
+	m.WarmProgram(prog)
+	var sp span
+	m.Bus.Observer = sp.observe
+	if err := m.Run(50_000_000); err != nil {
+		return 0, err
+	}
+	if err := m.Drain(1_000_000); err != nil {
+		return 0, err
+	}
+	cyc := sp.cycles()
+	if cyc == 0 {
+		return 0, fmt.Errorf("bench: no I/O transactions observed")
+	}
+	return float64(totalBytes) / float64(cyc), nil
+}
+
+// MeasureCSBIssueOverhead returns the CPU cycles a program needs to issue
+// n back-to-back full-line CSB sequences and halt (not counting the
+// background draining of the bursts). This is where the double-buffered
+// CSB of §3.2 pays off: the single-entry design stalls each new sequence
+// until the previous line has been handed to the system interface.
+func MeasureCSBIssueOverhead(p MachineParams, lines int) (float64, error) {
+	m, err := p.build()
+	if err != nil {
+		return 0, err
+	}
+	m.MapRange(IOBase, 1<<20, mem.KindCombining)
+	src := StoreBandwidthProgram(lines*p.LineSize, p.LineSize, true)
+	// Measure issue overhead only: the core is free at halt; drop the
+	// trailing barrier so the bursts drain in the background.
+	src = strings.Replace(src, "\tmembar\n\thalt\n", "\thalt\n", 1)
+	prog, err := m.LoadSource("issue.s", src)
+	if err != nil {
+		return 0, err
+	}
+	m.WarmProgram(prog)
+	if err := m.Run(50_000_000); err != nil {
+		return 0, err
+	}
+	cycles := float64(m.Cycle())
+	if err := m.Drain(1_000_000); err != nil {
+		return 0, err
+	}
+	return cycles, nil
+}
+
+// MeasureLockLatency runs the figure-5 microbenchmark: the CPU-cycle cost
+// of one lock-access-unlock sequence (or CSB sequence) transferring
+// nDwords doublewords, with the lock either warm in L1 or cold.
+func MeasureLockLatency(p MachineParams, nDwords int, lockHit bool) (float64, error) {
+	run := func(src string) (uint64, error) {
+		m, err := p.build()
+		if err != nil {
+			return 0, err
+		}
+		kind := mem.KindUncached
+		if p.Scheme == SchemeCSB {
+			kind = mem.KindCombining
+		}
+		m.MapRange(IOBase, 1<<20, kind)
+		prog, err := m.LoadSource("lock.s", src)
+		if err != nil {
+			return 0, err
+		}
+		m.WarmProgram(prog)
+		if !lockHit {
+			// Evict the lock line so the swap misses (figure 5b). The
+			// prologue data page was warmed wholesale; invalidate the
+			// lock's line in both levels.
+			lockAddr, ok := prog.Symbol("lock")
+			if ok {
+				m.Hier.L1D().Invalidate(lockAddr)
+				m.Hier.L2().Invalidate(lockAddr)
+			}
+		}
+		if err := m.Run(50_000_000); err != nil {
+			return 0, err
+		}
+		return m.Cycle(), nil
+	}
+	var seq string
+	if p.Scheme == SchemeCSB {
+		seq = CSBSequenceProgram(nDwords)
+	} else {
+		seq = LockSequenceProgram(nDwords)
+	}
+	full, err := run(seq)
+	if err != nil {
+		return 0, err
+	}
+	base, err := run(LockPrologueProgram())
+	if err != nil {
+		return 0, err
+	}
+	if full < base {
+		return 0, fmt.Errorf("bench: negative lock latency (%d < %d)", full, base)
+	}
+	return float64(full - base), nil
+}

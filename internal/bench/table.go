@@ -1,0 +1,133 @@
+package bench
+
+import (
+	"fmt"
+	"strings"
+)
+
+// Series is one line/bar-group of a figure.
+type Series struct {
+	Name string
+	Y    []float64
+}
+
+// Result is a regenerated figure: a matrix of values with labels, printed
+// as a text table by Format.
+type Result struct {
+	ID     string // e.g. "3a"
+	Title  string
+	XLabel string
+	YLabel string
+	X      []string
+	Series []Series
+	Notes  string
+}
+
+// Format renders the result as an aligned text table.
+func Format(r Result) string {
+	var b strings.Builder
+	fmt.Fprintf(&b, "Figure %s: %s\n", r.ID, r.Title)
+	fmt.Fprintf(&b, "  y = %s, x = %s\n", r.YLabel, r.XLabel)
+	if r.Notes != "" {
+		fmt.Fprintf(&b, "  %s\n", r.Notes)
+	}
+
+	colw := 0
+	for _, x := range r.X {
+		if len(x) > colw {
+			colw = len(x)
+		}
+	}
+	for _, s := range r.Series {
+		for _, v := range s.Y {
+			if n := len(fmt.Sprintf("%.2f", v)); n > colw {
+				colw = n
+			}
+		}
+	}
+	namew := 0
+	for _, s := range r.Series {
+		if len(s.Name) > namew {
+			namew = len(s.Name)
+		}
+	}
+	if colw < 7 {
+		colw = 7
+	}
+
+	fmt.Fprintf(&b, "  %-*s", namew, "")
+	for _, x := range r.X {
+		fmt.Fprintf(&b, " %*s", colw, x)
+	}
+	b.WriteByte('\n')
+	for _, s := range r.Series {
+		fmt.Fprintf(&b, "  %-*s", namew, s.Name)
+		for _, v := range s.Y {
+			fmt.Fprintf(&b, " %*.2f", colw, v)
+		}
+		b.WriteByte('\n')
+	}
+	return b.String()
+}
+
+// FormatBars renders the result as grouped horizontal ASCII bars — the
+// closest terminal rendering of the paper's bar-group figures. Bars are
+// scaled to the figure's maximum value.
+func FormatBars(r Result) string {
+	var b strings.Builder
+	fmt.Fprintf(&b, "Figure %s: %s\n", r.ID, r.Title)
+	fmt.Fprintf(&b, "  y = %s, grouped by %s\n", r.YLabel, r.XLabel)
+	if r.Notes != "" {
+		fmt.Fprintf(&b, "  %s\n", r.Notes)
+	}
+	maxVal := 0.0
+	namew := 0
+	for _, s := range r.Series {
+		if len(s.Name) > namew {
+			namew = len(s.Name)
+		}
+		for _, v := range s.Y {
+			if v > maxVal {
+				maxVal = v
+			}
+		}
+	}
+	if maxVal == 0 {
+		maxVal = 1
+	}
+	const barWidth = 46
+	for xi, x := range r.X {
+		fmt.Fprintf(&b, "%s %s\n", x, r.XLabel)
+		for _, s := range r.Series {
+			if xi >= len(s.Y) {
+				continue
+			}
+			v := s.Y[xi]
+			n := int(v / maxVal * barWidth)
+			if n < 1 && v > 0 {
+				n = 1
+			}
+			fmt.Fprintf(&b, "  %-*s |%s %.2f\n", namew, s.Name, strings.Repeat("#", n), v)
+		}
+	}
+	return b.String()
+}
+
+// FormatCSV renders the result as comma-separated values with a header.
+func FormatCSV(r Result) string {
+	var b strings.Builder
+	fmt.Fprintf(&b, "figure,%s\n", r.ID)
+	b.WriteString("scheme")
+	for _, x := range r.X {
+		b.WriteString("," + x)
+	}
+	b.WriteByte('\n')
+	for _, s := range r.Series {
+		b.WriteString(s.Name)
+		for _, v := range s.Y {
+			fmt.Fprintf(&b, ",%.4f", v)
+		}
+		b.WriteByte('\n')
+	}
+	return b.String()
+}

@@ -1,0 +1,231 @@
+// Package bench regenerates every figure of the paper's evaluation
+// section: uncached store bandwidth on multiplexed and split buses
+// (figures 3 and 4) and lock-vs-CSB atomic access latency (figure 5),
+// plus the ablations listed in DESIGN.md.
+//
+// Workloads are generated as SV9L assembly and executed on the full
+// machine, exactly as the paper drives RSIM with microbenchmarks (§4.2).
+package bench
+
+import (
+	"fmt"
+	"strings"
+)
+
+// IOBase is the uncached (or combining) target of all store workloads.
+const IOBase uint64 = 0x4000_0000
+
+// Scheme identifies an uncached-store handling scheme: the paper's bars.
+//
+//	0   — no combining: every store is its own bus transaction
+//	16…128 — combining uncached buffer with that block size
+//	-1  — the conditional store buffer
+type Scheme int
+
+// SchemeCSB selects the conditional store buffer.
+const SchemeCSB Scheme = -1
+
+// String names the scheme as in the figures.
+func (s Scheme) String() string {
+	switch {
+	case s == SchemeCSB:
+		return "CSB"
+	case s == 0:
+		return "no-combine"
+	default:
+		return fmt.Sprintf("combine-%d", int(s))
+	}
+}
+
+// Schemes returns the paper's bar set for a given cache line size:
+// non-combining, then combining at 16 B doubling up to the line size,
+// then the CSB.
+func Schemes(lineSize int) []Scheme {
+	out := []Scheme{0}
+	for b := 16; b <= lineSize; b *= 2 {
+		out = append(out, Scheme(b))
+	}
+	return append(out, SchemeCSB)
+}
+
+// StoreBandwidthProgram builds the §4.2 bandwidth microbenchmark: a tight
+// loop of doubleword stores, unrolled so each iteration stores one cache
+// line, repeated until totalBytes have been stored. For the CSB scheme
+// each line ends with a conditional flush and a retry check, exactly as in
+// the paper's listing.
+func StoreBandwidthProgram(totalBytes, lineSize int, csb bool) string {
+	if totalBytes%8 != 0 {
+		panic("totalBytes must be a multiple of 8")
+	}
+	var b strings.Builder
+	fmt.Fprintf(&b, "\tset %#x, %%o1\n", IOBase)
+	b.WriteString("\tmov 201, %g1\n\tmovr2f %g1, %f0\n")
+	b.WriteString("\tmov 202, %g1\n\tmovr2f %g1, %f2\n")
+
+	// Transfer sizes and line sizes are powers of two, so the total is
+	// either smaller than a line (one partial block) or a whole number
+	// of lines.
+	dwords := totalBytes / 8
+	perIter := lineSize / 8
+	if dwords < perIter {
+		perIter = dwords
+	}
+	iters := dwords / perIter
+
+	emitBlock := func(n int) {
+		if csb {
+			fmt.Fprintf(&b, "RETRY%d:\n", n)
+			fmt.Fprintf(&b, "\tset %d, %%l4\n", n)
+		}
+		for i := 0; i < n; i++ {
+			reg := "%f0"
+			if i%2 == 1 {
+				reg = "%f2"
+			}
+			if i == 0 {
+				fmt.Fprintf(&b, "\tstd %s, [%%o1]\n", reg)
+			} else {
+				fmt.Fprintf(&b, "\tstd %s, [%%o1+%d]\n", reg, i*8)
+			}
+		}
+		if csb {
+			b.WriteString("\tswap [%o1], %l4\n")
+			fmt.Fprintf(&b, "\tcmp %%l4, %d\n", n)
+			fmt.Fprintf(&b, "\tbnz RETRY%d\n", n)
+		}
+	}
+
+	if iters > 1 {
+		fmt.Fprintf(&b, "\tset %d, %%g2\n", iters)
+		b.WriteString("loop:\n")
+		emitBlock(perIter)
+		fmt.Fprintf(&b, "\tadd %%o1, %d, %%o1\n", lineSize)
+		b.WriteString("\tsubcc %g2, 1, %g2\n\tbnz loop\n")
+	} else {
+		emitBlock(perIter)
+	}
+	b.WriteString("\tmembar\n\thalt\n")
+	return b.String()
+}
+
+// ShuffledStoreProgram is StoreBandwidthProgram with the stores inside
+// each line issued in a fixed non-sequential order (used by ablation X4:
+// the R10000-style buffer only combines strictly sequential runs).
+func ShuffledStoreProgram(totalBytes, lineSize int) string {
+	var b strings.Builder
+	fmt.Fprintf(&b, "\tset %#x, %%o1\n", IOBase)
+	b.WriteString("\tmov 201, %g1\n\tmovr2f %g1, %f0\n")
+
+	dwords := totalBytes / 8
+	perIter := lineSize / 8
+	if dwords < perIter {
+		perIter = dwords
+	}
+	iters := dwords / perIter
+
+	order := shuffleOrder(perIter)
+	emitBlock := func() {
+		for _, i := range order {
+			if i == 0 {
+				b.WriteString("\tstd %f0, [%o1]\n")
+			} else {
+				fmt.Fprintf(&b, "\tstd %%f0, [%%o1+%d]\n", i*8)
+			}
+		}
+	}
+	if iters > 1 {
+		fmt.Fprintf(&b, "\tset %d, %%g2\n", iters)
+		b.WriteString("loop:\n")
+		emitBlock()
+		fmt.Fprintf(&b, "\tadd %%o1, %d, %%o1\n", lineSize)
+		b.WriteString("\tsubcc %g2, 1, %g2\n\tbnz loop\n")
+	} else {
+		emitBlock()
+	}
+	b.WriteString("\tmembar\n\thalt\n")
+	return b.String()
+}
+
+// shuffleOrder interleaves low and high halves: 0,n/2,1,n/2+1,… — every
+// store lands in the same block but never at the next sequential address.
+func shuffleOrder(n int) []int {
+	out := make([]int, 0, n)
+	half := (n + 1) / 2
+	for i := 0; i < half; i++ {
+		out = append(out, i)
+		if i+half < n {
+			out = append(out, i+half)
+		}
+	}
+	return out
+}
+
+// LockSequenceProgram builds the §4.2 atomic-access microbenchmark: a
+// swap-based lock acquire, n uncached doubleword stores, a memory barrier
+// and the lock release. The lock acquire and release mirror the paper's 8-
+// and 3-instruction sequences.
+func LockSequenceProgram(nDwords int) string {
+	var b strings.Builder
+	b.WriteString(lockPrologue)
+	// --- lock acquire (address setup, swap register init, check) ---
+	b.WriteString(`acquire:
+	set lock, %o2
+	mov 1, %l4
+	swap [%o2], %l4
+	tst %l4
+	bnz acquire
+	membar
+`)
+	for i := 0; i < nDwords; i++ {
+		if i == 0 {
+			b.WriteString("\tstd %f0, [%o1]\n")
+		} else {
+			fmt.Fprintf(&b, "\tstd %%f0, [%%o1+%d]\n", i*8)
+		}
+	}
+	// The lock may only be released after the last uncached store has
+	// left the uncached buffer (§4.2).
+	b.WriteString(`	membar
+	clr %l5
+	stx %l5, [%o2]
+	halt
+`)
+	return b.String()
+}
+
+// LockPrologueProgram is the calibration twin of LockSequenceProgram: the
+// identical prologue followed directly by halt. Subtracting its cycle
+// count isolates the lock-access-unlock latency.
+func LockPrologueProgram() string {
+	return lockPrologue + "\thalt\n"
+}
+
+const lockPrologue = `	.org 0x1000
+lock:	.dword 0
+	.entry main
+main:
+	set ` + "0x40000000" + `, %o1
+	mov 7, %g1
+	movr2f %g1, %f0
+`
+
+// CSBSequenceProgram is the CSB side of figure 5: n combining stores and a
+// conditional flush with retry check; the access is complete as soon as
+// the flush succeeds.
+func CSBSequenceProgram(nDwords int) string {
+	var b strings.Builder
+	b.WriteString(lockPrologue)
+	b.WriteString("RETRY:\n")
+	fmt.Fprintf(&b, "\tset %d, %%l4\n", nDwords)
+	for i := 0; i < nDwords; i++ {
+		if i == 0 {
+			b.WriteString("\tstd %f0, [%o1]\n")
+		} else {
+			fmt.Fprintf(&b, "\tstd %%f0, [%%o1+%d]\n", i*8)
+		}
+	}
+	b.WriteString("\tswap [%o1], %l4\n")
+	fmt.Fprintf(&b, "\tcmp %%l4, %d\n", nDwords)
+	b.WriteString("\tbnz RETRY\n\thalt\n")
+	return b.String()
+}

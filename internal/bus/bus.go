@@ -1,0 +1,290 @@
+// Package bus implements the two system-bus models evaluated in the paper
+// (§4.1): a multiplexed address/data bus and a split address/data bus. Both
+// are fully pipelined with arbitration overlapped with the current
+// transaction, support naturally-aligned power-of-two transfer sizes from 1
+// byte to a full cache line, and can be configured with a per-transaction
+// turnaround cycle and a selective-flow-control acknowledgment delay that
+// spaces strongly-ordered uncached transactions.
+//
+// All timing here is in *bus cycles*; the machine clocks the bus once every
+// CPU-to-bus frequency-ratio ticks.
+package bus
+
+import (
+	"fmt"
+
+	"csbsim/internal/mem"
+)
+
+// Model selects the bus organization.
+type Model uint8
+
+const (
+	// Multiplexed buses share one set of wires for addresses and data: a
+	// transaction costs one address cycle plus its data beats.
+	Multiplexed Model = iota
+	// Split buses have a dedicated address path: a transaction occupies
+	// the data path only for its data beats.
+	Split
+)
+
+func (m Model) String() string {
+	if m == Split {
+		return "split"
+	}
+	return "multiplexed"
+}
+
+// Config parameterizes a bus instance. The zero value is not useful; use
+// DefaultConfig as a starting point.
+type Config struct {
+	Model Model
+	// WidthBytes is the data path width (8 for the paper's multiplexed
+	// experiments, 16 or 32 for the split ones).
+	WidthBytes int
+	// Turnaround inserts idle cycles after every transaction, modeling
+	// buses that need a dead cycle between masters (fig 3g, 4c).
+	Turnaround int
+	// AckDelay is the selective-flow-control minimum spacing, in bus
+	// cycles, between the *starts* of consecutive strongly-ordered
+	// transactions (fig 3h-i, 4d-e). Zero disables it.
+	AckDelay int
+	// ReadWait is the target's access latency for cacheable memory
+	// reads, in bus cycles between the address cycle and the first data
+	// beat.
+	ReadWait int
+	// IOReadWait is the equivalent latency for uncached/device reads.
+	IOReadWait int
+}
+
+// DefaultConfig mirrors the paper's base configuration: 8-byte multiplexed
+// bus, no turnaround, no ack delay.
+func DefaultConfig() Config {
+	return Config{Model: Multiplexed, WidthBytes: 8, ReadWait: 8, IOReadWait: 4}
+}
+
+// Validate reports configuration errors.
+func (c Config) Validate() error {
+	if c.WidthBytes <= 0 || c.WidthBytes&(c.WidthBytes-1) != 0 {
+		return fmt.Errorf("bus: width %d not a power of two", c.WidthBytes)
+	}
+	if c.Turnaround < 0 || c.AckDelay < 0 || c.ReadWait < 0 || c.IOReadWait < 0 {
+		return fmt.Errorf("bus: negative timing parameter")
+	}
+	return nil
+}
+
+// Txn is one bus transaction. Transactions must be naturally aligned
+// power-of-two sizes (the alignment restriction that limits combining,
+// §4.1 last paragraph).
+type Txn struct {
+	Addr  uint64
+	Size  int
+	Write bool
+	// Data holds write payload (len == Size) or receives read data.
+	Data []byte
+	// Ordered marks strongly-ordered uncached transactions subject to
+	// the AckDelay spacing rule.
+	Ordered bool
+	// IO selects the device read latency instead of memory latency.
+	IO bool
+	// Silent transactions occupy the bus but move no data. The tag-only
+	// cache model uses them for writebacks, whose payload is already in
+	// RAM.
+	Silent bool
+	// Done, if non-nil, runs when the transaction completes. Reads see
+	// their Data filled in.
+	Done func(*Txn)
+
+	// Start and End are the first and last occupied bus cycles, filled
+	// in by the bus.
+	Start, End uint64
+}
+
+// Stats aggregates bus activity.
+type Stats struct {
+	Cycles       uint64
+	BusyCycles   uint64
+	Transactions uint64
+	Bursts       uint64 // transactions larger than one data beat
+	Bytes        uint64
+	Reads        uint64
+	Writes       uint64
+	// BySize histograms transaction sizes (bytes → count).
+	BySize map[int]uint64
+}
+
+// Bus is a cycle-accurate single-channel system bus. Multiple agents (the
+// uncached buffer, the CSB path, the cache miss path, DMA engines) share it
+// by calling TryIssue; whoever asks first in a cycle wins, which models the
+// overlapped arbitration of the paper's buses.
+type Bus struct {
+	cfg    Config
+	router *mem.Router
+	cycle  uint64
+
+	cur        *Txn   // in-flight transaction, nil when idle
+	freeAt     uint64 // first cycle a new transaction may start (occupancy+turnaround)
+	ackFreeAt  uint64 // first cycle an Ordered transaction may start
+	everIssued bool
+
+	// Observer, if set, runs on every completed transaction (used by the
+	// benchmark harness to measure spans).
+	Observer func(*Txn)
+
+	stats Stats
+}
+
+// New creates a bus over the given physical-address router. The router may
+// be nil for pure timing tests; then reads return zero data.
+func New(cfg Config, rt *mem.Router) (*Bus, error) {
+	if err := cfg.Validate(); err != nil {
+		return nil, err
+	}
+	return &Bus{cfg: cfg, router: rt, stats: Stats{BySize: make(map[int]uint64)}}, nil
+}
+
+// Cycle returns the current bus cycle number.
+func (b *Bus) Cycle() uint64 { return b.cycle }
+
+// Config returns the bus configuration.
+func (b *Bus) Config() Config { return b.cfg }
+
+// Stats returns a snapshot of the accumulated statistics.
+func (b *Bus) Stats() Stats {
+	s := b.stats
+	s.Cycles = b.cycle
+	bySize := make(map[int]uint64, len(b.stats.BySize))
+	for k, v := range b.stats.BySize {
+		bySize[k] = v
+	}
+	s.BySize = bySize
+	return s
+}
+
+// Idle reports whether no transaction is in flight.
+func (b *Bus) Idle() bool { return b.cur == nil }
+
+// Duration returns the number of bus cycles a transaction of the given
+// size and direction occupies.
+func (b *Bus) Duration(size int, write, io bool) int {
+	beats := (size + b.cfg.WidthBytes - 1) / b.cfg.WidthBytes
+	if beats == 0 {
+		beats = 1
+	}
+	d := beats
+	if b.cfg.Model == Multiplexed {
+		d++ // address cycle
+	}
+	if !write {
+		if io {
+			d += b.cfg.IOReadWait
+		} else {
+			d += b.cfg.ReadWait
+		}
+	}
+	return d
+}
+
+// CanIssue reports whether a transaction could start at the current cycle.
+func (b *Bus) CanIssue(ordered bool) bool {
+	if b.cur != nil {
+		return false
+	}
+	if b.everIssued && b.cycle < b.freeAt {
+		return false
+	}
+	if ordered && b.cycle < b.ackFreeAt {
+		return false
+	}
+	return true
+}
+
+// TryIssue attempts to start t at the current cycle. It returns false when
+// the bus is occupied or a spacing rule blocks the start.
+func (b *Bus) TryIssue(t *Txn) bool {
+	if err := b.checkTxn(t); err != nil {
+		panic(err) // programming error in a bus agent, not a simulation outcome
+	}
+	if !b.CanIssue(t.Ordered) {
+		return false
+	}
+	d := uint64(b.Duration(t.Size, t.Write, t.IO))
+	t.Start = b.cycle
+	t.End = b.cycle + d - 1
+	b.cur = t
+	b.freeAt = t.End + 1 + uint64(b.cfg.Turnaround)
+	if t.Ordered && b.cfg.AckDelay > 0 {
+		ack := t.Start + uint64(b.cfg.AckDelay)
+		if ack > b.ackFreeAt {
+			b.ackFreeAt = ack
+		}
+	}
+	b.everIssued = true
+	return true
+}
+
+func (b *Bus) checkTxn(t *Txn) error {
+	if t.Size <= 0 || t.Size&(t.Size-1) != 0 {
+		return fmt.Errorf("bus: transaction size %d not a power of two", t.Size)
+	}
+	if t.Addr%uint64(t.Size) != 0 {
+		return fmt.Errorf("bus: transaction at %#x size %d not naturally aligned", t.Addr, t.Size)
+	}
+	if t.Write && len(t.Data) != t.Size {
+		return fmt.Errorf("bus: write data length %d != size %d", len(t.Data), t.Size)
+	}
+	return nil
+}
+
+// Tick advances the bus by one cycle, completing the in-flight transaction
+// when its last beat has passed.
+func (b *Bus) Tick() {
+	if b.cur != nil {
+		b.stats.BusyCycles++
+	}
+	b.cycle++
+	if t := b.cur; t != nil && b.cycle > t.End {
+		b.cur = nil
+		b.complete(t)
+	}
+}
+
+func (b *Bus) complete(t *Txn) {
+	b.stats.Transactions++
+	b.stats.Bytes += uint64(t.Size)
+	b.stats.BySize[t.Size]++
+	if t.Size > b.cfg.WidthBytes {
+		b.stats.Bursts++
+	}
+	if t.Write {
+		b.stats.Writes++
+		if b.router != nil && !t.Silent {
+			b.router.Write(t.Addr, t.Data)
+		}
+	} else {
+		b.stats.Reads++
+		if b.router != nil && !t.Silent {
+			t.Data = b.router.Read(t.Addr, t.Size)
+		} else if t.Data == nil {
+			t.Data = make([]byte, t.Size)
+		}
+	}
+	if b.Observer != nil {
+		b.Observer(t)
+	}
+	if t.Done != nil {
+		t.Done(t)
+	}
+}
+
+// Drain advances the bus until it is idle (test helper and shutdown path).
+func (b *Bus) Drain(maxCycles int) bool {
+	for i := 0; i < maxCycles; i++ {
+		if b.cur == nil {
+			return true
+		}
+		b.Tick()
+	}
+	return b.cur == nil
+}

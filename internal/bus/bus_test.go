@@ -1,0 +1,368 @@
+package bus
+
+import (
+	"testing"
+
+	"csbsim/internal/mem"
+)
+
+func newBus(t *testing.T, cfg Config) *Bus {
+	t.Helper()
+	b, err := New(cfg, nil)
+	if err != nil {
+		t.Fatal(err)
+	}
+	return b
+}
+
+// run issues each transaction as soon as the bus allows and returns the
+// cycle span (first start .. last end inclusive).
+func run(t *testing.T, b *Bus, txns []*Txn) (first, last uint64) {
+	t.Helper()
+	done := 0
+	for _, txn := range txns {
+		txn.Done = func(*Txn) { done++ }
+	}
+	i := 0
+	for guard := 0; done < len(txns); guard++ {
+		if guard > 100000 {
+			t.Fatal("bus run did not terminate")
+		}
+		if i < len(txns) && b.TryIssue(txns[i]) {
+			i++
+		}
+		b.Tick()
+	}
+	return txns[0].Start, txns[len(txns)-1].End
+}
+
+func wr(addr uint64, size int, ordered bool) *Txn {
+	return &Txn{Addr: addr, Size: size, Write: true, Data: make([]byte, size), Ordered: ordered}
+}
+
+// Paper §4.3.1: on an 8-byte multiplexed bus a doubleword store is a
+// two-cycle transaction (address + one data beat), so non-combining
+// bandwidth is 4 bytes per bus cycle, half the 8 B/cycle peak.
+func TestMuxDoublewordTakesTwoCycles(t *testing.T) {
+	b := newBus(t, Config{Model: Multiplexed, WidthBytes: 8})
+	if d := b.Duration(8, true, false); d != 2 {
+		t.Errorf("dword duration = %d, want 2", d)
+	}
+}
+
+// Paper §4.3.1: peak is "one cache line per 5 cycles" for a 32-byte line
+// on the 8-byte multiplexed bus: 1 address + 4 data cycles.
+func TestMuxLineBurstDuration(t *testing.T) {
+	b := newBus(t, Config{Model: Multiplexed, WidthBytes: 8})
+	if d := b.Duration(32, true, false); d != 5 {
+		t.Errorf("32B burst = %d cycles, want 5", d)
+	}
+	if d := b.Duration(64, true, false); d != 9 {
+		t.Errorf("64B burst = %d cycles, want 9", d)
+	}
+}
+
+// Paper fig 4: on a split bus a transaction occupies only its data beats;
+// a 64-byte burst on a 32-byte bus takes 2 cycles, "the same number of
+// cycles as two individual doubleword stores".
+func TestSplitBusDurations(t *testing.T) {
+	b := newBus(t, Config{Model: Split, WidthBytes: 32})
+	if d := b.Duration(64, true, false); d != 2 {
+		t.Errorf("64B on 32B split = %d, want 2", d)
+	}
+	if d := b.Duration(8, true, false); d != 1 {
+		t.Errorf("8B on 32B split = %d, want 1", d)
+	}
+	b16 := newBus(t, Config{Model: Split, WidthBytes: 16})
+	if d := b16.Duration(64, true, false); d != 4 {
+		t.Errorf("64B on 16B split = %d, want 4", d)
+	}
+}
+
+// Back-to-back transactions from the same master need no idle cycle by
+// default (§4.1).
+func TestBackToBackNoTurnaround(t *testing.T) {
+	b := newBus(t, Config{Model: Multiplexed, WidthBytes: 8})
+	txns := []*Txn{wr(0, 8, false), wr(8, 8, false), wr(16, 8, false)}
+	first, last := run(t, b, txns)
+	// 3 dwords × 2 cycles = 6-cycle span.
+	if span := last - first + 1; span != 6 {
+		t.Errorf("span = %d, want 6", span)
+	}
+}
+
+// Paper §4.3.1 (fig 3g): with a turnaround cycle, "a doubleword
+// transaction takes 2 cycles, two consecutive transactions take 5 cycles,
+// three transactions take 8 cycles".
+func TestTurnaroundSpacing(t *testing.T) {
+	b := newBus(t, Config{Model: Multiplexed, WidthBytes: 8, Turnaround: 1})
+	for _, tt := range []struct {
+		n    int
+		span uint64
+	}{{1, 2}, {2, 5}, {3, 8}} {
+		b := newBus(t, Config{Model: Multiplexed, WidthBytes: 8, Turnaround: 1})
+		var txns []*Txn
+		for i := 0; i < tt.n; i++ {
+			txns = append(txns, wr(uint64(i*8), 8, false))
+		}
+		first, last := run(t, b, txns)
+		if span := last - first + 1; span != tt.span {
+			t.Errorf("%d dwords with turnaround: span = %d, want %d", tt.n, span, tt.span)
+		}
+	}
+	_ = b
+}
+
+// Paper fig 3h: with a 4-cycle ack delay, address cycles of ordered
+// transactions must be ≥ 4 cycles apart; an 8-cycle burst completely
+// overlaps the acknowledgment.
+func TestAckDelaySpacesOrderedTxns(t *testing.T) {
+	b := newBus(t, Config{Model: Multiplexed, WidthBytes: 8, AckDelay: 4})
+	txns := []*Txn{wr(0, 8, true), wr(8, 8, true), wr(16, 8, true)}
+	run(t, b, txns)
+	if got := txns[1].Start - txns[0].Start; got != 4 {
+		t.Errorf("ordered spacing = %d, want 4", got)
+	}
+	if got := txns[2].Start - txns[1].Start; got != 4 {
+		t.Errorf("ordered spacing = %d, want 4", got)
+	}
+
+	// A 64-byte burst (9 cycles on mux) completely hides a 4-cycle ack.
+	b2 := newBus(t, Config{Model: Multiplexed, WidthBytes: 8, AckDelay: 4})
+	bursts := []*Txn{wr(0, 64, true), wr(64, 64, true)}
+	run(t, b2, bursts)
+	if got := bursts[1].Start - bursts[0].End; got != 1 {
+		t.Errorf("burst followed after %d cycles, want 1 (back to back)", got)
+	}
+}
+
+// Unordered (memory) traffic is not subject to the ack delay.
+func TestAckDelayIgnoresUnordered(t *testing.T) {
+	b := newBus(t, Config{Model: Multiplexed, WidthBytes: 8, AckDelay: 8})
+	txns := []*Txn{wr(0, 8, false), wr(8, 8, false)}
+	run(t, b, txns)
+	if got := txns[1].Start - txns[0].Start; got != 2 {
+		t.Errorf("unordered spacing = %d, want 2", got)
+	}
+}
+
+// Split bus with min delay 4: a dword (1 cycle) is followed 4 cycles
+// later; a 64B burst on 16B bus (4 cycles) is back to back (fig 4d).
+func TestSplitAckDelay(t *testing.T) {
+	b := newBus(t, Config{Model: Split, WidthBytes: 16, AckDelay: 4})
+	txns := []*Txn{wr(0, 8, true), wr(8, 8, true)}
+	run(t, b, txns)
+	if got := txns[1].Start - txns[0].Start; got != 4 {
+		t.Errorf("split dword spacing = %d, want 4", got)
+	}
+	b2 := newBus(t, Config{Model: Split, WidthBytes: 16, AckDelay: 4})
+	bursts := []*Txn{wr(0, 64, true), wr(64, 64, true)}
+	run(t, b2, bursts)
+	if got := bursts[1].Start - bursts[0].Start; got != 4 {
+		t.Errorf("split burst spacing = %d, want 4 (fully hidden)", got)
+	}
+}
+
+func TestReadLatency(t *testing.T) {
+	b := newBus(t, Config{Model: Multiplexed, WidthBytes: 8, ReadWait: 8, IOReadWait: 3})
+	// Memory line fill: 1 addr + 8 wait + 8 beats = 17 cycles.
+	if d := b.Duration(64, false, false); d != 17 {
+		t.Errorf("64B read = %d, want 17", d)
+	}
+	// IO dword read: 1 + 3 + 1 = 5.
+	if d := b.Duration(8, false, true); d != 5 {
+		t.Errorf("8B IO read = %d, want 5", d)
+	}
+}
+
+func TestReadWriteDataMovement(t *testing.T) {
+	ram := mem.NewMemory()
+	rt := mem.NewRouter(ram)
+	b, err := New(Config{Model: Multiplexed, WidthBytes: 8}, rt)
+	if err != nil {
+		t.Fatal(err)
+	}
+	w := &Txn{Addr: 0x100, Size: 8, Write: true, Data: []byte{1, 2, 3, 4, 5, 6, 7, 8}}
+	if !b.TryIssue(w) {
+		t.Fatal("issue failed")
+	}
+	b.Drain(100)
+	if got := ram.ReadUint(0x100, 8); got != 0x0807060504030201 {
+		t.Errorf("write not applied: %#x", got)
+	}
+	var got []byte
+	r := &Txn{Addr: 0x100, Size: 8, Done: func(t *Txn) { got = t.Data }}
+	if !b.TryIssue(r) {
+		t.Fatal("read issue failed")
+	}
+	b.Drain(100)
+	if len(got) != 8 || got[0] != 1 || got[7] != 8 {
+		t.Errorf("read data = % x", got)
+	}
+}
+
+func TestBusyRejectsIssue(t *testing.T) {
+	b := newBus(t, Config{Model: Multiplexed, WidthBytes: 8})
+	if !b.TryIssue(wr(0, 64, false)) {
+		t.Fatal("first issue failed")
+	}
+	if b.TryIssue(wr(64, 8, false)) {
+		t.Error("second issue should fail while busy")
+	}
+	b.Tick()
+	if b.TryIssue(wr(64, 8, false)) {
+		t.Error("issue should fail mid-transaction")
+	}
+}
+
+func TestTxnValidationPanics(t *testing.T) {
+	b := newBus(t, Config{Model: Multiplexed, WidthBytes: 8})
+	for _, bad := range []*Txn{
+		{Addr: 0, Size: 3, Write: true, Data: make([]byte, 3)},
+		{Addr: 4, Size: 8, Write: true, Data: make([]byte, 8)}, // misaligned
+		{Addr: 0, Size: 8, Write: true, Data: make([]byte, 4)}, // short data
+		{Addr: 0, Size: 0},
+	} {
+		func() {
+			defer func() {
+				if recover() == nil {
+					t.Errorf("no panic for %+v", bad)
+				}
+			}()
+			b.TryIssue(bad)
+		}()
+	}
+}
+
+func TestStats(t *testing.T) {
+	b := newBus(t, Config{Model: Multiplexed, WidthBytes: 8})
+	run(t, b, []*Txn{wr(0, 8, false), wr(0, 64, false)})
+	s := b.Stats()
+	if s.Transactions != 2 || s.Writes != 2 || s.Bytes != 72 {
+		t.Errorf("stats = %+v", s)
+	}
+	if s.Bursts != 1 {
+		t.Errorf("bursts = %d, want 1", s.Bursts)
+	}
+	if s.BySize[8] != 1 || s.BySize[64] != 1 {
+		t.Errorf("by size = %v", s.BySize)
+	}
+	if s.BusyCycles != 2+9 {
+		t.Errorf("busy = %d, want 11", s.BusyCycles)
+	}
+}
+
+func TestObserver(t *testing.T) {
+	b := newBus(t, Config{Model: Multiplexed, WidthBytes: 8})
+	var seen []*Txn
+	b.Observer = func(t *Txn) { seen = append(seen, t) }
+	run(t, b, []*Txn{wr(0, 8, false), wr(8, 8, false)})
+	if len(seen) != 2 {
+		t.Errorf("observer saw %d txns, want 2", len(seen))
+	}
+}
+
+func TestConfigValidate(t *testing.T) {
+	bad := []Config{
+		{Model: Multiplexed, WidthBytes: 0},
+		{Model: Multiplexed, WidthBytes: 12},
+		{Model: Multiplexed, WidthBytes: 8, Turnaround: -1},
+	}
+	for _, cfg := range bad {
+		if _, err := New(cfg, nil); err == nil {
+			t.Errorf("config %+v accepted", cfg)
+		}
+	}
+}
+
+func TestAlignedChunks(t *testing.T) {
+	maskOf := func(spans ...[2]int) []bool {
+		m := make([]bool, 64)
+		for _, s := range spans {
+			for i := s[0]; i < s[1]; i++ {
+				m[i] = true
+			}
+		}
+		return m
+	}
+	tests := []struct {
+		name string
+		mask []bool
+		want []Chunk
+	}{
+		{"full line", maskOf([2]int{0, 64}), []Chunk{{0, 64}}},
+		{"one dword", maskOf([2]int{0, 8}), []Chunk{{0, 8}}},
+		{"dword at 8", maskOf([2]int{8, 16}), []Chunk{{8, 8}}},
+		{"three dwords", maskOf([2]int{0, 24}), []Chunk{{0, 16}, {16, 8}}},
+		{"three dwords offset", maskOf([2]int{8, 32}), []Chunk{{8, 8}, {16, 16}}},
+		{"half line", maskOf([2]int{0, 32}), []Chunk{{0, 32}}},
+		{"two runs", maskOf([2]int{0, 8}, [2]int{16, 24}), []Chunk{{0, 8}, {16, 8}}},
+		{"seven dwords", maskOf([2]int{0, 56}), []Chunk{{0, 32}, {32, 16}, {48, 8}}},
+		{"empty", maskOf(), nil},
+		{"single byte", maskOf([2]int{5, 6}), []Chunk{{5, 1}}},
+		{"misaligned run", maskOf([2]int{6, 12}), []Chunk{{6, 2}, {8, 4}}},
+	}
+	for _, tt := range tests {
+		got := AlignedChunks(0, tt.mask, 64)
+		if len(got) != len(tt.want) {
+			t.Errorf("%s: got %v, want %v", tt.name, got, tt.want)
+			continue
+		}
+		for i := range got {
+			if got[i] != tt.want[i] {
+				t.Errorf("%s[%d]: got %v, want %v", tt.name, i, got[i], tt.want[i])
+			}
+		}
+	}
+}
+
+// Property: chunks exactly cover the mask, are aligned power-of-two sizes,
+// and respect maxSize.
+func TestAlignedChunksProperty(t *testing.T) {
+	for seed := 0; seed < 200; seed++ {
+		mask := make([]bool, 64)
+		x := uint64(seed)*2654435761 + 12345
+		for i := range mask {
+			x = x*6364136223846793005 + 1442695040888963407
+			mask[i] = x>>62 != 0
+		}
+		chunks := AlignedChunks(0x1000, mask, 64)
+		covered := make([]bool, 64)
+		for _, c := range chunks {
+			if c.Size <= 0 || c.Size&(c.Size-1) != 0 || c.Size > 64 {
+				t.Fatalf("seed %d: bad size %d", seed, c.Size)
+			}
+			if c.Addr%uint64(c.Size) != 0 {
+				t.Fatalf("seed %d: misaligned chunk %+v", seed, c)
+			}
+			for i := 0; i < c.Size; i++ {
+				off := int(c.Addr-0x1000) + i
+				if covered[off] {
+					t.Fatalf("seed %d: byte %d double-covered", seed, off)
+				}
+				covered[off] = true
+			}
+		}
+		for i := range mask {
+			if mask[i] != covered[i] {
+				t.Fatalf("seed %d: byte %d coverage mismatch", seed, i)
+			}
+		}
+	}
+}
+
+func TestAlignedChunksMaxSize(t *testing.T) {
+	mask := make([]bool, 64)
+	for i := range mask {
+		mask[i] = true
+	}
+	chunks := AlignedChunks(0, mask, 16)
+	if len(chunks) != 4 {
+		t.Fatalf("got %d chunks, want 4 with maxSize 16", len(chunks))
+	}
+	for _, c := range chunks {
+		if c.Size != 16 {
+			t.Errorf("chunk size %d, want 16", c.Size)
+		}
+	}
+}

@@ -1,0 +1,42 @@
+package bus
+
+// Chunk is a naturally-aligned power-of-two span within a combining-buffer
+// entry, ready to issue as one bus transaction.
+type Chunk struct {
+	Addr uint64
+	Size int
+}
+
+// AlignedChunks decomposes the valid bytes of a combining-buffer entry into
+// the minimal greedy sequence of naturally-aligned power-of-two transfers,
+// honoring the bus alignment restriction of §4.1 ("All transactions must be
+// naturally aligned, which restricts the ability to combine stores").
+//
+// base is the (block-aligned) address of mask[0]. maxSize caps individual
+// transfers (a full cache line at most).
+func AlignedChunks(base uint64, mask []bool, maxSize int) []Chunk {
+	var out []Chunk
+	i := 0
+	for i < len(mask) {
+		if !mask[i] {
+			i++
+			continue
+		}
+		// Find the maximal contiguous run of valid bytes.
+		j := i
+		for j < len(mask) && mask[j] {
+			j++
+		}
+		// Greedily cover [i, j) with aligned power-of-two chunks.
+		for i < j {
+			addr := base + uint64(i)
+			size := maxSize
+			for size > 1 && (addr%uint64(size) != 0 || i+size > j) {
+				size >>= 1
+			}
+			out = append(out, Chunk{Addr: addr, Size: size})
+			i += size
+		}
+	}
+	return out
+}

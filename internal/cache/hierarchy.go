@@ -1,0 +1,318 @@
+package cache
+
+import (
+	"fmt"
+
+	"csbsim/internal/bus"
+)
+
+// HierConfig describes the whole cache hierarchy.
+type HierConfig struct {
+	L1I, L1D, L2 Config
+	// L2Latency is the additional CPU-cycle cost of probing L2 after an
+	// L1 miss.
+	L2Latency int
+	// MSHRs bounds concurrently outstanding line fills (lockup-free
+	// caches, as in the paper's R10000-like core).
+	MSHRs int
+	// WriteBuffer is the depth of the retiring-store write buffer.
+	WriteBuffer int
+}
+
+// DefaultHierConfig mirrors the paper's base machine: 32 KB split L1s,
+// 256 KB unified L2, 64-byte lines.
+func DefaultHierConfig() HierConfig {
+	return HierConfig{
+		L1I:         Config{Size: 32 << 10, Assoc: 2, LineSize: 64, HitLatency: 1},
+		L1D:         Config{Size: 32 << 10, Assoc: 2, LineSize: 64, HitLatency: 1},
+		L2:          Config{Size: 256 << 10, Assoc: 4, LineSize: 64, HitLatency: 6},
+		L2Latency:   6,
+		MSHRs:       8,
+		WriteBuffer: 8,
+	}
+}
+
+// Validate reports configuration errors.
+func (c HierConfig) Validate() error {
+	for _, lv := range []Config{c.L1I, c.L1D, c.L2} {
+		if err := lv.Validate(); err != nil {
+			return err
+		}
+	}
+	if c.L1I.LineSize != c.L2.LineSize || c.L1D.LineSize != c.L2.LineSize {
+		return fmt.Errorf("cache: line sizes differ between levels")
+	}
+	if c.MSHRs <= 0 || c.WriteBuffer <= 0 {
+		return fmt.Errorf("cache: MSHRs and WriteBuffer must be positive")
+	}
+	return nil
+}
+
+// HierStats aggregates hierarchy-level counters.
+type HierStats struct {
+	L1I, L1D, L2 Stats
+	Fills        uint64
+	Writebacks   uint64
+	StoreStalls  uint64
+}
+
+type mshrState uint8
+
+const (
+	mshrProbeL2 mshrState = iota // waiting out the L2 lookup latency
+	mshrNeedBus                  // L2 missed; waiting for the bus
+	mshrOnBus                    // line fill in flight
+)
+
+type mshr struct {
+	lineAddr  uint64
+	fetch     bool
+	state     mshrState
+	countdown int
+	l2Hit     bool
+	callbacks []func()
+}
+
+// Hierarchy ties the three caches together and handles misses through the
+// system bus.
+type Hierarchy struct {
+	cfg HierConfig
+	l1i *Cache
+	l1d *Cache
+	l2  *Cache
+
+	mshrs      []*mshr
+	writebacks []uint64 // line addresses queued for bus writeback
+	writeBuf   []uint64 // retiring cached stores (addresses)
+	storeMiss  bool     // head of writeBuf is waiting on a fill
+
+	stats HierStats
+}
+
+// NewHierarchy builds the cache hierarchy.
+func NewHierarchy(cfg HierConfig) (*Hierarchy, error) {
+	if err := cfg.Validate(); err != nil {
+		return nil, err
+	}
+	l1i, err := New(cfg.L1I)
+	if err != nil {
+		return nil, err
+	}
+	l1d, err := New(cfg.L1D)
+	if err != nil {
+		return nil, err
+	}
+	l2, err := New(cfg.L2)
+	if err != nil {
+		return nil, err
+	}
+	return &Hierarchy{cfg: cfg, l1i: l1i, l1d: l1d, l2: l2}, nil
+}
+
+// LineSize returns the hierarchy's line size in bytes.
+func (h *Hierarchy) LineSize() int { return h.cfg.L2.LineSize }
+
+// Stats returns a snapshot of all counters.
+func (h *Hierarchy) Stats() HierStats {
+	s := h.stats
+	s.L1I = h.l1i.Stats()
+	s.L1D = h.l1d.Stats()
+	s.L2 = h.l2.Stats()
+	return s
+}
+
+// L1D exposes the data cache (used by tests and warmup helpers).
+func (h *Hierarchy) L1D() *Cache { return h.l1d }
+
+// L1I exposes the instruction cache.
+func (h *Hierarchy) L1I() *Cache { return h.l1i }
+
+// L2 exposes the unified second-level cache.
+func (h *Hierarchy) L2() *Cache { return h.l2 }
+
+func (h *Hierarchy) line(addr uint64) uint64 {
+	return addr &^ uint64(h.cfg.L2.LineSize-1)
+}
+
+// Load initiates a cached read (fetch selects L1I). On a hit it returns
+// (latency, true, true). On a miss being handled it returns (0, false,
+// true) and runs done once the line is resident in L1 (the caller then
+// pays the hit latency). accepted=false means no MSHR was available; retry
+// next cycle.
+func (h *Hierarchy) Load(addr uint64, fetch bool, done func()) (latency int, hit, accepted bool) {
+	l1 := h.l1d
+	if fetch {
+		l1 = h.l1i
+	}
+	if l1.Lookup(addr) {
+		return l1.Config().HitLatency, true, true
+	}
+	if h.addMiss(addr, fetch, done) {
+		return 0, false, true
+	}
+	return 0, false, false
+}
+
+// Present reports whether addr hits in the given L1 without disturbing
+// LRU/statistics.
+func (h *Hierarchy) Present(addr uint64, fetch bool) bool {
+	if fetch {
+		return h.l1i.Contains(addr)
+	}
+	return h.l1d.Contains(addr)
+}
+
+// MarkDirty marks the L1D line dirty (atomics and direct writes).
+func (h *Hierarchy) MarkDirty(addr uint64) { h.l1d.SetDirty(addr) }
+
+// addMiss attaches to an existing MSHR or allocates one.
+func (h *Hierarchy) addMiss(addr uint64, fetch bool, done func()) bool {
+	la := h.line(addr)
+	for _, m := range h.mshrs {
+		if m.lineAddr == la && m.fetch == fetch {
+			if done != nil {
+				m.callbacks = append(m.callbacks, done)
+			}
+			return true
+		}
+	}
+	if len(h.mshrs) >= h.cfg.MSHRs {
+		return false
+	}
+	m := &mshr{lineAddr: la, fetch: fetch, state: mshrProbeL2, countdown: h.cfg.L2Latency}
+	if done != nil {
+		m.callbacks = append(m.callbacks, done)
+	}
+	h.mshrs = append(h.mshrs, m)
+	return true
+}
+
+// Store enqueues a retiring cached store. It returns false when the write
+// buffer is full (retire stalls).
+func (h *Hierarchy) Store(addr uint64) bool {
+	if len(h.writeBuf) >= h.cfg.WriteBuffer {
+		h.stats.StoreStalls++
+		return false
+	}
+	h.writeBuf = append(h.writeBuf, addr)
+	return true
+}
+
+// StoreBufferEmpty reports whether all retired cached stores have reached
+// the cache (MEMBAR waits on this as well as the uncached buffer).
+func (h *Hierarchy) StoreBufferEmpty() bool { return len(h.writeBuf) == 0 }
+
+// TickCPU advances CPU-clocked state: L2 probe countdowns and one write
+// buffer drain per cycle.
+func (h *Hierarchy) TickCPU() {
+	for _, m := range h.mshrs {
+		if m.state == mshrProbeL2 {
+			if m.countdown > 0 {
+				m.countdown--
+				continue
+			}
+			if h.l2.Lookup(m.lineAddr) {
+				// L2 hit: fill L1 immediately (transfer time is
+				// folded into L2Latency).
+				h.finishFill(m)
+			} else {
+				m.state = mshrNeedBus
+			}
+		}
+	}
+	h.drainWriteBuffer()
+}
+
+func (h *Hierarchy) drainWriteBuffer() {
+	if len(h.writeBuf) == 0 || h.storeMiss {
+		return
+	}
+	addr := h.writeBuf[0]
+	if h.l1d.Lookup(addr) {
+		h.l1d.SetDirty(addr)
+		h.writeBuf = h.writeBuf[1:]
+		return
+	}
+	// Write-allocate: fetch the line, then complete the store.
+	ok := h.addMiss(addr, false, func() {
+		h.l1d.SetDirty(addr)
+		h.writeBuf = h.writeBuf[1:]
+		h.storeMiss = false
+	})
+	if ok {
+		h.storeMiss = true
+	}
+}
+
+// finishFill installs the line in L2 (if it came from memory) and the
+// requesting L1, queues any dirty victims for writeback, and fires the
+// waiters.
+func (h *Hierarchy) finishFill(m *mshr) {
+	l1 := h.l1d
+	if m.fetch {
+		l1 = h.l1i
+	}
+	if victim, dirty, evicted := l1.Insert(m.lineAddr); evicted && dirty {
+		// L1 dirty victim folds into L2 (no bus traffic).
+		h.l2.SetDirty(victim)
+	}
+	h.stats.Fills++
+	for _, cb := range m.callbacks {
+		cb()
+	}
+	// Remove m from the MSHR list.
+	for i, x := range h.mshrs {
+		if x == m {
+			h.mshrs = append(h.mshrs[:i], h.mshrs[i+1:]...)
+			break
+		}
+	}
+}
+
+// TickBus lets the hierarchy issue at most one bus transaction: pending
+// line fills take priority over writebacks.
+func (h *Hierarchy) TickBus(b *bus.Bus) {
+	for _, m := range h.mshrs {
+		if m.state != mshrNeedBus {
+			continue
+		}
+		mm := m
+		txn := &bus.Txn{Addr: m.lineAddr, Size: h.LineSize(), Done: func(*bus.Txn) {
+			if victim, dirty, evicted := h.l2.Insert(mm.lineAddr); evicted && dirty {
+				h.writebacks = append(h.writebacks, victim)
+			}
+			h.finishFill(mm)
+		}}
+		if b.TryIssue(txn) {
+			m.state = mshrOnBus
+		}
+		return
+	}
+	if len(h.writebacks) > 0 {
+		wb := h.writebacks[0]
+		// Tag-only model: the data is already in RAM, so the writeback
+		// is a Silent (timing-only) transaction.
+		txn := &bus.Txn{Addr: wb, Size: h.LineSize(), Write: true,
+			Data: make([]byte, h.LineSize()), Silent: true}
+		if b.TryIssue(txn) {
+			h.writebacks = h.writebacks[1:]
+			h.stats.Writebacks++
+		}
+	}
+}
+
+// Idle reports whether no miss or writeback activity is pending.
+func (h *Hierarchy) Idle() bool {
+	return len(h.mshrs) == 0 && len(h.writebacks) == 0 && len(h.writeBuf) == 0
+}
+
+// Warm preloads the line containing addr into L1D and L2 (benchmark
+// setup, e.g. making the lock hit in L1 for figure 5a).
+func (h *Hierarchy) Warm(addr uint64, fetch bool) {
+	h.l2.Preload(h.line(addr))
+	if fetch {
+		h.l1i.Preload(h.line(addr))
+	} else {
+		h.l1d.Preload(h.line(addr))
+	}
+}

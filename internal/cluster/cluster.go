@@ -1,0 +1,173 @@
+// Package cluster joins two simulated machines with a network wire,
+// turning the single-node simulator into the workstation-cluster setting
+// that motivates the paper (§2: NOW-style fine-grain communication, DEC
+// Memory Channel, Atoll). Each node has its own NIC; packets transmitted
+// by one node are delivered — word by word, after a configurable wire
+// latency — into the other node's receive queue, where software picks
+// them up with destructive uncached loads.
+//
+// The paper's §7 closes with "the next step is to evaluate the benefits
+// of these performance advantages in terms of realistic applications";
+// this package provides the substrate for that step (experiment X8:
+// ping-pong round-trip latency).
+package cluster
+
+import (
+	"fmt"
+
+	"csbsim/internal/device"
+	"csbsim/internal/mem"
+	"csbsim/internal/sim"
+)
+
+// NICBase is where each node's NIC is mapped.
+const NICBase uint64 = 0x4000_0000
+
+// Config parameterizes the two-node cluster.
+type Config struct {
+	Node sim.Config
+	// WireLatency is the delivery delay in *CPU cycles* from a packet
+	// completing transmission to its words appearing in the receiver's
+	// RX queue.
+	WireLatency uint64
+	NIC         device.Config
+}
+
+// DefaultConfig builds two paper-default nodes joined by a 120-cycle wire
+// (~200 ns at the paper's 600 MHz).
+func DefaultConfig() Config {
+	return Config{Node: sim.DefaultConfig(), WireLatency: 120, NIC: device.DefaultConfig()}
+}
+
+// Node is one machine plus its NIC.
+type Node struct {
+	M   *sim.Machine
+	NIC *device.NIC
+
+	name      string
+	delivered int // packets already forwarded to the peer
+}
+
+// Cluster is two nodes and the wire between them.
+type Cluster struct {
+	A, B  *Node
+	cfg   Config
+	cycle uint64
+	// in-flight deliveries: packets waiting out the wire latency
+	flights []flight
+}
+
+type flight struct {
+	to    *Node
+	words []uint64
+	due   uint64
+}
+
+// New builds the cluster. Both nodes get identical configuration; the
+// caller maps I/O space and loads programs on A.M and B.M.
+func New(cfg Config) (*Cluster, error) {
+	mk := func(name string) (*Node, error) {
+		m, err := sim.New(cfg.Node)
+		if err != nil {
+			return nil, err
+		}
+		nic := device.NewNIC(cfg.NIC, NICBase)
+		if err := m.AddDevice(NICBase, device.RegionSize, "nic-"+name, nic, nic); err != nil {
+			return nil, err
+		}
+		return &Node{M: m, NIC: nic, name: name}, nil
+	}
+	a, err := mk("a")
+	if err != nil {
+		return nil, err
+	}
+	b, err := mk("b")
+	if err != nil {
+		return nil, err
+	}
+	return &Cluster{A: a, B: b, cfg: cfg}, nil
+}
+
+// MapIO maps the standard NIC layout into a node's PID-0 address space:
+// registers uncached, packet buffer combining (csb) or uncached.
+func (n *Node) MapIO(csb bool) {
+	n.M.MapRange(NICBase, device.PacketBufBase, mem.KindUncached)
+	kind := mem.KindUncached
+	if csb {
+		kind = mem.KindCombining
+	}
+	n.M.MapRange(NICBase+device.PacketBufBase, device.PacketBufSize, kind)
+}
+
+// Cycle returns the global cluster cycle.
+func (c *Cluster) Cycle() uint64 { return c.cycle }
+
+// Tick advances both nodes one CPU cycle and moves packets across the
+// wire.
+func (c *Cluster) Tick() {
+	c.A.M.Tick()
+	c.B.M.Tick()
+	c.cycle++
+	c.pump(c.A, c.B)
+	c.pump(c.B, c.A)
+	c.deliver()
+}
+
+// pump picks up newly transmitted packets from `from` and puts them in
+// flight toward `to`.
+func (c *Cluster) pump(from, to *Node) {
+	pkts := from.NIC.Packets()
+	for ; from.delivered < len(pkts); from.delivered++ {
+		p := pkts[from.delivered]
+		words := make([]uint64, 0, (len(p.Data)+7)/8)
+		for i := 0; i < len(p.Data); i += 8 {
+			var w uint64
+			for k := 7; k >= 0; k-- {
+				idx := i + k
+				var b byte
+				if idx < len(p.Data) {
+					b = p.Data[idx]
+				}
+				w = w<<8 | uint64(b)
+			}
+			words = append(words, w)
+		}
+		c.flights = append(c.flights, flight{to: to, words: words, due: c.cycle + c.cfg.WireLatency})
+	}
+}
+
+func (c *Cluster) deliver() {
+	kept := c.flights[:0]
+	for _, f := range c.flights {
+		if c.cycle >= f.due {
+			f.to.NIC.Deliver(f.words...)
+		} else {
+			kept = append(kept, f)
+		}
+	}
+	c.flights = kept
+}
+
+// Run advances the cluster until both nodes halt (or maxCycles elapse).
+func (c *Cluster) Run(maxCycles uint64) error {
+	for i := uint64(0); i < maxCycles; i++ {
+		if c.A.M.CPU.Halted() && c.B.M.CPU.Halted() {
+			if err := c.A.M.CPU.Err(); err != nil {
+				return fmt.Errorf("cluster: node a: %w", err)
+			}
+			if err := c.B.M.CPU.Err(); err != nil {
+				return fmt.Errorf("cluster: node b: %w", err)
+			}
+			return nil
+		}
+		if err := c.A.M.CPU.Err(); err != nil {
+			return fmt.Errorf("cluster: node a: %w", err)
+		}
+		if err := c.B.M.CPU.Err(); err != nil {
+			return fmt.Errorf("cluster: node b: %w", err)
+		}
+		c.Tick()
+	}
+	return fmt.Errorf("cluster: cycle limit %d reached (a halted=%v, b halted=%v)",
+		maxCycles, c.A.M.CPU.Halted(), c.B.M.CPU.Halted())
+}

@@ -1,0 +1,238 @@
+// Package core implements the paper's contribution: the conditional store
+// buffer (CSB, §3).
+//
+// The CSB is a software-controlled, uncached, combining store buffer. It
+// holds one cache line of data together with the owning process ID, the
+// line-aligned address of the most recent combining store, and a hit
+// counter. Stores to uncached-combining address space merge into the
+// buffer in any order; a conditional flush (the SPARC swap instruction
+// addressed to combining space) atomically commits the accumulated stores
+// as a single full-line burst transaction — but only if the process ID,
+// line address and the expected store count all match, which is how
+// conflicts with competing processes are detected without locks. On any
+// mismatch the buffer is cleared and the flush reports failure; software
+// recovers by re-issuing the store sequence (an optimistic, non-blocking
+// scheme in the spirit of load-linked/store-conditional and transactional
+// memory, §3.2).
+package core
+
+import (
+	"fmt"
+
+	"csbsim/internal/bus"
+)
+
+// Config parameterizes the conditional store buffer.
+type Config struct {
+	// LineSize is the data register size in bytes; the CSB always issues
+	// bursts of exactly this size (§3.2: "the CSB model in this study
+	// always issues a full cache line").
+	LineSize int
+	// DoubleBuffered adds the second line buffer proposed at the end of
+	// §3.2, letting a new store sequence begin while the previous flush
+	// is still waiting for the system interface.
+	DoubleBuffered bool
+	// CheckAddress includes the line address in the conflict check
+	// (§3.2: not strictly necessary, but detects conflicts between
+	// threads sharing a process ID). Disabled only by ablation X5.
+	CheckAddress bool
+}
+
+// DefaultConfig returns a single-entry 64-byte CSB with address checking.
+func DefaultConfig() Config {
+	return Config{LineSize: 64, CheckAddress: true}
+}
+
+// Validate reports configuration errors.
+func (c Config) Validate() error {
+	if c.LineSize < 16 || c.LineSize&(c.LineSize-1) != 0 {
+		return fmt.Errorf("core: line size %d invalid", c.LineSize)
+	}
+	return nil
+}
+
+// Stats counts CSB activity.
+type Stats struct {
+	Stores         uint64 // combining stores accepted
+	Conflicts      uint64 // stores that found a mismatching PID/line and reset the buffer
+	FlushOK        uint64 // successful conditional flushes
+	FlushFail      uint64 // failed conditional flushes
+	Bursts         uint64 // line bursts handed to the system interface
+	StallBusy      uint64 // stores/flushes rejected while a line awaited the bus
+	PaddedBytes    uint64 // zero-padding added to partial lines
+	BytesCommitted uint64
+}
+
+// CSB is the conditional store buffer. Like the hardware it models, it has
+// no locks: the simulated machine is single-threaded and the *simulated*
+// concurrency (competing processes) is what the PID/counter scheme
+// arbitrates.
+type CSB struct {
+	cfg Config
+
+	valid    bool
+	lineAddr uint64
+	pid      uint8
+	hits     int64
+	data     []byte
+	mask     []bool
+
+	// Lines accepted by a successful flush but not yet issued on the
+	// bus. Capacity 1, or 2 when double-buffered.
+	pending []pendingLine
+
+	stats Stats
+}
+
+type pendingLine struct {
+	addr uint64
+	data []byte
+}
+
+// New creates a conditional store buffer.
+func New(cfg Config) (*CSB, error) {
+	if err := cfg.Validate(); err != nil {
+		return nil, err
+	}
+	return &CSB{
+		cfg:  cfg,
+		data: make([]byte, cfg.LineSize),
+		mask: make([]bool, cfg.LineSize),
+	}, nil
+}
+
+// Config returns the CSB configuration.
+func (c *CSB) Config() Config { return c.cfg }
+
+// Stats returns a snapshot of the counters.
+func (c *CSB) Stats() Stats { return c.stats }
+
+// HitCount exposes the current hit counter (for tests and tracing).
+func (c *CSB) HitCount() int64 { return c.hits }
+
+// Busy reports whether the data register is unavailable because a flushed
+// line has not yet been handed to the system interface. Combining stores
+// and flushes stall while Busy (§3.2: "stores following a flush may stall
+// until the entry has been sent to the system interface").
+func (c *CSB) Busy() bool {
+	capacity := 1
+	if c.cfg.DoubleBuffered {
+		capacity = 2
+	}
+	return len(c.pending) >= capacity
+}
+
+// Drained reports whether no flushed line is still waiting for the bus.
+func (c *CSB) Drained() bool { return len(c.pending) == 0 }
+
+func (c *CSB) clear() {
+	c.valid = false
+	c.hits = 0
+	for i := range c.data {
+		c.data[i] = 0
+		c.mask[i] = false
+	}
+}
+
+// Store offers a combining store to the CSB. It returns false when the
+// buffer is busy flushing (the retire stage retries next cycle).
+//
+// Matching semantics (§3.2): on a PID+line match the data is merged and
+// the hit counter incremented; combining stores may arrive in any order
+// since only the total count matters. On a mismatch the buffer is cleared,
+// the counter reset to 1, and the new data stored — this is also how a
+// competing process silently invalidates an interrupted sequence.
+func (c *CSB) Store(pid uint8, addr uint64, size int, data []byte) bool {
+	if len(data) != size {
+		panic(fmt.Sprintf("core: store data %d != size %d", len(data), size))
+	}
+	if c.Busy() {
+		c.stats.StallBusy++
+		return false
+	}
+	line := addr &^ uint64(c.cfg.LineSize-1)
+	if int(addr-line)+size > c.cfg.LineSize {
+		panic(fmt.Sprintf("core: store at %#x size %d crosses line boundary", addr, size))
+	}
+	match := c.valid && c.pid == pid && (!c.cfg.CheckAddress || c.lineAddr == line)
+	if !match {
+		if c.valid {
+			c.stats.Conflicts++
+		}
+		c.clear()
+		c.valid = true
+		c.pid = pid
+		c.lineAddr = line
+		c.hits = 1
+	} else {
+		c.hits++
+		// Threads under one PID with address checking off may switch
+		// lines mid-sequence; the most recent store's line wins, as in
+		// the hardware (the address register tracks the most recent
+		// combining store).
+		c.lineAddr = line
+	}
+	off := int(addr - line)
+	copy(c.data[off:], data)
+	for k := 0; k < size; k++ {
+		c.mask[off+k] = true
+	}
+	c.stats.Stores++
+	return true
+}
+
+// ConditionalFlush attempts to commit the buffered sequence. expected is
+// the hit count communicated by the flush instruction (the swap source
+// value); old is the register's prior value, returned unchanged on success
+// per §3.1. On success the line (zero-padded) is queued for the system
+// interface and the buffer cleared. On failure the buffer is cleared, the
+// counter reset to zero, nothing is issued, and 0 is returned.
+//
+// The second return value reports whether the flush may even be attempted:
+// false means the CSB is busy and the instruction must retry (stall), not
+// that the flush failed.
+func (c *CSB) ConditionalFlush(pid uint8, addr uint64, expected int64, old uint64) (result uint64, ready bool) {
+	if c.Busy() {
+		c.stats.StallBusy++
+		return 0, false
+	}
+	line := addr &^ uint64(c.cfg.LineSize-1)
+	ok := c.valid && c.pid == pid && c.hits == expected &&
+		(!c.cfg.CheckAddress || c.lineAddr == line)
+	if !ok {
+		c.clear()
+		c.stats.FlushFail++
+		return 0, true
+	}
+	// Unused words were already zeroed when the buffer was cleared at
+	// the first combining store, "avoiding subtle security issues".
+	for _, m := range c.mask {
+		if !m {
+			c.stats.PaddedBytes++
+		}
+	}
+	lineData := make([]byte, c.cfg.LineSize)
+	copy(lineData, c.data)
+	c.pending = append(c.pending, pendingLine{addr: c.lineAddr, data: lineData})
+	c.stats.BytesCommitted += uint64(c.cfg.LineSize)
+	c.stats.FlushOK++
+	c.clear()
+	return old, true
+}
+
+// TickBus hands at most one pending line to the bus as a single ordered
+// burst transaction. The machine calls this once per bus cycle.
+func (c *CSB) TickBus(b *bus.Bus) {
+	if len(c.pending) == 0 {
+		return
+	}
+	p := c.pending[0]
+	txn := &bus.Txn{
+		Addr: p.addr, Size: len(p.data), Write: true, Data: p.data,
+		Ordered: true, IO: true,
+	}
+	if b.TryIssue(txn) {
+		c.pending = c.pending[1:]
+		c.stats.Bursts++
+	}
+}

@@ -1,0 +1,324 @@
+package core
+
+import (
+	"testing"
+
+	"csbsim/internal/bus"
+	"csbsim/internal/mem"
+)
+
+func newCSB(t *testing.T, cfg Config) *CSB {
+	t.Helper()
+	c, err := New(cfg)
+	if err != nil {
+		t.Fatal(err)
+	}
+	return c
+}
+
+func dword(v byte) []byte {
+	d := make([]byte, 8)
+	d[0] = v
+	return d
+}
+
+// storeSeq issues n combining dword stores from pid starting at base.
+func storeSeq(t *testing.T, c *CSB, pid uint8, base uint64, n int) {
+	t.Helper()
+	for i := 0; i < n; i++ {
+		if !c.Store(pid, base+uint64(i*8), 8, dword(byte(i+1))) {
+			t.Fatalf("store %d rejected", i)
+		}
+	}
+}
+
+func TestFlushSucceedsOnMatch(t *testing.T) {
+	c := newCSB(t, DefaultConfig())
+	storeSeq(t, c, 1, 0x1000, 8)
+	if c.HitCount() != 8 {
+		t.Fatalf("hits = %d, want 8", c.HitCount())
+	}
+	old := uint64(8)
+	got, ready := c.ConditionalFlush(1, 0x1000, 8, old)
+	if !ready {
+		t.Fatal("flush stalled")
+	}
+	// §3.1: the flush leaves the register unchanged on success.
+	if got != old {
+		t.Errorf("flush result = %d, want %d (unchanged)", got, old)
+	}
+	s := c.Stats()
+	if s.FlushOK != 1 || s.FlushFail != 0 {
+		t.Errorf("stats = %+v", s)
+	}
+	if c.Drained() {
+		t.Error("line should be pending for the system interface")
+	}
+}
+
+func TestFlushFailsOnWrongCount(t *testing.T) {
+	c := newCSB(t, DefaultConfig())
+	storeSeq(t, c, 1, 0x1000, 7) // one store short
+	got, ready := c.ConditionalFlush(1, 0x1000, 8, 8)
+	if !ready {
+		t.Fatal("flush stalled")
+	}
+	if got != 0 {
+		t.Errorf("failed flush returned %d, want 0", got)
+	}
+	if c.Stats().FlushFail != 1 {
+		t.Error("failure not counted")
+	}
+	if c.HitCount() != 0 {
+		t.Error("counter not reset to zero after failed flush")
+	}
+	if !c.Drained() {
+		t.Error("nothing should be issued on failure")
+	}
+}
+
+func TestFlushFailsOnWrongPID(t *testing.T) {
+	c := newCSB(t, DefaultConfig())
+	storeSeq(t, c, 1, 0x1000, 8)
+	if got, _ := c.ConditionalFlush(2, 0x1000, 8, 8); got != 0 {
+		t.Errorf("flush under wrong pid returned %d", got)
+	}
+}
+
+func TestFlushFailsOnWrongLine(t *testing.T) {
+	c := newCSB(t, DefaultConfig())
+	storeSeq(t, c, 1, 0x1000, 8)
+	if got, _ := c.ConditionalFlush(1, 0x2000, 8, 8); got != 0 {
+		t.Errorf("flush to wrong line returned %d", got)
+	}
+}
+
+func TestFlushOnEmptyBufferFails(t *testing.T) {
+	c := newCSB(t, DefaultConfig())
+	if got, ready := c.ConditionalFlush(1, 0x1000, 0, 7); !ready || got != 0 {
+		t.Errorf("flush of empty buffer: got %d ready %v", got, ready)
+	}
+}
+
+// drain hands pending lines to a scratch bus so the data register frees,
+// as the system interface would.
+func drain(t *testing.T, c *CSB) {
+	t.Helper()
+	b, _ := bus.New(bus.Config{Model: bus.Multiplexed, WidthBytes: 8}, nil)
+	for i := 0; i < 1000 && !c.Drained(); i++ {
+		b.Tick()
+		c.TickBus(b)
+	}
+	if !c.Drained() {
+		t.Fatal("CSB did not drain")
+	}
+}
+
+// §3.2 scenario walkthrough: a process is interrupted before its flush;
+// the competitor's first store clears the buffer and resets the counter to
+// 1; the original process's flush then fails.
+func TestCompetingProcessScenario(t *testing.T) {
+	c := newCSB(t, DefaultConfig())
+	storeSeq(t, c, 1, 0x1000, 5) // process 1 partway through
+	// Context switch: process 2 starts its own sequence.
+	if !c.Store(2, 0x2000, 8, dword(9)) {
+		t.Fatal("competing store rejected")
+	}
+	if c.HitCount() != 1 {
+		t.Errorf("hits after competing store = %d, want 1", c.HitCount())
+	}
+	if c.Stats().Conflicts != 1 {
+		t.Errorf("conflicts = %d, want 1", c.Stats().Conflicts)
+	}
+	// Process 2 completes and flushes successfully.
+	storeSeq(t, c, 2, 0x2008, 7)
+	if got, _ := c.ConditionalFlush(2, 0x2000, 8, 8); got != 8 {
+		t.Errorf("process 2 flush = %d, want success", got)
+	}
+	drain(t, c)
+	// Back to process 1: its flush must fail (counter/PID mismatch).
+	if got, ready := c.ConditionalFlush(1, 0x1000, 8, 8); !ready || got != 0 {
+		t.Errorf("interrupted process flush = %d (ready %v), want 0", got, ready)
+	}
+	// Recovery: process 1 redoes the whole sequence.
+	storeSeq(t, c, 1, 0x1000, 8)
+	if got, _ := c.ConditionalFlush(1, 0x1000, 8, 8); got != 8 {
+		t.Errorf("retry flush = %d, want success", got)
+	}
+}
+
+// §3.2: combining stores can be issued in any order; only the total count
+// is needed.
+func TestStoresInAnyOrder(t *testing.T) {
+	c := newCSB(t, DefaultConfig())
+	order := []int{0, 5, 1, 7, 3, 2, 6, 4} // the paper's listing stores out of order
+	for _, i := range order {
+		c.Store(1, 0x1000+uint64(i*8), 8, dword(byte(i+1)))
+	}
+	if got, _ := c.ConditionalFlush(1, 0x1000, 8, 42); got != 42 {
+		t.Error("out-of-order sequence should flush successfully")
+	}
+}
+
+// Unused words are padded with zeroes (§3.2), and the line is full-size.
+func TestPartialLineZeroPadded(t *testing.T) {
+	ram := mem.NewMemory()
+	// Pre-fill the target with garbage to prove padding overwrites it.
+	for i := uint64(0); i < 64; i++ {
+		ram.WriteUint(0x1000+i, 1, 0xff)
+	}
+	rt := mem.NewRouter(ram)
+	b, _ := bus.New(bus.Config{Model: bus.Multiplexed, WidthBytes: 8}, rt)
+
+	c := newCSB(t, DefaultConfig())
+	c.Store(1, 0x1000, 8, dword(0xaa))
+	c.Store(1, 0x1008, 8, dword(0xbb))
+	if got, _ := c.ConditionalFlush(1, 0x1000, 2, 2); got != 2 {
+		t.Fatal("flush failed")
+	}
+	for i := 0; i < 100 && !c.Drained(); i++ {
+		b.Tick()
+		c.TickBus(b)
+	}
+	b.Drain(100)
+	if got := ram.ReadUint(0x1000, 1); got != 0xaa {
+		t.Errorf("data[0] = %#x", got)
+	}
+	if got := ram.ReadUint(0x1008, 1); got != 0xbb {
+		t.Errorf("data[8] = %#x", got)
+	}
+	for i := uint64(16); i < 64; i++ {
+		if got := ram.ReadUint(0x1000+i, 1); got != 0 {
+			t.Fatalf("byte %d = %#x, want 0 (zero padding)", i, got)
+		}
+	}
+	if s := b.Stats(); s.Transactions != 1 || s.BySize[64] != 1 {
+		t.Errorf("bus stats = %+v, want one 64B burst", s)
+	}
+	if c.Stats().PaddedBytes != 48 {
+		t.Errorf("padded = %d, want 48", c.Stats().PaddedBytes)
+	}
+}
+
+// A single-entry CSB stalls stores between a successful flush and the bus
+// accepting the line; a double-buffered CSB does not (§3.2 extension).
+func TestSingleEntryStallsUntilSent(t *testing.T) {
+	c := newCSB(t, DefaultConfig())
+	storeSeq(t, c, 1, 0x1000, 8)
+	if _, ready := c.ConditionalFlush(1, 0x1000, 8, 8); !ready {
+		t.Fatal("flush stalled unexpectedly")
+	}
+	if !c.Busy() {
+		t.Fatal("CSB should be busy while the line waits for the bus")
+	}
+	if c.Store(1, 0x2000, 8, dword(1)) {
+		t.Error("store accepted while busy")
+	}
+	if _, ready := c.ConditionalFlush(1, 0x2000, 1, 1); ready {
+		t.Error("flush accepted while busy")
+	}
+	if c.Stats().StallBusy != 2 {
+		t.Errorf("StallBusy = %d, want 2", c.Stats().StallBusy)
+	}
+	// Hand the line to the bus; the register frees.
+	b, _ := bus.New(bus.Config{Model: bus.Multiplexed, WidthBytes: 8}, nil)
+	c.TickBus(b)
+	if c.Busy() {
+		t.Error("CSB still busy after the line was accepted by the bus")
+	}
+	if !c.Store(1, 0x2000, 8, dword(1)) {
+		t.Error("store rejected after drain")
+	}
+}
+
+func TestDoubleBufferAllowsOverlap(t *testing.T) {
+	c := newCSB(t, Config{LineSize: 64, DoubleBuffered: true, CheckAddress: true})
+	storeSeq(t, c, 1, 0x1000, 8)
+	if _, ready := c.ConditionalFlush(1, 0x1000, 8, 8); !ready {
+		t.Fatal("first flush stalled")
+	}
+	// Second sequence proceeds immediately without the bus draining.
+	storeSeq(t, c, 1, 0x2000, 8)
+	if got, ready := c.ConditionalFlush(1, 0x2000, 8, 8); !ready || got != 8 {
+		t.Fatalf("second flush got %d ready %v", got, ready)
+	}
+	// A third sequence must stall: both line buffers are pending.
+	if c.Store(1, 0x3000, 8, dword(1)) {
+		t.Error("third sequence accepted with both buffers pending")
+	}
+	// Drain one line; a new sequence becomes possible.
+	b, _ := bus.New(bus.Config{Model: bus.Multiplexed, WidthBytes: 8}, nil)
+	c.TickBus(b)
+	if !c.Store(1, 0x3000, 8, dword(1)) {
+		t.Error("store rejected after one buffer drained")
+	}
+}
+
+// Ablation X5: with address checking off, two threads under one PID on
+// different lines are NOT detected as conflicting (the last line wins).
+func TestAddressCheckAblation(t *testing.T) {
+	c := newCSB(t, Config{LineSize: 64, CheckAddress: false})
+	c.Store(7, 0x1000, 8, dword(1))
+	c.Store(7, 0x2000, 8, dword(2)) // different line, same PID: merges!
+	if c.HitCount() != 2 {
+		t.Fatalf("hits = %d, want 2 (no address check)", c.HitCount())
+	}
+	// With checking on, the same interleaving resets the counter.
+	c2 := newCSB(t, DefaultConfig())
+	c2.Store(7, 0x1000, 8, dword(1))
+	c2.Store(7, 0x2000, 8, dword(2))
+	if c2.HitCount() != 1 {
+		t.Fatalf("hits = %d, want 1 (address conflict)", c2.HitCount())
+	}
+}
+
+func TestLineSizeVariants(t *testing.T) {
+	for _, ls := range []int{16, 32, 64, 128} {
+		c := newCSB(t, Config{LineSize: ls, CheckAddress: true})
+		n := ls / 8
+		storeSeq(t, c, 1, 0x1000, n)
+		if got, _ := c.ConditionalFlush(1, 0x1000, int64(n), 1); got != 1 {
+			t.Errorf("line size %d: flush failed", ls)
+		}
+	}
+}
+
+func TestStoreCrossingLinePanics(t *testing.T) {
+	c := newCSB(t, DefaultConfig())
+	defer func() {
+		if recover() == nil {
+			t.Error("no panic for line-crossing store")
+		}
+	}()
+	c.Store(1, 0x103c, 8, dword(1)) // crosses the 0x1040 line boundary
+}
+
+func TestConfigValidate(t *testing.T) {
+	for _, cfg := range []Config{{LineSize: 0}, {LineSize: 8}, {LineSize: 48}} {
+		if _, err := New(cfg); err == nil {
+			t.Errorf("config %+v accepted", cfg)
+		}
+	}
+}
+
+func TestBurstIsOrderedIOTransaction(t *testing.T) {
+	c := newCSB(t, DefaultConfig())
+	storeSeq(t, c, 1, 0x1000, 8)
+	c.ConditionalFlush(1, 0x1000, 8, 8)
+	b, _ := bus.New(bus.Config{Model: bus.Multiplexed, WidthBytes: 8}, nil)
+	var seen *bus.Txn
+	b.Observer = func(t *bus.Txn) { seen = t }
+	for i := 0; i < 100 && seen == nil; i++ {
+		b.Tick()
+		c.TickBus(b)
+	}
+	if seen == nil {
+		t.Fatal("burst never issued")
+	}
+	if !seen.Ordered || !seen.IO || !seen.Write || seen.Size != 64 || seen.Addr != 0x1000 {
+		t.Errorf("burst txn = %+v", seen)
+	}
+	if c.Stats().Bursts != 1 || c.Stats().BytesCommitted != 64 {
+		t.Errorf("stats = %+v", c.Stats())
+	}
+}

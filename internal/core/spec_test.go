@@ -1,0 +1,164 @@
+package core
+
+import (
+	"math/rand"
+	"testing"
+
+	"csbsim/internal/bus"
+)
+
+// specCSB is an independent, obviously-correct model of the §3.2 buffer
+// semantics, against which the implementation is checked over random
+// operation sequences. It models only the architectural state machine
+// (match/merge/clear/flush), not the bus-side buffering.
+type specCSB struct {
+	valid    bool
+	pid      uint8
+	line     uint64
+	count    int64
+	data     map[uint64]byte // offset within the data register → byte
+	checkAdr bool
+	lineSize uint64
+}
+
+func newSpec(lineSize int, checkAddr bool) *specCSB {
+	return &specCSB{data: make(map[uint64]byte), checkAdr: checkAddr, lineSize: uint64(lineSize)}
+}
+
+func (s *specCSB) clear() {
+	s.valid = false
+	s.count = 0
+	s.data = make(map[uint64]byte)
+}
+
+func (s *specCSB) store(pid uint8, addr uint64, val byte) {
+	line := addr &^ (s.lineSize - 1)
+	match := s.valid && s.pid == pid && (!s.checkAdr || s.line == line)
+	if !match {
+		s.clear()
+		s.valid = true
+		s.pid = pid
+		s.line = line
+		s.count = 1
+	} else {
+		s.count++
+		s.line = line
+	}
+	// One line-sized data register, indexed by offset: under a disabled
+	// address check, bytes stored under an earlier line land at the same
+	// offsets and are committed to the most recent line (as in hardware).
+	off := addr - line
+	for i := uint64(0); i < 8; i++ {
+		s.data[off+i] = val
+	}
+}
+
+// flush returns whether the conditional flush succeeds, plus the committed
+// line contents on success.
+func (s *specCSB) flush(pid uint8, addr uint64, expected int64) (map[uint64]byte, bool) {
+	line := addr &^ (s.lineSize - 1)
+	ok := s.valid && s.pid == pid && s.count == expected && (!s.checkAdr || s.line == line)
+	if !ok {
+		s.clear()
+		return nil, false
+	}
+	out := make(map[uint64]byte)
+	for i := uint64(0); i < s.lineSize; i++ {
+		out[s.line+i] = s.data[i] // absent offsets are zero padding
+	}
+	s.clear()
+	return out, true
+}
+
+// TestCSBMatchesSpecModel drives implementation and spec with identical
+// random operation streams and compares every observable: store/flush
+// acceptance, hit counts, and the exact bytes committed to memory.
+func TestCSBMatchesSpecModel(t *testing.T) {
+	lines := []uint64{0x1000, 0x1040, 0x2000}
+	for seed := int64(0); seed < 40; seed++ {
+		rng := rand.New(rand.NewSource(seed))
+		checkAddr := seed%2 == 0
+		impl, err := New(Config{LineSize: 64, CheckAddress: checkAddr})
+		if err != nil {
+			t.Fatal(err)
+		}
+		spec := newSpec(64, checkAddr)
+		b, _ := bus.New(bus.Config{Model: bus.Multiplexed, WidthBytes: 8}, nil)
+		committed := make(map[uint64]byte) // bytes observed on the bus
+		b.Observer = func(txn *bus.Txn) {
+			for i, v := range txn.Data {
+				committed[txn.Addr+uint64(i)] = v
+			}
+		}
+		wantCommitted := make(map[uint64]byte)
+
+		drain := func() {
+			for i := 0; i < 1000 && !impl.Drained(); i++ {
+				b.Tick()
+				impl.TickBus(b)
+			}
+			b.Drain(100)
+		}
+
+		for op := 0; op < 300; op++ {
+			pid := uint8(rng.Intn(3) + 1)
+			line := lines[rng.Intn(len(lines))]
+			off := uint64(rng.Intn(8)) * 8
+			switch rng.Intn(5) {
+			case 0, 1, 2: // store
+				val := byte(rng.Intn(255) + 1)
+				data := make([]byte, 8)
+				for i := range data {
+					data[i] = val
+				}
+				if impl.Busy() {
+					drain()
+				}
+				if !impl.Store(pid, line+off, 8, data) {
+					t.Fatalf("seed %d op %d: store rejected while not busy", seed, op)
+				}
+				spec.store(pid, line+off, val)
+			case 3: // conditional flush with the spec's (usually right) count
+				expected := spec.count
+				if rng.Intn(4) == 0 {
+					expected = int64(rng.Intn(10)) // sometimes deliberately wrong
+				}
+				if impl.Busy() {
+					drain()
+				}
+				res, ready := impl.ConditionalFlush(pid, line, expected, 42)
+				if !ready {
+					t.Fatalf("seed %d op %d: flush stalled while not busy", seed, op)
+				}
+				wantData, wantOK := spec.flush(pid, line, expected)
+				gotOK := res == 42
+				if gotOK != wantOK {
+					t.Fatalf("seed %d op %d: flush success = %v, spec says %v (pid %d line %#x exp %d)",
+						seed, op, gotOK, wantOK, pid, line, expected)
+				}
+				if wantOK {
+					for a, v := range wantData {
+						wantCommitted[a] = v
+					}
+				}
+			case 4: // let the bus make progress
+				b.Tick()
+				impl.TickBus(b)
+			}
+			if impl.HitCount() != spec.count {
+				t.Fatalf("seed %d op %d: hit count %d, spec %d", seed, op, impl.HitCount(), spec.count)
+			}
+		}
+		drain()
+		for a, v := range wantCommitted {
+			if committed[a] != v {
+				t.Fatalf("seed %d: committed[%#x] = %#x, spec %#x", seed, a, committed[a], v)
+			}
+		}
+		for a := range committed {
+			if _, present := wantCommitted[a]; !present {
+				t.Fatalf("seed %d: byte %#x committed but spec never flushed it", seed, a)
+			}
+		}
+	}
+}

@@ -1,0 +1,662 @@
+package cpu
+
+import (
+	"csbsim/internal/cache"
+	"csbsim/internal/core"
+	"csbsim/internal/isa"
+	"csbsim/internal/mem"
+	"csbsim/internal/uncbuf"
+)
+
+// CPU is the out-of-order core. It is wired to the cache hierarchy, the
+// uncached buffer, the conditional store buffer and physical memory by the
+// machine (internal/sim) and advanced one cycle at a time with Tick.
+type CPU struct {
+	cfg  Config
+	arch ArchState
+
+	hier *cache.Hierarchy
+	ub   *uncbuf.Buffer
+	csb  *core.CSB
+	ram  *mem.Memory
+	tlb  *mem.TLB
+	pt   *mem.PageTable
+
+	pred *predictor
+
+	rob    []*uop
+	fetchQ []*uop
+	intRen [isa.NumRegs]*uop
+	fpRen  [isa.NumFRegs]*uop
+	ccRen  *uop
+	seq    uint64
+
+	pc           uint64
+	fetchBlocked bool
+	fetchGen     uint64 // invalidates in-flight I-cache fill callbacks
+	branchCount  int
+	memCount     int
+
+	stallCycles int // context-switch cost injected by the kernel
+
+	halted  bool
+	haltErr error
+
+	pendingIntr uint64
+	// InterruptHook, if set, runs when an interrupt is taken (after the
+	// pipeline is flushed and ERPC/CAUSE are written). Returning true
+	// means the hook handled it (e.g. a Go-level kernel switched
+	// contexts); false vectors to IVEC.
+	InterruptHook func(cause uint64) bool
+	// TrapHook, if set, intercepts OpTRAP. Returning true treats the
+	// trap as a handled "syscall": execution continues at the next
+	// instruction. False vectors to IVEC.
+	TrapHook func(code int64) bool
+	// PIDChanged, if set, runs when software writes the PID privileged
+	// register (the machine switches page tables here).
+	PIDChanged func(pid uint8)
+	// OnRetire, if set, observes every retired instruction in commit
+	// order (tracing).
+	OnRetire func(RetireEvent)
+
+	stats Stats
+}
+
+// RetireEvent describes one committed instruction for tracing.
+type RetireEvent struct {
+	Cycle  uint64
+	Seq    uint64
+	PC     uint64
+	Inst   isa.Inst
+	Result uint64 // destination value, if any
+	Addr   uint64 // effective address for memory operations
+	IsMem  bool
+}
+
+// New builds a core wired to its memory system.
+func New(cfg Config, hier *cache.Hierarchy, ub *uncbuf.Buffer, csb *core.CSB, ram *mem.Memory) (*CPU, error) {
+	if err := cfg.Validate(); err != nil {
+		return nil, err
+	}
+	c := &CPU{
+		cfg:  cfg,
+		hier: hier,
+		ub:   ub,
+		csb:  csb,
+		ram:  ram,
+		tlb:  mem.NewTLB(cfg.TLBEntries),
+		pred: newPredictor(cfg.PredictorSize),
+	}
+	return c, nil
+}
+
+// SetPageTable installs the page table used for data-address translation.
+func (c *CPU) SetPageTable(pt *mem.PageTable) { c.pt = pt }
+
+// PageTable returns the current page table.
+func (c *CPU) PageTable() *mem.PageTable { return c.pt }
+
+// TLB exposes the data TLB (the kernel flushes it when reusing ASIDs).
+func (c *CPU) TLB() *mem.TLB { return c.tlb }
+
+// Reset clears the pipeline and starts execution at entry.
+func (c *CPU) Reset(entry uint64) {
+	c.flushAll()
+	c.arch = ArchState{PC: entry}
+	c.pc = entry
+	c.halted = false
+	c.haltErr = nil
+	c.pendingIntr = 0
+	c.stallCycles = 0
+}
+
+// Halted reports whether the core has executed HALT or hit a fatal fault.
+func (c *CPU) Halted() bool { return c.halted }
+
+// Err returns the fatal condition that halted the core, if any.
+func (c *CPU) Err() error { return c.haltErr }
+
+// Stats returns a snapshot of the statistics.
+func (c *CPU) Stats() Stats { return c.stats }
+
+// State returns a pointer to the committed architectural state. The kernel
+// uses it (between Ticks, with the pipeline flushed) for context switches.
+func (c *CPU) State() *ArchState { return &c.arch }
+
+// Cycles returns the number of elapsed CPU cycles.
+func (c *CPU) Cycles() uint64 { return c.stats.Cycles }
+
+// Interrupt posts an external interrupt; it is taken at the next retire
+// boundary if interrupts are enabled.
+func (c *CPU) Interrupt(cause uint64) { c.pendingIntr = cause }
+
+// Stall freezes the core for n cycles (models the kernel's context-switch
+// cost without simulating kernel code instruction by instruction).
+func (c *CPU) Stall(n int) { c.stallCycles += n }
+
+// SaveState copies the committed state; PC is the resume point of the
+// interrupted process.
+func (c *CPU) SaveState() ArchState { return c.arch }
+
+// RestoreState installs a saved context and redirects fetch, clearing any
+// halt (a halted process's exit is the kernel's cue to dispatch another).
+func (c *CPU) RestoreState(s ArchState) {
+	c.arch = s
+	c.pc = s.PC
+	c.halted = false
+	c.haltErr = nil
+	c.pendingIntr = 0
+	c.flushAll()
+}
+
+// FlushPipeline squashes all in-flight work and restarts fetch at the
+// committed PC (used by the kernel after it mutates state directly).
+func (c *CPU) FlushPipeline() {
+	c.flushAll()
+	c.pc = c.arch.PC
+}
+
+// Tick advances the core one CPU cycle. Stage order is reverse-pipeline so
+// results become visible to younger stages one cycle later.
+func (c *CPU) Tick() {
+	c.stats.Cycles++
+	if c.halted {
+		return
+	}
+	if c.stallCycles > 0 {
+		c.stallCycles--
+		return
+	}
+	c.retire()
+	if c.halted {
+		return
+	}
+	c.executeAdvance()
+	c.issue()
+	c.dispatch()
+	c.fetch()
+}
+
+// ---- fetch ----
+
+func (c *CPU) fetch() {
+	if c.fetchBlocked {
+		c.stats.FetchStalls++
+		return
+	}
+	for i := 0; i < c.cfg.FetchWidth && len(c.fetchQ) < c.cfg.FetchQueue; i++ {
+		if !c.hier.Present(c.pc, true) {
+			if i == 0 {
+				c.startICacheFill(c.pc)
+			}
+			return
+		}
+		word := uint32(c.ram.ReadUint(c.pc, 4))
+		in := isa.Decode(word)
+		u := &uop{seq: c.nextSeq(), inst: in, pc: c.pc}
+		c.predecode(u)
+		c.fetchQ = append(c.fetchQ, u)
+		c.stats.Fetched++
+		taken := u.predNext != u.pc+4
+		c.pc = u.predNext
+		if c.fetchBlocked || taken {
+			return
+		}
+	}
+}
+
+func (c *CPU) startICacheFill(pc uint64) {
+	gen := c.fetchGen
+	c.fetchBlocked = true
+	c.stats.ICacheStalls++
+	_, hit, accepted := c.hier.Load(pc, true, func() {
+		if c.fetchGen == gen {
+			c.fetchBlocked = false
+		}
+	})
+	if hit || !accepted {
+		// hit: racing fill already installed it; !accepted: retry.
+		c.fetchBlocked = false
+	}
+}
+
+// predecode computes the predicted next PC and marks control flow.
+func (c *CPU) predecode(u *uop) {
+	in := u.inst
+	switch in.Op {
+	case isa.OpBR:
+		u.isBranch = true
+		target := u.pc + 4 + uint64(int64(4)*in.Imm)
+		taken := in.Cond == isa.CondA || (in.Cond != isa.CondN && c.pred.predict(u.pc))
+		if taken {
+			u.predNext = target
+		} else {
+			u.predNext = u.pc + 4
+		}
+	case isa.OpJAL:
+		u.isBranch = true
+		u.predNext = u.pc + 4 + uint64(int64(4)*in.Imm)
+	case isa.OpJALR:
+		u.isBranch = true
+		u.predNext = 0 // unknown: fetch stalls until it resolves
+		c.fetchBlocked = true
+	case isa.OpHALT, isa.OpIRET:
+		u.predNext = u.pc // fetch stops; retire redirects if needed
+		c.fetchBlocked = true
+	default:
+		u.predNext = u.pc + 4
+	}
+}
+
+func (c *CPU) nextSeq() uint64 {
+	c.seq++
+	return c.seq
+}
+
+// ---- dispatch (rename) ----
+
+func (c *CPU) dispatch() {
+	for n := 0; n < c.cfg.DispatchWidth && len(c.fetchQ) > 0; n++ {
+		u := c.fetchQ[0]
+		if len(c.rob) >= c.cfg.ROBSize {
+			return
+		}
+		if u.isBranch && c.branchCount >= c.cfg.MaxBranches {
+			return
+		}
+		u.isMem = u.inst.Op.IsMem()
+		if u.isMem && c.memCount >= c.cfg.LSQSize {
+			return
+		}
+		c.fetchQ = c.fetchQ[1:]
+		c.rename(u)
+		c.rob = append(c.rob, u)
+		c.stats.Dispatched++
+		if u.isBranch {
+			c.branchCount++
+		}
+		if u.isMem {
+			c.memCount++
+		}
+	}
+}
+
+func (c *CPU) rename(u *uop) {
+	in := u.inst
+	// Source 1.
+	switch {
+	case in.Op.FPRs1():
+		if p := c.fpRen[in.Rs1]; p != nil {
+			u.s1 = p
+		} else {
+			u.v1 = c.arch.F[in.Rs1]
+		}
+	case u.ReadsIntRs1():
+		if p := c.intRen[in.Rs1]; p != nil {
+			u.s1 = p
+		} else {
+			u.v1 = c.arch.R[in.Rs1]
+		}
+	}
+	// Source 2.
+	switch {
+	case in.Op.FPRs2():
+		if p := c.fpRen[in.Rs2]; p != nil {
+			u.s2 = p
+		} else {
+			u.v2 = c.arch.F[in.Rs2]
+		}
+	case u.ReadsIntRs2():
+		if p := c.intRen[in.Rs2]; p != nil {
+			u.s2 = p
+		} else {
+			u.v2 = c.arch.R[in.Rs2]
+		}
+	}
+	// Store-data source (Rd read as a source).
+	if in.ReadsRdAsSource() {
+		if in.Op == isa.OpSTF {
+			if p := c.fpRen[in.Rd]; p != nil {
+				u.sd = p
+			} else {
+				u.vd = c.arch.F[in.Rd]
+			}
+		} else {
+			if p := c.intRen[in.Rd]; p != nil {
+				u.sd = p
+			} else {
+				u.vd = c.arch.R[in.Rd]
+			}
+		}
+	}
+	// Condition codes for conditional branches.
+	if in.Op == isa.OpBR && in.Cond != isa.CondA && in.Cond != isa.CondN {
+		if c.ccRen != nil {
+			u.ccProd = c.ccRen
+		} else {
+			u.ccVal = c.arch.CC
+		}
+	}
+	u.writesCC = writesCC(in.Op)
+
+	// Trivial completions.
+	switch in.Op {
+	case isa.OpNOP:
+		u.done = true
+	case isa.OpInvalid:
+		u.faulted = true
+		u.done = true
+	}
+
+	// Register the new producer mappings.
+	if u.inst.WritesFPReg() {
+		c.fpRen[in.Rd] = u
+	} else if u.inst.WritesIntReg() {
+		c.intRen[in.Rd] = u
+	}
+	if u.writesCC {
+		c.ccRen = u
+	}
+
+	// Branches snapshot the rename state including their own writes.
+	if u.isBranch {
+		si := c.intRen
+		sf := c.fpRen
+		u.snapInt = &si
+		u.snapFP = &sf
+		u.snapCC = c.ccRen
+	}
+}
+
+// ReadsIntRs1 and ReadsIntRs2 forward to the instruction predicates; kept
+// as uop methods for symmetry with the FP checks above.
+func (u *uop) ReadsIntRs1() bool { return u.inst.ReadsIntRs1() }
+func (u *uop) ReadsIntRs2() bool { return u.inst.ReadsIntRs2() }
+
+// ---- issue ----
+
+func (c *CPU) issue() {
+	ints := c.cfg.IntALUs
+	fps := c.cfg.FPUs
+	agus := c.cfg.AGUs
+	ports := c.cfg.MemPorts
+	for _, u := range c.rob {
+		if u.dead || u.done || u.executing {
+			continue
+		}
+		if u.isMem {
+			c.issueMem(u, &agus, &ports)
+			continue
+		}
+		switch u.inst.Op.Class() {
+		case isa.ClassInt, isa.ClassIntMul, isa.ClassBranch:
+			if !u.issued && ints > 0 && u.srcReady() {
+				ints--
+				u.issued = true
+				u.executing = true
+				u.remaining = c.latencyFor(u.inst.Op)
+			}
+		case isa.ClassFPU:
+			if !u.issued && fps > 0 && u.srcReady() {
+				fps--
+				u.issued = true
+				u.executing = true
+				u.remaining = c.latencyFor(u.inst.Op)
+			}
+		}
+		// ClassBarrier and ClassSystem execute at retire.
+	}
+}
+
+// issueMem advances a memory uop through agen → translate → (cached loads
+// only) cache access. Retire-executed memory ops stop after translation.
+func (c *CPU) issueMem(u *uop, agus, ports *int) {
+	if !u.agenDone {
+		if *agus > 0 && u.addrSrcReady() {
+			*agus--
+			u.agenDone = true
+			u.va = u.val1() + uint64(u.inst.Imm)
+			c.translate(u)
+		}
+		return
+	}
+	if !u.addrReady {
+		return // translation walk in progress (executeAdvance counts it down)
+	}
+	if u.faulted {
+		// Wrong-path garbage addresses land here routinely; mark the uop
+		// complete so dependents unblock. If it reaches retire alive, the
+		// fault is taken there.
+		u.result = 0
+		u.done = true
+		return
+	}
+	if u.needsRetireExec() {
+		return
+	}
+	switch u.inst.Op.Class() {
+	case isa.ClassLoad: // cached load
+		if u.memIssued || u.memWait {
+			return
+		}
+		if *ports <= 0 || !c.orderingSafe(u) {
+			return
+		}
+		*ports--
+		c.startCachedLoad(u)
+	case isa.ClassStore: // cached store: complete when data is ready
+		if u.dataSrcReady() {
+			u.done = true
+		}
+	}
+}
+
+func (c *CPU) startCachedLoad(u *uop) {
+	lat, hit, accepted := c.hier.Load(u.pa, false, func() {
+		if !u.dead {
+			u.memWait = false
+		}
+	})
+	if !accepted {
+		return // MSHRs full; retry next cycle
+	}
+	if hit {
+		u.memIssued = true
+		u.executing = true
+		u.remaining = lat
+		return
+	}
+	u.memWait = true // fill in progress; re-access on completion
+}
+
+// translate resolves u.va via the TLB/page table.
+func (c *CPU) translate(u *uop) {
+	if c.pt == nil {
+		// Bare machine: identity mapping, everything cached.
+		u.pa = u.va
+		u.kind = mem.KindCached
+		u.addrReady = true
+		return
+	}
+	asid := c.arch.PID()
+	if pte, ok := c.tlb.Lookup(u.va, asid); ok {
+		c.finishTranslate(u, pte)
+		return
+	}
+	// Hardware walk.
+	u.walkStarted = true
+	u.translating = c.cfg.TLBWalkLatency
+}
+
+func (c *CPU) finishWalk(u *uop) {
+	pte, ok := c.pt.Lookup(u.va)
+	if !ok {
+		u.faulted = true
+		u.addrReady = true
+		return
+	}
+	c.tlb.Insert(u.va, c.arch.PID(), pte)
+	c.finishTranslate(u, pte)
+}
+
+func (c *CPU) finishTranslate(u *uop, pte mem.PTE) {
+	if u.inst.Op.IsStore() && !pte.Writable {
+		u.faulted = true
+		u.addrReady = true
+		return
+	}
+	u.pa = pte.PFN<<mem.PageBits | u.va&(mem.PageSize-1)
+	u.kind = pte.Kind
+	u.addrReady = true
+}
+
+// orderingSafe reports whether a cached load may execute: no older store
+// with an unknown or overlapping address, and no older barrier.
+func (c *CPU) orderingSafe(u *uop) bool {
+	size := uint64(u.inst.Op.MemBytes())
+	for _, x := range c.rob {
+		if x == u {
+			return true
+		}
+		if x.dead {
+			continue
+		}
+		if x.inst.Op == isa.OpMEMBAR {
+			return false
+		}
+		if !x.inst.Op.IsStore() {
+			continue
+		}
+		if !x.addrReady {
+			return false
+		}
+		xsize := uint64(x.inst.Op.MemBytes())
+		if x.pa < u.pa+size && u.pa < x.pa+xsize {
+			return false
+		}
+	}
+	return true
+}
+
+// ---- execute ----
+
+func (c *CPU) executeAdvance() {
+	for _, u := range c.rob {
+		if u.dead {
+			continue
+		}
+		if u.walkStarted && u.translating > 0 {
+			u.translating--
+			if u.translating == 0 {
+				u.walkStarted = false
+				c.finishWalk(u)
+			}
+		}
+		if !u.executing {
+			continue
+		}
+		u.remaining--
+		if u.remaining > 0 {
+			continue
+		}
+		u.executing = false
+		if u.isMem {
+			c.completeCachedLoad(u)
+			continue
+		}
+		c.execute(u)
+		if u.isBranch {
+			c.resolveBranch(u)
+		}
+	}
+}
+
+func (c *CPU) completeCachedLoad(u *uop) {
+	size := u.inst.Op.MemBytes()
+	u.result = c.ram.ReadUint(u.pa, size)
+	u.done = true
+	c.stats.CachedLoads++
+}
+
+func (c *CPU) resolveBranch(u *uop) {
+	c.stats.Branches++
+	c.branchCount--
+	if u.inst.Op == isa.OpBR {
+		taken := u.actualNext != u.pc+4
+		c.pred.update(u.pc, taken)
+	}
+	if u.actualNext == u.predNext {
+		return
+	}
+	if u.inst.Op == isa.OpJALR {
+		// Not a misprediction: fetch was stalled waiting for the target.
+		c.squashAfter(u)
+		c.pc = u.actualNext
+		c.fetchBlocked = false
+		return
+	}
+	c.stats.Mispredicts++
+	c.squashAfter(u)
+	c.pc = u.actualNext
+	c.fetchBlocked = false
+}
+
+// squashAfter kills everything younger than u and restores the rename maps
+// from u's snapshot.
+func (c *CPU) squashAfter(u *uop) {
+	idx := -1
+	for i, x := range c.rob {
+		if x == u {
+			idx = i
+			break
+		}
+	}
+	if idx < 0 {
+		return
+	}
+	for _, x := range c.rob[idx+1:] {
+		c.killUop(x)
+	}
+	c.stats.Squashed += uint64(len(c.rob) - idx - 1 + len(c.fetchQ))
+	c.rob = c.rob[:idx+1]
+	for _, x := range c.fetchQ {
+		x.dead = true
+	}
+	c.fetchQ = c.fetchQ[:0]
+	c.fetchGen++
+	if u.snapInt != nil {
+		c.intRen = *u.snapInt
+		c.fpRen = *u.snapFP
+		c.ccRen = u.snapCC
+	}
+}
+
+func (c *CPU) killUop(x *uop) {
+	x.dead = true
+	if x.isBranch && !x.resolved {
+		c.branchCount--
+	}
+	if x.isMem {
+		c.memCount--
+	}
+}
+
+// flushAll empties the entire pipeline (interrupts, IRET, kernel entry).
+func (c *CPU) flushAll() {
+	for _, x := range c.rob {
+		c.killUop(x)
+	}
+	c.stats.Squashed += uint64(len(c.rob) + len(c.fetchQ))
+	c.rob = c.rob[:0]
+	for _, x := range c.fetchQ {
+		x.dead = true
+	}
+	c.fetchQ = c.fetchQ[:0]
+	c.intRen = [isa.NumRegs]*uop{}
+	c.fpRen = [isa.NumFRegs]*uop{}
+	c.ccRen = nil
+	c.branchCount = 0
+	c.memCount = 0
+	c.fetchBlocked = false
+	c.fetchGen++
+}

@@ -1,0 +1,428 @@
+package cpu
+
+import (
+	"fmt"
+
+	"csbsim/internal/isa"
+	"csbsim/internal/mem"
+)
+
+// retire commits up to RetireWidth instructions in program order. At most
+// one retire-executed operation (uncached access, swap, membar, privileged
+// op) completes per cycle — which is what makes CSB combining stores cost
+// one cycle per doubleword on the CPU side, matching §4.3.2.
+const (
+	rexStall = iota
+	rexRetired
+	rexRedirected // retired and the pipeline was flushed/redirected
+)
+
+func (c *CPU) retire() {
+	if c.pendingIntr != 0 && c.arch.InterruptsEnabled() && !c.retireExecInFlight() {
+		c.deliverInterrupt()
+		return
+	}
+	for n := 0; n < c.cfg.RetireWidth && len(c.rob) > 0; n++ {
+		u := c.rob[0]
+		if u.dead {
+			c.rob = c.rob[1:]
+			n--
+			continue
+		}
+		if u.needsRetireExec() {
+			if u.isMem && !(u.addrReady && u.dataSrcReady()) {
+				return
+			}
+			if u.isMem && u.faulted {
+				c.fault(u)
+				return
+			}
+			switch c.retireExec(u) {
+			case rexStall:
+				return
+			case rexRetired:
+				c.commitDest(u)
+				c.popHead(u)
+			case rexRedirected:
+				c.stats.Retired++
+			}
+			return // at most one retire-exec per cycle
+		}
+		if !u.done {
+			return
+		}
+		if u.faulted {
+			c.fault(u)
+			return
+		}
+		if !c.commit(u) {
+			return // write buffer full
+		}
+		c.popHead(u)
+	}
+}
+
+// retireExecInFlight reports whether the head of the ROB is a
+// retire-executed operation that has already begun its side effects (an
+// uncached load issued to the bus, a conditional flush past the CSB, a
+// swap mid-RMW). Interrupt delivery must wait for it: flushing and
+// replaying such an operation would execute its I/O side effect twice,
+// violating the exactly-once requirement the whole design exists to
+// provide.
+func (c *CPU) retireExecInFlight() bool {
+	if len(c.rob) == 0 {
+		return false
+	}
+	u := c.rob[0]
+	return !u.dead && u.needsRetireExec() && u.retPhase > 0
+}
+
+// commit applies a normal instruction's architectural effects. It returns
+// false when a cached store cannot enter the write buffer this cycle.
+func (c *CPU) commit(u *uop) bool {
+	if u.inst.Op.Class() == isa.ClassStore && u.kind == mem.KindCached {
+		if !c.hier.Store(u.pa) {
+			return false
+		}
+		size := u.inst.Op.MemBytes()
+		c.ram.WriteUint(u.pa, size, u.vald())
+		c.hier.MarkDirty(u.pa)
+		c.stats.CachedStores++
+	}
+	c.commitDest(u)
+	return true
+}
+
+func (c *CPU) commitDest(u *uop) {
+	switch {
+	case u.inst.WritesFPReg():
+		c.arch.F[u.inst.Rd] = u.result
+	case u.inst.WritesIntReg():
+		c.arch.R[u.inst.Rd] = u.result
+	}
+	if u.writesCC {
+		c.arch.CC = u.flags
+	}
+}
+
+func (c *CPU) popHead(u *uop) {
+	if c.OnRetire != nil {
+		c.OnRetire(RetireEvent{
+			Cycle: c.stats.Cycles, Seq: u.seq, PC: u.pc, Inst: u.inst,
+			Result: u.result, Addr: u.va, IsMem: u.isMem,
+		})
+	}
+	c.rob = c.rob[1:]
+	if u.inst.WritesFPReg() && c.fpRen[u.inst.Rd] == u {
+		c.fpRen[u.inst.Rd] = nil
+	} else if u.inst.WritesIntReg() && c.intRen[u.inst.Rd] == u {
+		c.intRen[u.inst.Rd] = nil
+	}
+	if c.ccRen == u {
+		c.ccRen = nil
+	}
+	if u.isMem {
+		c.memCount--
+	}
+	if u.isBranch && !u.resolved {
+		c.branchCount--
+	}
+	c.stats.Retired++
+	if u.isBranch && u.resolved {
+		c.arch.PC = u.actualNext
+	} else {
+		c.arch.PC = u.pc + 4
+	}
+}
+
+// retireExec performs head-of-ROB operations.
+func (c *CPU) retireExec(u *uop) int {
+	switch u.inst.Op {
+	case isa.OpMEMBAR:
+		if c.ub.Empty() && c.hier.StoreBufferEmpty() && c.csb.Drained() {
+			c.stats.Membars++
+			u.done = true
+			return rexRetired
+		}
+		c.stats.MembarStall++
+		return rexStall
+
+	case isa.OpRDPR:
+		pr := isa.PR(u.inst.Imm)
+		if pr >= isa.NumPRs {
+			c.fault(u)
+			return rexRedirected
+		}
+		if pr == isa.PRCYCLE {
+			u.result = c.stats.Cycles
+		} else {
+			u.result = c.arch.PR[pr]
+		}
+		u.done = true
+		return rexRetired
+
+	case isa.OpWRPR:
+		pr := isa.PR(u.inst.Imm)
+		if pr >= isa.NumPRs {
+			c.fault(u)
+			return rexRedirected
+		}
+		c.arch.PR[pr] = u.val1()
+		if pr == isa.PRPID && c.PIDChanged != nil {
+			c.PIDChanged(uint8(u.val1()))
+		}
+		u.done = true
+		return rexRetired
+
+	case isa.OpIRET:
+		target := c.arch.PR[isa.PRERPC]
+		c.arch.PR[isa.PRSTATUS] |= 1
+		c.flushAll()
+		c.pc = target
+		c.arch.PC = target
+		return rexRedirected
+
+	case isa.OpTRAP:
+		c.stats.Traps++
+		code := u.inst.Imm
+		if c.TrapHook != nil && c.TrapHook(code) {
+			u.done = true
+			return rexRetired
+		}
+		ivec := c.arch.PR[isa.PRIVEC]
+		if ivec == 0 {
+			c.halted = true
+			c.haltErr = fmt.Errorf("cpu: unhandled trap %d at pc %#x", code, u.pc)
+			return rexRedirected
+		}
+		c.arch.PR[isa.PRERPC] = u.pc + 4
+		c.arch.PR[isa.PRCAUSE] = uint64(isa.CauseSoftware) | uint64(code)<<8
+		c.arch.PR[isa.PRSTATUS] &^= 1
+		c.flushAll()
+		c.pc = ivec
+		c.arch.PC = ivec
+		return rexRedirected
+
+	case isa.OpHALT:
+		c.halted = true
+		c.arch.PC = u.pc
+		return rexRedirected
+
+	case isa.OpSWAP:
+		return c.retireSwap(u)
+	}
+
+	// Uncached / combining loads and stores.
+	switch u.inst.Op.Class() {
+	case isa.ClassLoad:
+		return c.retireUncachedLoad(u)
+	case isa.ClassStore:
+		return c.retireUncachedStore(u)
+	}
+	c.fault(u)
+	return rexRedirected
+}
+
+func (c *CPU) retireSwap(u *uop) int {
+	switch u.kind {
+	case mem.KindCached:
+		return c.retireSwapCached(u)
+	case mem.KindCombining:
+		return c.retireConditionalFlush(u)
+	default:
+		return c.retireSwapUncached(u)
+	}
+}
+
+// retireSwapCached performs an atomic exchange in the data cache (the lock
+// acquire/release primitive of §4.2's second microbenchmark).
+func (c *CPU) retireSwapCached(u *uop) int {
+	switch u.retPhase {
+	case 0:
+		lat, hit, accepted := c.hier.Load(u.pa, false, func() {
+			if !u.dead {
+				u.memWait = false
+			}
+		})
+		if !accepted {
+			return rexStall
+		}
+		if hit {
+			u.remaining = lat
+			u.retPhase = 1
+			return rexStall
+		}
+		u.memWait = true
+		u.retPhase = 2
+		return rexStall
+	case 1:
+		u.remaining--
+		if u.remaining > 0 {
+			return rexStall
+		}
+		old := c.ram.ReadUint(u.pa, 8)
+		c.ram.WriteUint(u.pa, 8, u.vald())
+		c.hier.MarkDirty(u.pa)
+		u.result = old
+		u.done = true
+		c.stats.Swaps++
+		return rexRetired
+	default: // 2: waiting for the fill
+		if u.memWait {
+			return rexStall
+		}
+		u.retPhase = 0
+		return rexStall
+	}
+}
+
+// retireConditionalFlush is the CSB conditional flush: swap to combining
+// space (§3.1/§3.2).
+func (c *CPU) retireConditionalFlush(u *uop) int {
+	switch u.retPhase {
+	case 0:
+		before := c.csb.Stats().FlushOK
+		res, ready := c.csb.ConditionalFlush(c.arch.PID(), u.pa, int64(u.vald()), u.vald())
+		if !ready {
+			return rexStall
+		}
+		u.result = res
+		u.remaining = c.cfg.CSBLatency
+		u.retPhase = 1
+		c.stats.CSBFlushes++
+		if c.csb.Stats().FlushOK == before {
+			c.stats.CSBFlushFails++
+		}
+		return rexStall
+	default:
+		u.remaining--
+		if u.remaining > 0 {
+			return rexStall
+		}
+		u.done = true
+		return rexRetired
+	}
+}
+
+// retireSwapUncached implements swap to plain uncached space as a blocking
+// bus read followed by a bus write, both strongly ordered.
+func (c *CPU) retireSwapUncached(u *uop) int {
+	switch u.retPhase {
+	case 0:
+		ok := c.ub.AddLoad(u.pa, 8, func(data []byte) {
+			if !u.dead {
+				u.result = leUint(data)
+				u.retPhase = 2
+			}
+		})
+		if !ok {
+			return rexStall
+		}
+		u.retPhase = 1
+		return rexStall
+	case 1:
+		return rexStall // waiting for the read
+	default: // 2
+		if !c.ub.AddStore(u.pa, 8, leBytes(u.vald(), 8)) {
+			return rexStall
+		}
+		u.done = true
+		c.stats.Swaps++
+		return rexRetired
+	}
+}
+
+func (c *CPU) retireUncachedLoad(u *uop) int {
+	switch u.retPhase {
+	case 0:
+		size := u.inst.Op.MemBytes()
+		ok := c.ub.AddLoad(u.pa, size, func(data []byte) {
+			if !u.dead {
+				u.result = leUint(data)
+				u.retPhase = 2
+			}
+		})
+		if !ok {
+			return rexStall
+		}
+		u.retPhase = 1
+		return rexStall
+	case 1:
+		return rexStall
+	default:
+		u.done = true
+		c.stats.UncachedLoads++
+		return rexRetired
+	}
+}
+
+func (c *CPU) retireUncachedStore(u *uop) int {
+	size := u.inst.Op.MemBytes()
+	data := leBytes(u.vald(), size)
+	if u.kind == mem.KindCombining {
+		if !c.csb.Store(c.arch.PID(), u.pa, size, data) {
+			return rexStall
+		}
+		c.stats.CSBStores++
+		u.done = true
+		return rexRetired
+	}
+	if !c.ub.AddStore(u.pa, size, data) {
+		return rexStall
+	}
+	c.stats.UncachedStores++
+	u.done = true
+	return rexRetired
+}
+
+func (c *CPU) fault(u *uop) {
+	c.stats.Faults++
+	c.halted = true
+	c.haltErr = fmt.Errorf("cpu: memory fault at pc %#x (%s, va %#x)", u.pc, u.inst.String(), u.va)
+}
+
+func (c *CPU) deliverInterrupt() {
+	cause := c.pendingIntr
+	c.pendingIntr = 0
+	c.stats.Interrupts++
+	resume := c.pc
+	if len(c.rob) > 0 {
+		resume = c.rob[0].pc
+	} else if len(c.fetchQ) > 0 {
+		resume = c.fetchQ[0].pc
+	}
+	c.flushAll()
+	c.arch.PC = resume
+	c.arch.PR[isa.PRERPC] = resume
+	c.arch.PR[isa.PRCAUSE] = cause
+	c.arch.PR[isa.PRSTATUS] &^= 1
+	if c.InterruptHook != nil && c.InterruptHook(cause) {
+		// A Go-level kernel handled it (possibly switching contexts).
+		c.pc = c.arch.PC
+		return
+	}
+	ivec := c.arch.PR[isa.PRIVEC]
+	if ivec == 0 {
+		c.halted = true
+		c.haltErr = fmt.Errorf("cpu: unhandled interrupt %d", cause)
+		return
+	}
+	c.pc = ivec
+	c.arch.PC = ivec
+}
+
+func leUint(data []byte) uint64 {
+	var v uint64
+	for i := len(data) - 1; i >= 0; i-- {
+		v = v<<8 | uint64(data[i])
+	}
+	return v
+}
+
+func leBytes(v uint64, size int) []byte {
+	b := make([]byte, size)
+	for i := 0; i < size; i++ {
+		b[i] = byte(v >> (8 * i))
+	}
+	return b
+}

@@ -1,0 +1,130 @@
+package cpu
+
+import (
+	"csbsim/internal/isa"
+	"csbsim/internal/mem"
+)
+
+// uop is one in-flight instruction: a reorder-buffer entry in the unified
+// dispatch queue. Source operands are either captured values (producer nil)
+// or references to older uops whose results are read once done.
+type uop struct {
+	seq  uint64
+	inst isa.Inst
+	pc   uint64
+	// predNext is the PC fetch continued at (the prediction for branches).
+	predNext uint64
+
+	// Renamed sources. s1/s2 are the register sources, sd the store-data
+	// source (the Rd field of stores and swap), cc the condition-code
+	// producer for conditional branches and nothing else.
+	s1, s2, sd *uop
+	v1, v2, vd uint64
+	ccProd     *uop
+	ccVal      isa.Flags
+
+	// Execution state.
+	issued    bool
+	executing bool
+	remaining int
+	done      bool // result available to dependents
+	dead      bool // squashed
+
+	result   uint64
+	flags    isa.Flags
+	writesCC bool
+
+	// Memory state.
+	isMem       bool
+	agenDone    bool
+	translating int // remaining TLB-walk cycles (0 when not walking)
+	walkStarted bool
+	addrReady   bool
+	va, pa      uint64
+	kind        mem.Kind
+	faulted     bool
+	memIssued   bool // cache access started
+	memWait     bool // waiting for a cache fill
+	// retire-phase progress for retire-executed operations
+	retPhase int
+
+	// Branch state.
+	isBranch   bool
+	snapInt    *[isa.NumRegs]*uop
+	snapFP     *[isa.NumFRegs]*uop
+	snapCC     *uop
+	actualNext uint64
+	resolved   bool
+}
+
+// needsRetireExec reports whether the operation's effect happens at the
+// head of the ROB rather than in the execute stage: everything with side
+// effects that must be in-order, non-speculative and exactly-once.
+func (u *uop) needsRetireExec() bool {
+	switch u.inst.Op {
+	case isa.OpMEMBAR, isa.OpRDPR, isa.OpWRPR, isa.OpIRET, isa.OpTRAP, isa.OpHALT:
+		return true
+	case isa.OpSWAP:
+		return true
+	}
+	if u.isMem && u.kind != mem.KindCached {
+		return true
+	}
+	return false
+}
+
+// srcReady reports whether all register sources are available.
+func (u *uop) srcReady() bool {
+	if u.s1 != nil && !u.s1.done {
+		return false
+	}
+	if u.s2 != nil && !u.s2.done {
+		return false
+	}
+	if u.sd != nil && !u.sd.done {
+		return false
+	}
+	if u.ccProd != nil && !u.ccProd.done {
+		return false
+	}
+	return true
+}
+
+// addrSrcReady reports whether the address source (rs1) is available.
+func (u *uop) addrSrcReady() bool {
+	return u.s1 == nil || u.s1.done
+}
+
+// dataSrcReady reports whether the store-data source is available.
+func (u *uop) dataSrcReady() bool {
+	return u.sd == nil || u.sd.done
+}
+
+// val1, val2, vald and cc return operand values; producers must be done.
+func (u *uop) val1() uint64 {
+	if u.s1 != nil {
+		return u.s1.result
+	}
+	return u.v1
+}
+
+func (u *uop) val2() uint64 {
+	if u.s2 != nil {
+		return u.s2.result
+	}
+	return u.v2
+}
+
+func (u *uop) vald() uint64 {
+	if u.sd != nil {
+		return u.sd.result
+	}
+	return u.vd
+}
+
+func (u *uop) cc() isa.Flags {
+	if u.ccProd != nil {
+		return u.ccProd.flags
+	}
+	return u.ccVal
+}

@@ -1,0 +1,336 @@
+// Package device provides the memory-mapped I/O devices used by the
+// examples and the PIO/DMA crossover experiment: a network interface in
+// the style the paper cites — a Medusa-like transmit descriptor FIFO that
+// a single store can push (§2), an Atoll-like DMA engine whose transfer is
+// started by one descriptor write packing address and length (§2), and a
+// burst-capable packet buffer so CSB line bursts land directly in the
+// device (§3.3).
+package device
+
+import (
+	"fmt"
+
+	"csbsim/internal/bus"
+	"csbsim/internal/mem"
+)
+
+// NIC register layout (offsets from the device base).
+const (
+	// RegTxFIFO pushes a transmit descriptor: bits [47:0] packet buffer
+	// offset, bits [63:48] length. One uncached store both enqueues the
+	// descriptor and starts transmission — no locking required because a
+	// bus transaction is atomic.
+	RegTxFIFO = 0x000
+	// RegDMA starts a DMA transfer from main memory into the packet
+	// buffer: bits [47:0] source physical address, bits [63:48] length.
+	// The NIC fetches the data over the system bus and then transmits.
+	RegDMA = 0x008
+	// RegStatus reads NIC state: bit 0 = TX busy, bit 1 = FIFO full,
+	// bits [63:32] = packets sent.
+	RegStatus = 0x010
+	// RegIntAck clears a pending completion interrupt.
+	RegIntAck = 0x018
+	// RegRxPop pops one 8-byte word from the receive queue — a load with
+	// a side effect, the paper's §2 example of why I/O loads must execute
+	// exactly once and never speculatively. Reading it when the queue is
+	// empty returns RxEmpty.
+	RegRxPop = 0x020
+	// RegRxCount reads the number of words waiting in the receive queue
+	// (no side effect).
+	RegRxCount = 0x028
+	// PacketBufBase is where the on-board packet buffer begins; the CSB
+	// (or uncached stores) write packet payloads here by PIO.
+	PacketBufBase = 0x1000
+	// PacketBufSize is the size of the on-board packet buffer.
+	PacketBufSize = 0x1000
+	// RegionSize is the total claimed address range.
+	RegionSize = PacketBufBase + PacketBufSize
+)
+
+// Packet is one transmitted packet, as observed on the simulated wire.
+type Packet struct {
+	Data     []byte
+	SentAt   uint64 // bus cycle the transmission completed
+	ViaDMA   bool
+	SrcAddr  uint64 // DMA source, 0 for PIO
+	FIFOPush uint64 // bus cycle the descriptor arrived
+}
+
+// Config parameterizes the NIC.
+type Config struct {
+	// FIFODepth bounds queued transmit descriptors (hardware FIFO).
+	FIFODepth int
+	// WireCyclesPerByte models serialization onto the link, in bus
+	// cycles per byte (0 = infinitely fast wire).
+	WireCyclesPerByte int
+	// DMABurst is the DMA engine's per-transaction read size in bytes.
+	DMABurst int
+}
+
+// DefaultConfig returns a 16-deep FIFO NIC with 64-byte DMA bursts and a
+// fast wire.
+func DefaultConfig() Config {
+	return Config{FIFODepth: 16, WireCyclesPerByte: 0, DMABurst: 64}
+}
+
+type txDesc struct {
+	offset uint64
+	length int
+	pushed uint64
+	viaDMA bool
+	srcPA  uint64
+}
+
+type dmaState int
+
+const (
+	dmaIdle dmaState = iota
+	dmaReading
+)
+
+// NIC is the simulated network interface. It implements mem.Target for
+// register/packet-buffer access and sim.Device for bus mastering (DMA).
+type NIC struct {
+	cfg  Config
+	base uint64
+
+	packetBuf []byte
+	fifo      []txDesc
+	sending   bool
+	sendDone  uint64 // bus cycle current transmission finishes
+	cur       txDesc
+
+	dma       dmaState
+	dmaSrc    uint64
+	dmaLen    int
+	dmaOff    int
+	dmaInFly  bool
+	dmaPushed uint64
+
+	intPending bool
+	// Interrupt, if set, is invoked on send completion (level-style; the
+	// kernel acks via RegIntAck).
+	Interrupt func()
+
+	rxQueue []uint64
+	rxPops  uint64
+
+	lastCycle uint64 // most recent bus cycle seen in TickBus
+	packets   []Packet
+	dropped   uint64
+}
+
+// RxEmpty is returned by RegRxPop when the receive queue is empty.
+const RxEmpty = ^uint64(0)
+
+// NewNIC creates a NIC claiming [base, base+RegionSize).
+func NewNIC(cfg Config, base uint64) *NIC {
+	if cfg.FIFODepth <= 0 {
+		cfg.FIFODepth = 16
+	}
+	if cfg.DMABurst <= 0 || cfg.DMABurst&(cfg.DMABurst-1) != 0 {
+		cfg.DMABurst = 64
+	}
+	return &NIC{
+		cfg:       cfg,
+		base:      base,
+		packetBuf: make([]byte, PacketBufSize),
+	}
+}
+
+// Base returns the device's base physical address.
+func (n *NIC) Base() uint64 { return n.base }
+
+// Packets returns everything transmitted so far.
+func (n *NIC) Packets() []Packet { return n.packets }
+
+// Dropped returns the number of descriptors rejected by a full FIFO.
+func (n *NIC) Dropped() uint64 { return n.dropped }
+
+// IntPending reports whether a completion interrupt is outstanding.
+func (n *NIC) IntPending() bool { return n.intPending }
+
+// ---- mem.Target ----
+
+// ReadTarget implements register and packet-buffer reads.
+func (n *NIC) ReadTarget(pa uint64, size int) []byte {
+	off := pa - n.base
+	out := make([]byte, size)
+	switch {
+	case off >= PacketBufBase && off+uint64(size) <= PacketBufBase+PacketBufSize:
+		copy(out, n.packetBuf[off-PacketBufBase:])
+	case off == RegStatus:
+		var v uint64
+		if n.sending {
+			v |= 1
+		}
+		if len(n.fifo) >= n.cfg.FIFODepth {
+			v |= 2
+		}
+		v |= uint64(len(n.packets)) << 32
+		putLE(out, v)
+	case off == RegRxPop:
+		// Destructive read: pops the queue. This is why the simulated
+		// processor must never issue this load speculatively.
+		v := RxEmpty
+		if len(n.rxQueue) > 0 {
+			v = n.rxQueue[0]
+			n.rxQueue = n.rxQueue[1:]
+			n.rxPops++
+		}
+		putLE(out, v)
+	case off == RegRxCount:
+		putLE(out, uint64(len(n.rxQueue)))
+	}
+	return out
+}
+
+// Deliver injects received words into the RX queue (the simulated wire's
+// receive side).
+func (n *NIC) Deliver(words ...uint64) {
+	n.rxQueue = append(n.rxQueue, words...)
+}
+
+// RxPending returns the number of undelivered RX words.
+func (n *NIC) RxPending() int { return len(n.rxQueue) }
+
+// RxPops returns how many destructive RX reads have occurred.
+func (n *NIC) RxPops() uint64 { return n.rxPops }
+
+// WriteTarget implements register and packet-buffer writes, including CSB
+// line bursts into the packet buffer (§3.3: the target device must accept
+// burst writes).
+func (n *NIC) WriteTarget(pa uint64, data []byte) {
+	off := pa - n.base
+	switch {
+	case off >= PacketBufBase && off+uint64(len(data)) <= PacketBufBase+PacketBufSize:
+		copy(n.packetBuf[off-PacketBufBase:], data)
+	case off == RegTxFIFO && len(data) == 8:
+		v := leUint(data)
+		n.pushDescriptor(txDesc{
+			offset: v & (1<<48 - 1),
+			length: int(v >> 48),
+			pushed: n.now(),
+		})
+	case off == RegDMA && len(data) == 8:
+		v := leUint(data)
+		if n.dma == dmaIdle {
+			n.dmaSrc = v & (1<<48 - 1)
+			n.dmaLen = int(v >> 48)
+			n.dmaOff = 0
+			n.dma = dmaReading
+			n.dmaPushed = n.now()
+		}
+	case off == RegIntAck:
+		n.intPending = false
+	}
+}
+
+func (n *NIC) pushDescriptor(d txDesc) {
+	if len(n.fifo) >= n.cfg.FIFODepth {
+		n.dropped++
+		return
+	}
+	n.fifo = append(n.fifo, d)
+}
+
+// ---- sim.Device ----
+
+// now returns the most recently observed bus cycle (register writes land
+// during bus.Tick, one call before the device tick, so this is at most one
+// cycle stale — fine for the timestamps it feeds).
+func (n *NIC) now() uint64 { return n.lastCycle }
+
+// TickBus advances transmission and DMA by one bus cycle.
+func (n *NIC) TickBus(b *bus.Bus) {
+	n.lastCycle = b.Cycle()
+	// DMA engine: stream bursts from main memory into the packet buffer.
+	if n.dma == dmaReading && !n.dmaInFly {
+		if n.dmaOff >= n.dmaLen {
+			// Transfer complete: queue the descriptor.
+			n.pushDescriptor(txDesc{offset: 0, length: n.dmaLen,
+				pushed: n.dmaPushed, viaDMA: true, srcPA: n.dmaSrc})
+			n.dma = dmaIdle
+		} else {
+			size := n.cfg.DMABurst
+			if rem := n.dmaLen - n.dmaOff; rem < size {
+				size = alignSize(rem)
+			}
+			// Respect natural alignment of the source address.
+			for size > 1 && (n.dmaSrc+uint64(n.dmaOff))%uint64(size) != 0 {
+				size >>= 1
+			}
+			off := n.dmaOff
+			txn := &bus.Txn{Addr: n.dmaSrc + uint64(off), Size: size}
+			txn.Done = func(t *bus.Txn) {
+				copy(n.packetBuf[off:], t.Data)
+				n.dmaOff += t.Size
+				n.dmaInFly = false
+			}
+			if b.TryIssue(txn) {
+				n.dmaInFly = true
+			}
+		}
+	}
+	// Transmit path.
+	if n.sending {
+		if b.Cycle() >= n.sendDone {
+			data := make([]byte, n.cur.length)
+			copy(data, n.packetBuf[n.cur.offset:])
+			n.packets = append(n.packets, Packet{
+				Data:     data,
+				SentAt:   b.Cycle(),
+				ViaDMA:   n.cur.viaDMA,
+				SrcAddr:  n.cur.srcPA,
+				FIFOPush: n.cur.pushed,
+			})
+			n.sending = false
+			n.intPending = true
+			if n.Interrupt != nil {
+				n.Interrupt()
+			}
+		}
+		return
+	}
+	if len(n.fifo) > 0 {
+		n.cur = n.fifo[0]
+		n.fifo = n.fifo[1:]
+		n.sending = true
+		n.sendDone = b.Cycle() + uint64(n.cfg.WireCyclesPerByte*n.cur.length)
+	}
+}
+
+// Idle reports whether no transmission or DMA work is pending.
+func (n *NIC) Idle() bool {
+	return !n.sending && len(n.fifo) == 0 && n.dma == dmaIdle && !n.dmaInFly
+}
+
+// alignSize rounds down to the largest power of two ≤ v (min 1).
+func alignSize(v int) int {
+	s := 1
+	for s*2 <= v {
+		s *= 2
+	}
+	return s
+}
+
+func putLE(dst []byte, v uint64) {
+	for i := range dst {
+		dst[i] = byte(v >> (8 * i))
+	}
+}
+
+func leUint(data []byte) uint64 {
+	var v uint64
+	for i := len(data) - 1; i >= 0; i-- {
+		v = v<<8 | uint64(data[i])
+	}
+	return v
+}
+
+// String describes the NIC configuration.
+func (n *NIC) String() string {
+	return fmt.Sprintf("nic(base=%#x fifo=%d dma=%dB)", n.base, n.cfg.FIFODepth, n.cfg.DMABurst)
+}
+
+var _ mem.Target = (*NIC)(nil)

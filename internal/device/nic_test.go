@@ -1,0 +1,253 @@
+package device
+
+import (
+	"bytes"
+	"testing"
+
+	"csbsim/internal/bus"
+	"csbsim/internal/mem"
+)
+
+const base = 0x4000_0000
+
+func newRig(t *testing.T, cfg Config) (*NIC, *bus.Bus, *mem.Memory) {
+	t.Helper()
+	ram := mem.NewMemory()
+	rt := mem.NewRouter(ram)
+	n := NewNIC(cfg, base)
+	if err := rt.Register(base, RegionSize, "nic", n); err != nil {
+		t.Fatal(err)
+	}
+	b, err := bus.New(bus.Config{Model: bus.Multiplexed, WidthBytes: 8, ReadWait: 4}, rt)
+	if err != nil {
+		t.Fatal(err)
+	}
+	return n, b, ram
+}
+
+func step(n *NIC, b *bus.Bus, cycles int) {
+	for i := 0; i < cycles; i++ {
+		b.Tick()
+		n.TickBus(b)
+	}
+}
+
+func desc(offset uint64, length int) []byte {
+	v := offset | uint64(length)<<48
+	out := make([]byte, 8)
+	putLE(out, v)
+	return out
+}
+
+func TestPIOPacketSend(t *testing.T) {
+	n, b, _ := newRig(t, DefaultConfig())
+	// Write payload into the packet buffer (as CSB bursts would).
+	payload := []byte("hello, wire!")
+	n.WriteTarget(base+PacketBufBase+64, payload)
+	// Push a descriptor: offset 64, length len(payload).
+	n.WriteTarget(base+RegTxFIFO, desc(64, len(payload)))
+	step(n, b, 10)
+	pkts := n.Packets()
+	if len(pkts) != 1 {
+		t.Fatalf("packets = %d, want 1", len(pkts))
+	}
+	if !bytes.Equal(pkts[0].Data, payload) {
+		t.Errorf("payload = %q", pkts[0].Data)
+	}
+	if pkts[0].ViaDMA {
+		t.Error("PIO packet marked as DMA")
+	}
+	if !n.Idle() {
+		t.Error("NIC not idle after send")
+	}
+}
+
+func TestBurstWriteToPacketBuffer(t *testing.T) {
+	n, b, _ := newRig(t, DefaultConfig())
+	// A CSB-style 64-byte burst transaction into the packet buffer.
+	line := make([]byte, 64)
+	for i := range line {
+		line[i] = byte(i)
+	}
+	txn := &bus.Txn{Addr: base + PacketBufBase, Size: 64, Write: true, Data: line, IO: true, Ordered: true}
+	if !b.TryIssue(txn) {
+		t.Fatal("burst not accepted")
+	}
+	b.Drain(100)
+	got := n.ReadTarget(base+PacketBufBase, 64)
+	if !bytes.Equal(got, line) {
+		t.Error("burst data did not land in packet buffer")
+	}
+	_ = b
+}
+
+func TestDMATransfer(t *testing.T) {
+	n, b, ram := newRig(t, DefaultConfig())
+	msg := make([]byte, 200)
+	for i := range msg {
+		msg[i] = byte(i * 3)
+	}
+	src := uint64(0x1_0000)
+	ram.Write(src, msg)
+	// One store starts the whole DMA (Atoll-style packed descriptor).
+	n.WriteTarget(base+RegDMA, desc(src, len(msg)))
+	step(n, b, 500)
+	pkts := n.Packets()
+	if len(pkts) != 1 {
+		t.Fatalf("packets = %d, want 1", len(pkts))
+	}
+	if !pkts[0].ViaDMA {
+		t.Error("DMA packet not marked")
+	}
+	if pkts[0].SrcAddr != src {
+		t.Errorf("src = %#x", pkts[0].SrcAddr)
+	}
+	if !bytes.Equal(pkts[0].Data, msg) {
+		t.Error("DMA payload mismatch")
+	}
+	// DMA used burst reads on the bus.
+	if s := b.Stats(); s.Reads < 3 || s.BySize[64] < 3 {
+		t.Errorf("bus stats %+v: expected >=3 64B read bursts", s)
+	}
+}
+
+func TestDMAUnalignedTail(t *testing.T) {
+	n, b, ram := newRig(t, DefaultConfig())
+	msg := make([]byte, 100) // 64 + 32 + 4
+	for i := range msg {
+		msg[i] = byte(i)
+	}
+	ram.Write(0x2_0000, msg)
+	n.WriteTarget(base+RegDMA, desc(0x2_0000, len(msg)))
+	step(n, b, 1000)
+	if len(n.Packets()) != 1 {
+		t.Fatal("packet not sent")
+	}
+	if !bytes.Equal(n.Packets()[0].Data, msg) {
+		t.Error("tail bytes corrupted")
+	}
+}
+
+func TestStatusRegister(t *testing.T) {
+	n, b, _ := newRig(t, Config{FIFODepth: 1, WireCyclesPerByte: 10, DMABurst: 64})
+	st := leUint(n.ReadTarget(base+RegStatus, 8))
+	if st != 0 {
+		t.Errorf("fresh status = %#x", st)
+	}
+	n.WriteTarget(base+PacketBufBase, []byte{1, 2, 3, 4})
+	n.WriteTarget(base+RegTxFIFO, desc(0, 4))
+	n.WriteTarget(base+RegTxFIFO, desc(0, 4)) // fills the 1-deep FIFO
+	st = leUint(n.ReadTarget(base+RegStatus, 8))
+	if st&2 == 0 {
+		t.Error("FIFO-full bit not set")
+	}
+	step(n, b, 1)
+	st = leUint(n.ReadTarget(base+RegStatus, 8))
+	if st&1 == 0 {
+		t.Error("TX-busy bit not set during slow send")
+	}
+	step(n, b, 200)
+	st = leUint(n.ReadTarget(base+RegStatus, 8))
+	// The second descriptor was dropped by the full 1-deep FIFO.
+	if got := st >> 32; got != 1 {
+		t.Errorf("packets-sent counter = %d, want 1", got)
+	}
+	if n.Dropped() != 1 {
+		t.Errorf("dropped = %d, want 1", n.Dropped())
+	}
+}
+
+func TestFIFOOverflowDrops(t *testing.T) {
+	n, _, _ := newRig(t, Config{FIFODepth: 2, DMABurst: 64})
+	for i := 0; i < 5; i++ {
+		n.WriteTarget(base+RegTxFIFO, desc(0, 8))
+	}
+	if n.Dropped() != 3 {
+		t.Errorf("dropped = %d, want 3", n.Dropped())
+	}
+}
+
+func TestInterruptOnCompletion(t *testing.T) {
+	n, b, _ := newRig(t, DefaultConfig())
+	fired := 0
+	n.Interrupt = func() { fired++ }
+	n.WriteTarget(base+RegTxFIFO, desc(0, 8))
+	step(n, b, 10)
+	if fired != 1 {
+		t.Fatalf("interrupt fired %d times, want 1", fired)
+	}
+	if !n.IntPending() {
+		t.Fatal("interrupt not pending")
+	}
+	n.WriteTarget(base+RegIntAck, []byte{0, 0, 0, 0, 0, 0, 0, 0})
+	if n.IntPending() {
+		t.Error("ack did not clear interrupt")
+	}
+}
+
+func TestWireSerializationDelay(t *testing.T) {
+	n, b, _ := newRig(t, Config{FIFODepth: 4, WireCyclesPerByte: 2, DMABurst: 64})
+	n.WriteTarget(base+RegTxFIFO, desc(0, 50))
+	start := b.Cycle()
+	step(n, b, 1) // starts sending
+	for i := 0; i < 1000 && len(n.Packets()) == 0; i++ {
+		step(n, b, 1)
+	}
+	if len(n.Packets()) != 1 {
+		t.Fatal("packet never sent")
+	}
+	if got := n.Packets()[0].SentAt - start; got < 100 {
+		t.Errorf("send took %d cycles, want >= 100 (50B x 2cyc)", got)
+	}
+}
+
+func TestAlignSize(t *testing.T) {
+	tests := []struct{ in, want int }{
+		{1, 1}, {2, 2}, {3, 2}, {4, 4}, {7, 4}, {8, 8}, {100, 64}, {64, 64},
+	}
+	for _, tt := range tests {
+		if got := alignSize(tt.in); got != tt.want {
+			t.Errorf("alignSize(%d) = %d, want %d", tt.in, got, tt.want)
+		}
+	}
+}
+
+func TestRxQueuePopOnRead(t *testing.T) {
+	n, _, _ := newRig(t, DefaultConfig())
+	n.Deliver(11, 22, 33)
+	if got := leUint(n.ReadTarget(base+RegRxCount, 8)); got != 3 {
+		t.Fatalf("count = %d", got)
+	}
+	if got := leUint(n.ReadTarget(base+RegRxPop, 8)); got != 11 {
+		t.Errorf("pop 1 = %d", got)
+	}
+	if got := leUint(n.ReadTarget(base+RegRxPop, 8)); got != 22 {
+		t.Errorf("pop 2 = %d (destructive read must advance)", got)
+	}
+	if got := leUint(n.ReadTarget(base+RegRxCount, 8)); got != 1 {
+		t.Errorf("count after pops = %d", got)
+	}
+	if n.RxPops() != 2 {
+		t.Errorf("pops = %d", n.RxPops())
+	}
+}
+
+func TestRxQueueEmptyReturnsSentinel(t *testing.T) {
+	n, _, _ := newRig(t, DefaultConfig())
+	if got := leUint(n.ReadTarget(base+RegRxPop, 8)); got != RxEmpty {
+		t.Errorf("empty pop = %#x, want RxEmpty", got)
+	}
+	if n.RxPops() != 0 {
+		t.Error("empty pop counted as a pop")
+	}
+}
+
+func TestRxCountIsNonDestructive(t *testing.T) {
+	n, _, _ := newRig(t, DefaultConfig())
+	n.Deliver(7)
+	n.ReadTarget(base+RegRxCount, 8)
+	n.ReadTarget(base+RegRxCount, 8)
+	if n.RxPending() != 1 {
+		t.Error("RegRxCount consumed data")
+	}
+}

@@ -1,0 +1,234 @@
+package emu
+
+import (
+	"strings"
+	"testing"
+
+	"csbsim/internal/asm"
+)
+
+func run(t *testing.T, src string) *Emulator {
+	t.Helper()
+	p, err := asm.Assemble("t.s", src)
+	if err != nil {
+		t.Fatal(err)
+	}
+	e, err := New(p)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if err := e.Run(1_000_000); err != nil {
+		t.Fatal(err)
+	}
+	return e
+}
+
+func TestBasicALU(t *testing.T) {
+	e := run(t, `
+	mov 6, %g1
+	mov 7, %g2
+	add %g1, %g2, %g3
+	mul %g1, %g2, %g4
+	sub %g3, %g4, %g5
+	halt
+`)
+	if e.R[3] != 13 || e.R[4] != 42 || int64(e.R[5]) != -29 {
+		t.Errorf("regs: %d %d %d", e.R[3], e.R[4], int64(e.R[5]))
+	}
+}
+
+func TestZeroRegisterImmutable(t *testing.T) {
+	e := run(t, `
+	add %g0, 5, %g0
+	mov %g0, %g1
+	halt
+`)
+	if e.R[0] != 0 || e.R[1] != 0 {
+		t.Error("g0 must stay zero")
+	}
+}
+
+func TestLoopAndBranches(t *testing.T) {
+	e := run(t, `
+	clr %g1
+	mov 10, %g2
+loop:	add %g1, %g2, %g1
+	subcc %g2, 1, %g2
+	bnz loop
+	halt
+`)
+	if e.R[1] != 55 {
+		t.Errorf("sum = %d", e.R[1])
+	}
+}
+
+func TestMemoryWidths(t *testing.T) {
+	e := run(t, `
+	set 0x20000, %o1
+	set 0x12345678, %g1
+	stx %g1, [%o1]
+	ldw [%o1], %g2
+	ldh [%o1], %g3
+	ldb [%o1+1], %g4
+	halt
+`)
+	if e.R[2] != 0x12345678 || e.R[3] != 0x5678 || e.R[4] != 0x56 {
+		t.Errorf("loads: %#x %#x %#x", e.R[2], e.R[3], e.R[4])
+	}
+}
+
+func TestSwap(t *testing.T) {
+	e := run(t, `
+	set 0x20000, %o1
+	mov 11, %g1
+	stx %g1, [%o1]
+	mov 22, %g2
+	swap [%o1], %g2
+	ldx [%o1], %g3
+	halt
+`)
+	if e.R[2] != 11 || e.R[3] != 22 {
+		t.Errorf("swap: old=%d mem=%d", e.R[2], e.R[3])
+	}
+}
+
+func TestCallRet(t *testing.T) {
+	e := run(t, `
+	mov 5, %o0
+	call f
+	mov %o0, %g1
+	halt
+f:	add %o0, %o0, %o0
+	ret
+`)
+	if e.R[1] != 10 {
+		t.Errorf("call result = %d", e.R[1])
+	}
+}
+
+func TestFloatingPoint(t *testing.T) {
+	e := run(t, `
+	.org 0x1000
+x:	.double 2.5
+	.entry main
+main:	set x, %o1
+	ldd [%o1], %f0
+	faddd %f0, %f0, %f2
+	fdtoi %f2, %g1
+	halt
+`)
+	if e.R[1] != 5 {
+		t.Errorf("2.5+2.5 trunc = %d", e.R[1])
+	}
+}
+
+func TestConsoleTraps(t *testing.T) {
+	e := run(t, `
+	mov 'x', %o0
+	trap 1
+	mov 7, %o0
+	trap 2
+	halt
+`)
+	if got := string(e.Console); got != "x7" {
+		t.Errorf("console = %q", got)
+	}
+}
+
+func TestIllegalInstructionErrors(t *testing.T) {
+	p, _ := asm.Assemble("t.s", "nop\n")
+	e, _ := New(p)
+	// Run past the single nop into zeroed memory (decodes as invalid).
+	err := e.Run(100)
+	if err == nil || !strings.Contains(err.Error(), "illegal") {
+		t.Errorf("err = %v", err)
+	}
+}
+
+func TestPrivilegedOpsRejected(t *testing.T) {
+	p, _ := asm.Assemble("t.s", "rdpr %pid, %g1\nhalt\n")
+	e, _ := New(p)
+	if err := e.Run(100); err == nil {
+		t.Error("privileged op should error in the emulator")
+	}
+}
+
+func TestUnhandledTrapErrors(t *testing.T) {
+	p, _ := asm.Assemble("t.s", "trap 99\nhalt\n")
+	e, _ := New(p)
+	if err := e.Run(100); err == nil {
+		t.Error("unhandled trap should error")
+	}
+}
+
+func TestStepLimit(t *testing.T) {
+	p, _ := asm.Assemble("t.s", "loop: ba loop\n")
+	e, _ := New(p)
+	if err := e.Run(1000); err == nil {
+		t.Error("infinite loop should hit the step limit")
+	}
+	if e.Steps() != 1000 {
+		t.Errorf("steps = %d", e.Steps())
+	}
+}
+
+func TestMembarIsNop(t *testing.T) {
+	e := run(t, "membar\nmov 1, %g1\nhalt\n")
+	if e.R[1] != 1 {
+		t.Error("membar broke execution")
+	}
+}
+
+func TestMoreALUAndFP(t *testing.T) {
+	e := run(t, `
+	mov -8, %g1
+	sra %g1, 1, %g2         ! -4
+	srl %g1, 60, %g3        ! high bits shifted down
+	not %g0, %g4            ! all ones
+	neg %g2, %g5            ! 4
+	mov 3, %g6
+	movr2f %g6, %f0
+	fitod %g6, %f2          ! 3.0
+	fnegd %f2, %f4          ! -3.0
+	fmovd %f4, %f6
+	fdtoi %f6, %g7          ! -3
+	fcmpd %f2, %f2
+	bz eq
+	mov 0, %l0
+	halt
+eq:	mov 1, %l0
+	halt
+`)
+	if int64(e.R[2]) != -4 {
+		t.Errorf("sra = %d", int64(e.R[2]))
+	}
+	if e.R[3] != 15 {
+		t.Errorf("srl = %d", e.R[3])
+	}
+	if e.R[4] != ^uint64(0) {
+		t.Errorf("not = %#x", e.R[4])
+	}
+	if int64(e.R[5]) != 4 {
+		t.Errorf("neg = %d", int64(e.R[5]))
+	}
+	if int64(e.R[7]) != -3 {
+		t.Errorf("fdtoi = %d", int64(e.R[7]))
+	}
+	if e.R[16] != 1 {
+		t.Error("fcmpd equality branch not taken")
+	}
+}
+
+func TestJALRIndirect(t *testing.T) {
+	e := run(t, `
+	set target, %g1
+	jalr %g1, 0, %o7
+	halt
+target:
+	mov 9, %g2
+	jalr %o7, 0, %g0
+`)
+	if e.R[2] != 9 {
+		t.Errorf("indirect call result = %d", e.R[2])
+	}
+}

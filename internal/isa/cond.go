@@ -1,0 +1,110 @@
+package isa
+
+// Cond enumerates the SPARC-style integer condition codes used by OpBR.
+type Cond uint8
+
+const (
+	CondN   Cond = iota // never
+	CondE               // equal (Z)
+	CondLE              // less or equal, signed (Z or (N xor V))
+	CondL               // less, signed (N xor V)
+	CondLEU             // less or equal, unsigned (C or Z)
+	CondCS              // carry set / less, unsigned (C)
+	CondNEG             // negative (N)
+	CondVS              // overflow set (V)
+	CondA               // always
+	CondNE              // not equal (!Z)
+	CondG               // greater, signed
+	CondGE              // greater or equal, signed
+	CondGU              // greater, unsigned
+	CondCC              // carry clear / greater or equal, unsigned
+	CondPOS             // positive (!N)
+	CondVC              // overflow clear (!V)
+	NumConds
+)
+
+var condNames = [NumConds]string{
+	CondN: "bn", CondE: "bz", CondLE: "ble", CondL: "bl",
+	CondLEU: "bleu", CondCS: "blu", CondNEG: "bneg", CondVS: "bvs",
+	CondA: "ba", CondNE: "bnz", CondG: "bg", CondGE: "bge",
+	CondGU: "bgu", CondCC: "bgeu", CondPOS: "bpos", CondVC: "bvc",
+}
+
+// Name returns the branch mnemonic for the condition.
+func (c Cond) Name() string {
+	if c >= NumConds {
+		return "b?"
+	}
+	return condNames[c]
+}
+
+// Flags holds the integer condition codes, set by the *CC instructions from
+// their 64-bit results.
+type Flags struct {
+	N, Z, V, C bool
+}
+
+// Eval reports whether the condition holds under the given flags.
+func (c Cond) Eval(f Flags) bool {
+	switch c {
+	case CondN:
+		return false
+	case CondE:
+		return f.Z
+	case CondLE:
+		return f.Z || (f.N != f.V)
+	case CondL:
+		return f.N != f.V
+	case CondLEU:
+		return f.C || f.Z
+	case CondCS:
+		return f.C
+	case CondNEG:
+		return f.N
+	case CondVS:
+		return f.V
+	case CondA:
+		return true
+	case CondNE:
+		return !f.Z
+	case CondG:
+		return !(f.Z || (f.N != f.V))
+	case CondGE:
+		return f.N == f.V
+	case CondGU:
+		return !(f.C || f.Z)
+	case CondCC:
+		return !f.C
+	case CondPOS:
+		return !f.N
+	case CondVC:
+		return !f.V
+	}
+	return false
+}
+
+// FlagsFromAdd computes condition codes for a+b=r (64-bit).
+func FlagsFromAdd(a, b, r uint64) Flags {
+	return Flags{
+		N: int64(r) < 0,
+		Z: r == 0,
+		V: (int64(a) >= 0) == (int64(b) >= 0) && (int64(r) >= 0) != (int64(a) >= 0),
+		C: r < a,
+	}
+}
+
+// FlagsFromSub computes condition codes for a-b=r (64-bit). C is the borrow
+// flag, i.e. set when a < b unsigned, matching SPARC subcc.
+func FlagsFromSub(a, b, r uint64) Flags {
+	return Flags{
+		N: int64(r) < 0,
+		Z: r == 0,
+		V: (int64(a) >= 0) != (int64(b) >= 0) && (int64(r) >= 0) != (int64(a) >= 0),
+		C: a < b,
+	}
+}
+
+// FlagsFromLogic computes condition codes for a logical result.
+func FlagsFromLogic(r uint64) Flags {
+	return Flags{N: int64(r) < 0, Z: r == 0}
+}

@@ -1,0 +1,88 @@
+package isa
+
+import (
+	"fmt"
+	"strings"
+)
+
+// String renders the instruction in the assembler's input syntax (SPARC
+// operand order: sources first, destination last), so that disassembled
+// output re-assembles to the same words.
+func (in Inst) String() string {
+	var b strings.Builder
+	op := in.Op
+	switch op {
+	case OpInvalid:
+		return "invalid"
+	case OpNOP:
+		return "nop"
+	case OpHALT:
+		return "halt"
+	case OpIRET:
+		return "iret"
+	case OpMEMBAR:
+		return "membar"
+	case OpTRAP:
+		return fmt.Sprintf("trap %d", in.Imm)
+	case OpLUI:
+		return fmt.Sprintf("lui %d, %s", in.Imm, RegName(in.Rd))
+	case OpBR:
+		return fmt.Sprintf("%s %+d", in.Cond.Name(), in.Imm)
+	case OpJAL:
+		return fmt.Sprintf("jal %+d, %s", in.Imm, RegName(in.Rd))
+	case OpJALR:
+		return fmt.Sprintf("jalr %s, %d, %s", RegName(in.Rs1), in.Imm, RegName(in.Rd))
+	case OpRDPR:
+		return fmt.Sprintf("rdpr %%%s, %s", PRName(PR(in.Imm)), RegName(in.Rd))
+	case OpWRPR:
+		return fmt.Sprintf("wrpr %s, %%%s", RegName(in.Rs1), PRName(PR(in.Imm)))
+	}
+
+	if op.IsMem() {
+		addr := fmt.Sprintf("[%s%+d]", RegName(in.Rs1), in.Imm)
+		if in.Imm == 0 {
+			addr = fmt.Sprintf("[%s]", RegName(in.Rs1))
+		}
+		rd := RegName(in.Rd)
+		if op.FPRd() {
+			rd = FRegName(FReg(in.Rd))
+		}
+		switch {
+		case op == OpSWAP:
+			return fmt.Sprintf("swap %s, %s", addr, rd)
+		case op.IsStore():
+			return fmt.Sprintf("%s %s, %s", op.Name(), rd, addr)
+		default:
+			return fmt.Sprintf("%s %s, %s", op.Name(), addr, rd)
+		}
+	}
+
+	name := func(r Reg, fp bool) string {
+		if fp {
+			return FRegName(FReg(r))
+		}
+		return RegName(r)
+	}
+	b.WriteString(op.Name())
+	b.WriteByte(' ')
+	switch op {
+	case OpFMOV, OpFNEG:
+		fmt.Fprintf(&b, "%s, %s", name(in.Rs1, true), name(in.Rd, true))
+	case OpFITOD, OpMOVR2F:
+		fmt.Fprintf(&b, "%s, %s", RegName(in.Rs1), name(in.Rd, true))
+	case OpFDTOI, OpMOVF2R:
+		fmt.Fprintf(&b, "%s, %s", name(in.Rs1, true), RegName(in.Rd))
+	case OpFCMP:
+		fmt.Fprintf(&b, "%s, %s", name(in.Rs1, true), name(in.Rs2, true))
+	default:
+		// src1, src2/imm, dst — SPARC order.
+		fmt.Fprintf(&b, "%s, ", name(in.Rs1, op.FPRs1()))
+		if op.HasImm() {
+			fmt.Fprintf(&b, "%d", in.Imm)
+		} else {
+			b.WriteString(name(in.Rs2, op.FPRs2()))
+		}
+		fmt.Fprintf(&b, ", %s", name(in.Rd, op.FPRd()))
+	}
+	return b.String()
+}

@@ -1,0 +1,124 @@
+package isa
+
+import "fmt"
+
+// SV9L binary encoding. Every instruction is one 32-bit word:
+//
+//	[31:24] opcode
+//	R-format:   [23:19] rd   [18:14] rs1  [13:9] rs2   [8:0] zero
+//	I-format:   [23:19] rd   [18:14] rs1  [13:0] imm14 (signed)
+//	LUI:        [23:19] rd   [18:0]  imm19 (unsigned)
+//	BR:         [23:20] cond [19:0]  off20 (signed, in instructions)
+//	JAL:        [23:19] rd   [18:0]  off19 (signed, in instructions)
+//
+// Branch offsets are relative to the *next* instruction, i.e. target =
+// PC + 4 + 4*offset.
+const (
+	// InstBytes is the size of one encoded instruction.
+	InstBytes = 4
+
+	immBits = 14
+	luiBits = 19
+	brBits  = 20
+	jalBits = 19
+	immMax  = 1<<(immBits-1) - 1
+	immMin  = -(1 << (immBits - 1))
+	luiMax  = 1<<luiBits - 1
+	brMax   = 1<<(brBits-1) - 1
+	brMin   = -(1 << (brBits - 1))
+	jalMax  = 1<<(jalBits-1) - 1
+	jalMin  = -(1 << (jalBits - 1))
+)
+
+// ImmFits reports whether v fits the signed 14-bit immediate field.
+func ImmFits(v int64) bool { return v >= immMin && v <= immMax }
+
+// Encode packs an instruction into its 32-bit word. It returns an error when
+// a field is out of range.
+func Encode(in Inst) (uint32, error) {
+	if in.Op == OpInvalid || in.Op >= numOps {
+		return 0, fmt.Errorf("encode: invalid opcode %d", in.Op)
+	}
+	if in.Rd >= NumRegs || in.Rs1 >= NumRegs || in.Rs2 >= NumRegs {
+		return 0, fmt.Errorf("encode: register out of range in %s", in.Op.Name())
+	}
+	w := uint32(in.Op) << 24
+	switch in.Op {
+	case OpLUI:
+		if in.Imm < 0 || in.Imm > luiMax {
+			return 0, fmt.Errorf("encode: lui immediate %d out of range", in.Imm)
+		}
+		w |= uint32(in.Rd)<<19 | uint32(in.Imm)
+	case OpBR:
+		if in.Cond >= NumConds {
+			return 0, fmt.Errorf("encode: invalid condition %d", in.Cond)
+		}
+		if in.Imm < brMin || in.Imm > brMax {
+			return 0, fmt.Errorf("encode: branch offset %d out of range", in.Imm)
+		}
+		w |= uint32(in.Cond)<<20 | uint32(in.Imm)&(1<<brBits-1)
+	case OpJAL:
+		if in.Imm < jalMin || in.Imm > jalMax {
+			return 0, fmt.Errorf("encode: jal offset %d out of range", in.Imm)
+		}
+		w |= uint32(in.Rd)<<19 | uint32(in.Imm)&(1<<jalBits-1)
+	default:
+		w |= uint32(in.Rd)<<19 | uint32(in.Rs1)<<14
+		if in.Op.HasImm() {
+			if !ImmFits(in.Imm) {
+				return 0, fmt.Errorf("encode: immediate %d out of range in %s", in.Imm, in.Op.Name())
+			}
+			w |= uint32(in.Imm) & (1<<immBits - 1)
+		} else {
+			w |= uint32(in.Rs2) << 9
+		}
+	}
+	return w, nil
+}
+
+// Decode unpacks a 32-bit word into an instruction. Unknown opcodes decode
+// as OpInvalid rather than returning an error, so that the processor can
+// raise an illegal-instruction trap.
+func Decode(w uint32) Inst {
+	op := Op(w >> 24)
+	if op >= numOps {
+		return Inst{Op: OpInvalid}
+	}
+	in := Inst{Op: op}
+	switch op {
+	case OpInvalid:
+	case OpLUI:
+		in.Rd = Reg(w >> 19 & 31)
+		in.Imm = int64(w & (1<<luiBits - 1))
+	case OpBR:
+		in.Cond = Cond(w >> 20 & 15)
+		in.Imm = signExtend(w&(1<<brBits-1), brBits)
+	case OpJAL:
+		in.Rd = Reg(w >> 19 & 31)
+		in.Imm = signExtend(w&(1<<jalBits-1), jalBits)
+	default:
+		in.Rd = Reg(w >> 19 & 31)
+		in.Rs1 = Reg(w >> 14 & 31)
+		if op.HasImm() {
+			in.Imm = signExtend(w&(1<<immBits-1), immBits)
+		} else {
+			in.Rs2 = Reg(w >> 9 & 31)
+		}
+	}
+	return in
+}
+
+func signExtend(v uint32, bits uint) int64 {
+	shift := 64 - bits
+	return int64(uint64(v)<<shift) >> shift
+}
+
+// MustEncode is Encode for known-valid instructions; it panics on error and
+// is intended for tests and generated code.
+func MustEncode(in Inst) uint32 {
+	w, err := Encode(in)
+	if err != nil {
+		panic(err)
+	}
+	return w
+}

@@ -1,0 +1,399 @@
+// Package isa defines SV9L, a SPARC-V9-flavored 64-bit RISC instruction set
+// used by the simulator. It mirrors the subset of SPARC V9 that the paper's
+// microbenchmarks rely on: 32 integer registers (r0 hardwired to zero) with
+// the SPARC g/o/l/i aliases, 32 double-precision floating-point registers,
+// integer condition codes, doubleword loads and stores, the atomic swap
+// instruction (which doubles as the CSB conditional flush when its target
+// address lies in uncached-combining space), and memory barriers.
+//
+// Deliberate simplifications relative to real SPARC V9 (documented in
+// DESIGN.md): no branch delay slots, no register windows, a fixed 32-bit
+// custom encoding, and a 64-bit swap. None of these affect the quantities
+// the paper measures.
+package isa
+
+import "fmt"
+
+// Reg names an integer register. R0 always reads as zero; writes to it are
+// discarded.
+type Reg uint8
+
+// FReg names a 64-bit floating-point register.
+type FReg uint8
+
+// NumRegs and NumFRegs size the architectural register files.
+const (
+	NumRegs  = 32
+	NumFRegs = 32
+)
+
+// Op enumerates SV9L opcodes. The zero value is OpInvalid so that
+// zero-initialized memory decodes to an illegal instruction rather than a
+// silent no-op.
+type Op uint8
+
+const (
+	OpInvalid Op = iota
+
+	// Integer ALU, register form: rd = rs1 op rs2.
+	OpADD
+	OpSUB
+	OpAND
+	OpOR
+	OpXOR
+	OpSLL
+	OpSRL
+	OpSRA
+	OpMUL
+
+	// Integer ALU, immediate form: rd = rs1 op imm.
+	OpADDI
+	OpSUBI
+	OpANDI
+	OpORI
+	OpXORI
+	OpSLLI
+	OpSRLI
+	OpSRAI
+	OpMULI
+
+	// Condition-code setting variants (update icc from the 64-bit result).
+	OpADDCC
+	OpSUBCC
+	OpANDCC
+	OpORCC
+	OpADDCCI
+	OpSUBCCI
+	OpANDCCI
+	OpORCCI
+
+	// OpLUI loads imm19<<13 into rd (upper bits of a 32-bit constant).
+	OpLUI
+
+	// Control transfer. OpBR branches on Cond; OpJAL stores the return
+	// address in rd and jumps PC-relative; OpJALR jumps to rs1+imm.
+	OpBR
+	OpJAL
+	OpJALR
+
+	// Memory, immediate addressing [rs1+imm]. Loads zero-extend.
+	OpLDB
+	OpLDH
+	OpLDW
+	OpLDX
+	OpSTB
+	OpSTH
+	OpSTW
+	OpSTX
+	OpLDF // load 8-byte double into FReg(rd)
+	OpSTF // store FReg(rd) as 8 bytes
+
+	// OpSWAP atomically exchanges rd with the 64-bit word at [rs1+imm].
+	// When the effective address lies in uncached-combining space this is
+	// the CSB conditional flush: rd supplies the expected hit count and
+	// receives the old register value on success or 0 on failure.
+	OpSWAP
+
+	// OpMEMBAR orders memory: it retires only once the write buffer and
+	// the uncached buffer have drained.
+	OpMEMBAR
+
+	// Floating point (double precision).
+	OpFADD
+	OpFSUB
+	OpFMUL
+	OpFDIV
+	OpFMOV
+	OpFNEG
+	OpFITOD // frd = float64(rs1) — reads the integer file
+	OpFDTOI // rd = int64(frs1) — writes the integer file
+	OpFCMP  // sets icc from comparing frs1, frs2
+	OpMOVR2F
+	OpMOVF2R
+
+	// System / privileged.
+	OpRDPR // rd = privileged register imm
+	OpWRPR // privileged register imm = rs1
+	OpIRET // return from interrupt: PC = EPC, re-enable interrupts
+	OpTRAP // software trap with code imm
+	OpHALT // stop the processor
+	OpNOP
+
+	numOps
+)
+
+// PR enumerates privileged registers accessed via RDPR/WRPR.
+type PR uint8
+
+const (
+	PRPID     PR = iota // current process ID (also the TLB ASID)
+	PRERPC              // exception return PC
+	PRIVEC              // interrupt vector address
+	PRSTATUS            // bit 0: interrupts enabled
+	PRCYCLE             // free-running cycle counter (read-only)
+	PRSCRATCH           // kernel scratch register
+	PRCAUSE             // cause of the most recent trap
+	NumPRs
+)
+
+// Trap causes written to PRCAUSE.
+const (
+	CauseNone     = 0
+	CauseTimer    = 1
+	CauseSoftware = 2 // OpTRAP; imm is in bits [15:8]
+	CauseIllegal  = 3
+	CauseFault    = 4 // memory translation failure
+)
+
+// Inst is a decoded instruction. The assembler produces these; Encode packs
+// them into 32-bit words and Decode unpacks them.
+type Inst struct {
+	Op   Op
+	Rd   Reg // integer or FP destination depending on Op
+	Rs1  Reg
+	Rs2  Reg
+	Cond Cond  // for OpBR
+	Imm  int64 // immediate, branch offset (in instructions), or PR number
+}
+
+// Class groups opcodes by the pipeline resources they use.
+type Class uint8
+
+const (
+	ClassInt    Class = iota // integer ALU, 1-cycle
+	ClassIntMul              // integer multiply, longer latency
+	ClassBranch              // resolved on an integer ALU
+	ClassLoad
+	ClassStore
+	ClassSwap // atomic read-modify-write
+	ClassFPU
+	ClassBarrier // MEMBAR
+	ClassSystem  // RDPR/WRPR/IRET/TRAP/HALT/NOP
+)
+
+type opInfo struct {
+	name  string
+	class Class
+	// hasImm reports whether the immediate field is meaningful.
+	hasImm bool
+	// fp marks which register fields name FP registers.
+	fpRd, fpRs1, fpRs2 bool
+}
+
+var opTable = [numOps]opInfo{
+	OpInvalid: {name: "invalid", class: ClassSystem},
+
+	OpADD: {name: "add", class: ClassInt},
+	OpSUB: {name: "sub", class: ClassInt},
+	OpAND: {name: "and", class: ClassInt},
+	OpOR:  {name: "or", class: ClassInt},
+	OpXOR: {name: "xor", class: ClassInt},
+	OpSLL: {name: "sll", class: ClassInt},
+	OpSRL: {name: "srl", class: ClassInt},
+	OpSRA: {name: "sra", class: ClassInt},
+	OpMUL: {name: "mul", class: ClassIntMul},
+
+	OpADDI: {name: "addi", class: ClassInt, hasImm: true},
+	OpSUBI: {name: "subi", class: ClassInt, hasImm: true},
+	OpANDI: {name: "andi", class: ClassInt, hasImm: true},
+	OpORI:  {name: "ori", class: ClassInt, hasImm: true},
+	OpXORI: {name: "xori", class: ClassInt, hasImm: true},
+	OpSLLI: {name: "slli", class: ClassInt, hasImm: true},
+	OpSRLI: {name: "srli", class: ClassInt, hasImm: true},
+	OpSRAI: {name: "srai", class: ClassInt, hasImm: true},
+	OpMULI: {name: "muli", class: ClassIntMul, hasImm: true},
+
+	OpADDCC:  {name: "addcc", class: ClassInt},
+	OpSUBCC:  {name: "subcc", class: ClassInt},
+	OpANDCC:  {name: "andcc", class: ClassInt},
+	OpORCC:   {name: "orcc", class: ClassInt},
+	OpADDCCI: {name: "addcci", class: ClassInt, hasImm: true},
+	OpSUBCCI: {name: "subcci", class: ClassInt, hasImm: true},
+	OpANDCCI: {name: "andcci", class: ClassInt, hasImm: true},
+	OpORCCI:  {name: "orcci", class: ClassInt, hasImm: true},
+
+	OpLUI: {name: "lui", class: ClassInt, hasImm: true},
+
+	OpBR:   {name: "br", class: ClassBranch, hasImm: true},
+	OpJAL:  {name: "jal", class: ClassBranch, hasImm: true},
+	OpJALR: {name: "jalr", class: ClassBranch, hasImm: true},
+
+	OpLDB: {name: "ldb", class: ClassLoad, hasImm: true},
+	OpLDH: {name: "ldh", class: ClassLoad, hasImm: true},
+	OpLDW: {name: "ldw", class: ClassLoad, hasImm: true},
+	OpLDX: {name: "ldx", class: ClassLoad, hasImm: true},
+	OpSTB: {name: "stb", class: ClassStore, hasImm: true},
+	OpSTH: {name: "sth", class: ClassStore, hasImm: true},
+	OpSTW: {name: "stw", class: ClassStore, hasImm: true},
+	OpSTX: {name: "stx", class: ClassStore, hasImm: true},
+	OpLDF: {name: "ldf", class: ClassLoad, hasImm: true, fpRd: true},
+	OpSTF: {name: "stf", class: ClassStore, hasImm: true, fpRd: true},
+
+	OpSWAP:   {name: "swap", class: ClassSwap, hasImm: true},
+	OpMEMBAR: {name: "membar", class: ClassBarrier},
+
+	OpFADD:   {name: "faddd", class: ClassFPU, fpRd: true, fpRs1: true, fpRs2: true},
+	OpFSUB:   {name: "fsubd", class: ClassFPU, fpRd: true, fpRs1: true, fpRs2: true},
+	OpFMUL:   {name: "fmuld", class: ClassFPU, fpRd: true, fpRs1: true, fpRs2: true},
+	OpFDIV:   {name: "fdivd", class: ClassFPU, fpRd: true, fpRs1: true, fpRs2: true},
+	OpFMOV:   {name: "fmovd", class: ClassFPU, fpRd: true, fpRs1: true},
+	OpFNEG:   {name: "fnegd", class: ClassFPU, fpRd: true, fpRs1: true},
+	OpFITOD:  {name: "fitod", class: ClassFPU, fpRd: true},
+	OpFDTOI:  {name: "fdtoi", class: ClassFPU, fpRs1: true},
+	OpFCMP:   {name: "fcmpd", class: ClassFPU, fpRs1: true, fpRs2: true},
+	OpMOVR2F: {name: "movr2f", class: ClassFPU, fpRd: true},
+	OpMOVF2R: {name: "movf2r", class: ClassFPU, fpRs1: true},
+
+	OpRDPR: {name: "rdpr", class: ClassSystem, hasImm: true},
+	OpWRPR: {name: "wrpr", class: ClassSystem, hasImm: true},
+	OpIRET: {name: "iret", class: ClassSystem},
+	OpTRAP: {name: "trap", class: ClassSystem, hasImm: true},
+	OpHALT: {name: "halt", class: ClassSystem},
+	OpNOP:  {name: "nop", class: ClassSystem},
+}
+
+// Name returns the assembler mnemonic for op.
+func (op Op) Name() string {
+	if op >= numOps {
+		return fmt.Sprintf("op(%d)", uint8(op))
+	}
+	return opTable[op].name
+}
+
+// Class reports the pipeline resource class of op.
+func (op Op) Class() Class {
+	if op >= numOps {
+		return ClassSystem
+	}
+	return opTable[op].class
+}
+
+// HasImm reports whether op uses the immediate field.
+func (op Op) HasImm() bool {
+	if op >= numOps {
+		return false
+	}
+	return opTable[op].hasImm
+}
+
+// FPRd, FPRs1 and FPRs2 report whether the respective register field of op
+// names a floating-point register.
+func (op Op) FPRd() bool  { return op < numOps && opTable[op].fpRd }
+func (op Op) FPRs1() bool { return op < numOps && opTable[op].fpRs1 }
+func (op Op) FPRs2() bool { return op < numOps && opTable[op].fpRs2 }
+
+// IsMem reports whether op accesses memory.
+func (op Op) IsMem() bool {
+	switch op.Class() {
+	case ClassLoad, ClassStore, ClassSwap:
+		return true
+	}
+	return false
+}
+
+// MemBytes returns the access width in bytes for memory operations, or 0.
+func (op Op) MemBytes() int {
+	switch op {
+	case OpLDB, OpSTB:
+		return 1
+	case OpLDH, OpSTH:
+		return 2
+	case OpLDW, OpSTW:
+		return 4
+	case OpLDX, OpSTX, OpLDF, OpSTF, OpSWAP:
+		return 8
+	}
+	return 0
+}
+
+// IsStore reports whether op writes memory (swap both reads and writes and
+// counts as a store for ordering purposes).
+func (op Op) IsStore() bool {
+	c := op.Class()
+	return c == ClassStore || c == ClassSwap
+}
+
+// IsLoad reports whether op reads memory.
+func (op Op) IsLoad() bool {
+	c := op.Class()
+	return c == ClassLoad || c == ClassSwap
+}
+
+// WritesIntReg reports whether the instruction produces an integer register
+// result in Rd.
+func (in *Inst) WritesIntReg() bool {
+	switch in.Op.Class() {
+	case ClassInt, ClassIntMul:
+		return in.Rd != 0
+	case ClassLoad:
+		return !in.Op.FPRd() && in.Rd != 0
+	case ClassSwap:
+		return in.Rd != 0
+	case ClassBranch:
+		return (in.Op == OpJAL || in.Op == OpJALR) && in.Rd != 0
+	case ClassFPU:
+		return (in.Op == OpFDTOI || in.Op == OpMOVF2R) && in.Rd != 0
+	case ClassSystem:
+		return in.Op == OpRDPR && in.Rd != 0
+	}
+	return false
+}
+
+// WritesFPReg reports whether the instruction produces an FP register result.
+func (in *Inst) WritesFPReg() bool {
+	switch in.Op {
+	case OpLDF, OpFADD, OpFSUB, OpFMUL, OpFDIV, OpFMOV, OpFNEG, OpFITOD, OpMOVR2F:
+		return true
+	}
+	return false
+}
+
+// ReadsIntRs1 reports whether Rs1 names an integer source register.
+func (in *Inst) ReadsIntRs1() bool {
+	switch in.Op {
+	case OpLUI, OpBR, OpJAL, OpIRET, OpTRAP, OpHALT, OpNOP, OpMEMBAR, OpRDPR:
+		return false
+	}
+	if in.Op.FPRs1() {
+		return false
+	}
+	return true
+}
+
+// ReadsIntRs2 reports whether Rs2 names an integer source register.
+func (in *Inst) ReadsIntRs2() bool {
+	if in.Op.HasImm() || in.Op.FPRs2() {
+		return false
+	}
+	switch in.Op.Class() {
+	case ClassInt, ClassIntMul:
+		return true
+	}
+	return false
+}
+
+// ReadsRdAsSource reports whether the Rd field is actually a source operand
+// (stores and swap read the register they name).
+func (in *Inst) ReadsRdAsSource() bool {
+	switch in.Op {
+	case OpSTB, OpSTH, OpSTW, OpSTX, OpSWAP:
+		return true
+	case OpSTF:
+		return true // FP source
+	}
+	return false
+}
+
+// IsBranch reports whether the instruction can redirect the PC.
+func (in *Inst) IsBranch() bool { return in.Op.Class() == ClassBranch }
+
+// IsUnconditional reports whether a branch always transfers control.
+func (in *Inst) IsUnconditional() bool {
+	switch in.Op {
+	case OpJAL, OpJALR:
+		return true
+	case OpBR:
+		return in.Cond == CondA
+	}
+	return false
+}

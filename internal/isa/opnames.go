@@ -1,0 +1,70 @@
+package isa
+
+import "strings"
+
+var opByName = func() map[string]Op {
+	m := make(map[string]Op, int(numOps))
+	for op := Op(1); op < numOps; op++ {
+		m[opTable[op].name] = op
+	}
+	return m
+}()
+
+// OpByName looks up an opcode by its canonical mnemonic (case-insensitive).
+// Assembler-level aliases and pseudo-instructions are handled by the asm
+// package, not here.
+func OpByName(name string) (Op, bool) {
+	op, ok := opByName[strings.ToLower(name)]
+	return op, ok
+}
+
+var prNames = [NumPRs]string{
+	PRPID: "pid", PRERPC: "erpc", PRIVEC: "ivec", PRSTATUS: "status",
+	PRCYCLE: "cycle", PRSCRATCH: "scratch", PRCAUSE: "cause",
+}
+
+// PRName returns the assembler name of a privileged register.
+func PRName(pr PR) string {
+	if pr >= NumPRs {
+		return "pr?"
+	}
+	return prNames[pr]
+}
+
+// PRByName looks up a privileged register by name (with or without a
+// leading %).
+func PRByName(name string) (PR, bool) {
+	t := strings.TrimPrefix(strings.ToLower(name), "%")
+	for pr, n := range prNames {
+		if n == t {
+			return PR(pr), true
+		}
+	}
+	return 0, false
+}
+
+// CondByName looks up a branch condition by its mnemonic (e.g. "bnz"),
+// including common SPARC aliases.
+func CondByName(name string) (Cond, bool) {
+	t := strings.ToLower(name)
+	switch t {
+	case "be":
+		return CondE, true
+	case "bne":
+		return CondNE, true
+	case "bcs", "blu":
+		return CondCS, true
+	case "bcc", "bgeu":
+		return CondCC, true
+	case "blt":
+		return CondL, true
+	case "bgt":
+		return CondG, true
+	}
+	for c := Cond(0); c < NumConds; c++ {
+		if condNames[c] == t {
+			return c, true
+		}
+	}
+	return 0, false
+}

@@ -1,0 +1,91 @@
+package isa
+
+import (
+	"fmt"
+	"strconv"
+	"strings"
+)
+
+// Integer register aliases following the SPARC convention: g0–g7 are the
+// globals (g0 reads as zero), o0–o7 the outs, l0–l7 the locals, i0–i7 the
+// ins. SV9L has no register windows, so these are fixed names for r0–r31.
+const (
+	RegZero Reg = 0  // g0
+	RegSP   Reg = 14 // o6, conventional stack pointer
+	RegRA   Reg = 15 // o7, conventional return address
+	RegFP   Reg = 30 // i6, conventional frame pointer
+)
+
+// RegName returns the canonical assembly name for an integer register.
+func RegName(r Reg) string {
+	switch {
+	case r < 8:
+		return fmt.Sprintf("%%g%d", r)
+	case r < 16:
+		return fmt.Sprintf("%%o%d", r-8)
+	case r < 24:
+		return fmt.Sprintf("%%l%d", r-16)
+	case r < 32:
+		return fmt.Sprintf("%%i%d", r-24)
+	}
+	return fmt.Sprintf("%%r%d", r)
+}
+
+// FRegName returns the assembly name for a floating-point register.
+func FRegName(r FReg) string { return fmt.Sprintf("%%f%d", r) }
+
+// ParseReg parses an integer register name. Accepted forms: %r0–%r31,
+// %g0–%g7, %o0–%o7, %l0–%l7, %i0–%i7, %sp, %fp (the leading % is optional).
+func ParseReg(s string) (Reg, error) {
+	t := strings.TrimPrefix(strings.ToLower(s), "%")
+	switch t {
+	case "sp":
+		return RegSP, nil
+	case "fp":
+		return RegFP, nil
+	case "zero":
+		return RegZero, nil
+	}
+	if len(t) < 2 {
+		return 0, fmt.Errorf("invalid register %q", s)
+	}
+	n, err := strconv.Atoi(t[1:])
+	if err != nil {
+		return 0, fmt.Errorf("invalid register %q", s)
+	}
+	var base int
+	switch t[0] {
+	case 'r':
+		if n < 0 || n > 31 {
+			return 0, fmt.Errorf("register %q out of range", s)
+		}
+		return Reg(n), nil
+	case 'g':
+		base = 0
+	case 'o':
+		base = 8
+	case 'l':
+		base = 16
+	case 'i':
+		base = 24
+	default:
+		return 0, fmt.Errorf("invalid register %q", s)
+	}
+	if n < 0 || n > 7 {
+		return 0, fmt.Errorf("register %q out of range", s)
+	}
+	return Reg(base + n), nil
+}
+
+// ParseFReg parses a floating-point register name %f0–%f31.
+func ParseFReg(s string) (FReg, error) {
+	t := strings.TrimPrefix(strings.ToLower(s), "%")
+	if len(t) < 2 || t[0] != 'f' {
+		return 0, fmt.Errorf("invalid fp register %q", s)
+	}
+	n, err := strconv.Atoi(t[1:])
+	if err != nil || n < 0 || n > 31 {
+		return 0, fmt.Errorf("invalid fp register %q", s)
+	}
+	return FReg(n), nil
+}

@@ -1,0 +1,334 @@
+package sim
+
+import (
+	"fmt"
+	"math/rand"
+	"strings"
+	"testing"
+
+	"csbsim/internal/asm"
+	"csbsim/internal/emu"
+	"csbsim/internal/isa"
+	"csbsim/internal/mem"
+)
+
+// Differential testing: random structured programs must leave the
+// out-of-order machine and the sequential reference emulator in identical
+// architectural state (registers, FP registers, memory). This exercises
+// renaming, speculation, squashing, load/store ordering and the retire
+// logic far beyond what hand-written cases cover.
+
+const (
+	diffScratch = 0x20000 // scratch buffer (covered by the loader's map)
+	diffBufLen  = 512
+	diffIOBase  = 0x4800_0000 // uncached region: %o0 points here
+	diffIOLen   = 256
+)
+
+// genRegs are the general-purpose registers the generator uses freely.
+// %l4-%l7 are reserved as loop counters (one per nesting depth) so
+// generated bodies can never clobber the counter of a loop around them.
+// %o0 is reserved as the uncached-region base, %o1 as the scratch base,
+// %o7 as the return-address register.
+var genRegs = []string{
+	"%g1", "%g2", "%g3", "%g4", "%g5", "%g6", "%g7",
+	"%o2", "%o3", "%o4", "%o5",
+	"%l0", "%l1", "%l2", "%l3",
+	"%i0", "%i1", "%i2", "%i3", "%i4", "%i5",
+}
+
+type progGen struct {
+	r     *rand.Rand
+	b     strings.Builder
+	label int
+}
+
+func (g *progGen) reg() string { return genRegs[g.r.Intn(len(genRegs))] }
+
+func (g *progGen) freg() string { return fmt.Sprintf("%%f%d", g.r.Intn(8)*2) }
+
+func (g *progGen) newLabel() string {
+	g.label++
+	return fmt.Sprintf("L%d", g.label)
+}
+
+func (g *progGen) emitf(format string, args ...any) {
+	fmt.Fprintf(&g.b, format+"\n", args...)
+}
+
+var aluOps = []string{"add", "sub", "and", "or", "xor", "mul", "addcc", "subcc", "andcc", "orcc"}
+var shiftOps = []string{"sll", "srl", "sra"}
+var fpOps = []string{"faddd", "fsubd", "fmuld"}
+var conds = []string{"bz", "bnz", "bl", "bge", "bg", "ble", "blu", "bgeu", "bneg", "bpos"}
+
+// alu emits a random integer operation.
+func (g *progGen) alu() {
+	op := aluOps[g.r.Intn(len(aluOps))]
+	if g.r.Intn(2) == 0 {
+		g.emitf("\t%s %s, %d, %s", op, g.reg(), g.r.Intn(4096)-2048, g.reg())
+	} else {
+		g.emitf("\t%s %s, %s, %s", op, g.reg(), g.reg(), g.reg())
+	}
+}
+
+func (g *progGen) shift() {
+	op := shiftOps[g.r.Intn(len(shiftOps))]
+	g.emitf("\t%s %s, %d, %s", op, g.reg(), g.r.Intn(64), g.reg())
+}
+
+// store emits an aligned store of random width into the scratch buffer.
+func (g *progGen) store() {
+	widths := []struct {
+		mn    string
+		align int
+	}{{"stb", 1}, {"sth", 2}, {"stw", 4}, {"stx", 8}}
+	w := widths[g.r.Intn(len(widths))]
+	off := g.r.Intn(diffBufLen/w.align) * w.align
+	g.emitf("\t%s %s, [%%o1+%d]", w.mn, g.reg(), off)
+}
+
+func (g *progGen) load() {
+	widths := []struct {
+		mn    string
+		align int
+	}{{"ldb", 1}, {"ldh", 2}, {"ldw", 4}, {"ldx", 8}}
+	w := widths[g.r.Intn(len(widths))]
+	off := g.r.Intn(diffBufLen/w.align) * w.align
+	g.emitf("\t%s [%%o1+%d], %s", w.mn, off, g.reg())
+}
+
+func (g *progGen) fp() {
+	op := fpOps[g.r.Intn(len(fpOps))]
+	g.emitf("\t%s %s, %s, %s", op, g.freg(), g.freg(), g.freg())
+}
+
+func (g *progGen) fpMove() {
+	if g.r.Intn(2) == 0 {
+		g.emitf("\tmovr2f %s, %s", g.reg(), g.freg())
+	} else {
+		g.emitf("\tmovf2r %s, %s", g.freg(), g.reg())
+	}
+}
+
+// condSkip emits a compare and a forward conditional branch over a few
+// instructions — the bread and butter of branch prediction and squashing.
+func (g *progGen) condSkip(depth int) {
+	l := g.newLabel()
+	g.emitf("\tcmp %s, %s", g.reg(), g.reg())
+	g.emitf("\t%s %s", conds[g.r.Intn(len(conds))], l)
+	for i := 0; i < 1+g.r.Intn(3); i++ {
+		g.block(depth + 1)
+	}
+	g.emitf("%s:", l)
+}
+
+// loop emits a counted loop with a small body; trip counts are bounded so
+// programs always terminate.
+func (g *progGen) loop(depth int) {
+	l := g.newLabel()
+	counter := fmt.Sprintf("%%l%d", 4+depth) // reserved counter per depth
+	g.emitf("\tmov %d, %s", 1+g.r.Intn(8), counter)
+	g.emitf("%s:", l)
+	for i := 0; i < 1+g.r.Intn(2); i++ {
+		g.block(depth + 1)
+	}
+	g.emitf("\tsubcc %s, 1, %s", counter, counter)
+	g.emitf("\tbnz %s", l)
+}
+
+func (g *progGen) call() {
+	g.emitf("\tcall leaf%d", g.r.Intn(2))
+}
+
+// swap exercises the atomic exchange (retire-executed even when cached).
+func (g *progGen) swap() {
+	off := g.r.Intn(diffBufLen/8) * 8
+	g.emitf("\tswap [%%o1+%d], %s", off, g.reg())
+}
+
+// ucStore and ucLoad exercise the uncached buffer and blocking-load paths;
+// the emulator sees them as ordinary memory accesses, so the final state
+// must agree even though the machine routes them over the bus.
+func (g *progGen) ucStore() {
+	off := g.r.Intn(diffIOLen/8) * 8
+	g.emitf("\tstx %s, [%%o0+%d]", g.reg(), off)
+}
+
+func (g *progGen) ucLoad() {
+	off := g.r.Intn(diffIOLen/8) * 8
+	g.emitf("\tldx [%%o0+%d], %s", off, g.reg())
+}
+
+// block emits one random construct.
+func (g *progGen) block(depth int) {
+	max := 10
+	if depth >= 2 {
+		max = 8 // no further nesting
+	}
+	switch g.r.Intn(max) {
+	case 0, 1:
+		g.alu()
+	case 2:
+		g.shift()
+	case 3:
+		g.store()
+	case 4:
+		g.load()
+	case 5:
+		g.fp()
+		g.fpMove()
+	case 6:
+		g.call()
+	case 7:
+		switch g.r.Intn(4) {
+		case 0:
+			g.swap()
+		case 1:
+			g.emitf("\tmembar")
+		case 2:
+			g.ucStore()
+		case 3:
+			g.ucLoad()
+		}
+	case 8:
+		g.condSkip(depth)
+	case 9:
+		g.loop(depth)
+	}
+}
+
+// generate builds a complete random program.
+func generate(seed int64) string {
+	g := &progGen{r: rand.New(rand.NewSource(seed))}
+	g.emitf("\tset %#x, %%o1", diffScratch)
+	g.emitf("\tset %#x, %%o0", diffIOBase)
+	for i, r := range genRegs {
+		g.emitf("\tset %d, %s", g.r.Intn(1<<20)+i, r)
+	}
+	for i := 0; i < 8; i++ {
+		g.emitf("\tmovr2f %s, %%f%d", g.reg(), i*2)
+	}
+	n := 12 + g.r.Intn(20)
+	for i := 0; i < n; i++ {
+		g.block(0)
+	}
+	g.emitf("\tmembar") // drain I/O before the final state comparison
+	g.emitf("\thalt")
+	// Leaf functions, placed after halt so fall-through never reaches them.
+	g.emitf("leaf0:\tadd %%o2, 1, %%o2")
+	g.emitf("\tret")
+	g.emitf("leaf1:\txor %%g1, %%g2, %%g7")
+	g.emitf("\tsub %%g7, 3, %%g7")
+	g.emitf("\tret")
+	return g.b.String()
+}
+
+// runBoth executes the program on the OOO machine and the reference
+// emulator and compares all architectural state.
+func runBoth(t *testing.T, seed int64, src string) {
+	t.Helper()
+	prog, err := asm.Assemble(fmt.Sprintf("seed%d.s", seed), src)
+	if err != nil {
+		t.Fatalf("seed %d: assemble: %v\n%s", seed, err, src)
+	}
+
+	m, err := New(DefaultConfig())
+	if err != nil {
+		t.Fatal(err)
+	}
+	if err := m.Load(prog); err != nil {
+		t.Fatal(err)
+	}
+	m.MapRange(diffIOBase, mem.PageSize, mem.KindUncached)
+	m.WarmProgram(prog)
+	if err := m.Run(20_000_000); err != nil {
+		t.Fatalf("seed %d: machine: %v\n%s", seed, err, src)
+	}
+
+	e, err := emu.New(prog)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if err := e.Run(5_000_000); err != nil {
+		t.Fatalf("seed %d: emulator: %v\n%s", seed, err, src)
+	}
+
+	st := m.CPU.State()
+	for r := isa.Reg(1); r < isa.NumRegs; r++ {
+		if st.R[r] != e.R[r] {
+			t.Errorf("seed %d: %s = %#x (machine) vs %#x (emu)",
+				seed, isa.RegName(r), st.R[r], e.R[r])
+		}
+	}
+	for f := 0; f < isa.NumFRegs; f++ {
+		if st.F[f] != e.F[f] {
+			t.Errorf("seed %d: %%f%d = %#x vs %#x", seed, f, st.F[f], e.F[f])
+		}
+	}
+	if st.CC != e.CC {
+		t.Errorf("seed %d: CC = %+v vs %+v", seed, st.CC, e.CC)
+	}
+	for off := uint64(0); off < diffBufLen; off += 8 {
+		mv := m.RAM.ReadUint(diffScratch+off, 8)
+		ev := e.Mem.ReadUint(diffScratch+off, 8)
+		if mv != ev {
+			t.Errorf("seed %d: mem[%#x] = %#x vs %#x", seed, diffScratch+off, mv, ev)
+		}
+	}
+	for off := uint64(0); off < diffIOLen; off += 8 {
+		mv := m.RAM.ReadUint(diffIOBase+off, 8)
+		ev := e.Mem.ReadUint(diffIOBase+off, 8)
+		if mv != ev {
+			t.Errorf("seed %d: io[%#x] = %#x vs %#x", seed, diffIOBase+off, mv, ev)
+		}
+	}
+	if t.Failed() {
+		t.Logf("program:\n%s", src)
+		t.FailNow()
+	}
+}
+
+func TestDifferentialRandomPrograms(t *testing.T) {
+	seeds := 60
+	if testing.Short() {
+		seeds = 10
+	}
+	for seed := 0; seed < seeds; seed++ {
+		src := generate(int64(seed))
+		runBoth(t, int64(seed), src)
+	}
+}
+
+// TestDifferentialColdCaches repeats a subset without warming, exercising
+// I-cache miss stalls interleaved with speculation.
+func TestDifferentialColdCaches(t *testing.T) {
+	for seed := 100; seed < 110; seed++ {
+		src := generate(int64(seed))
+		prog, err := asm.Assemble("cold.s", src)
+		if err != nil {
+			t.Fatal(err)
+		}
+		m, err := New(DefaultConfig())
+		if err != nil {
+			t.Fatal(err)
+		}
+		if err := m.Load(prog); err != nil {
+			t.Fatal(err)
+		}
+		m.MapRange(diffIOBase, mem.PageSize, mem.KindUncached)
+		if err := m.Run(20_000_000); err != nil {
+			t.Fatalf("seed %d: %v", seed, err)
+		}
+		e, _ := emu.New(prog)
+		if err := e.Run(5_000_000); err != nil {
+			t.Fatalf("seed %d: emu: %v", seed, err)
+		}
+		st := m.CPU.State()
+		for r := isa.Reg(1); r < isa.NumRegs; r++ {
+			if st.R[r] != e.R[r] {
+				t.Fatalf("seed %d: %s mismatch: %#x vs %#x\n%s",
+					seed, isa.RegName(r), st.R[r], e.R[r], src)
+			}
+		}
+	}
+}

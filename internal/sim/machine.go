@@ -1,0 +1,353 @@
+// Package sim assembles the full machine of the paper's evaluation: the
+// out-of-order core, split L1 / unified L2 caches, the uncached buffer,
+// the conditional store buffer, and a multiplexed or split system bus
+// clocked at a configurable fraction of the core frequency, with main
+// memory and memory-mapped devices behind it.
+package sim
+
+import (
+	"bytes"
+	"fmt"
+
+	"csbsim/internal/asm"
+	"csbsim/internal/bus"
+	"csbsim/internal/cache"
+	"csbsim/internal/core"
+	"csbsim/internal/cpu"
+	"csbsim/internal/isa"
+	"csbsim/internal/mem"
+	"csbsim/internal/uncbuf"
+)
+
+// Config collects all machine parameters.
+type Config struct {
+	CPU    cpu.Config
+	Caches cache.HierConfig
+	Bus    bus.Config
+	UB     uncbuf.Config
+	CSB    core.Config
+	// Ratio is the CPU-to-bus clock frequency ratio (6 in the paper's
+	// main experiments: ~1 GHz core, >100 MHz bus).
+	Ratio int
+	// ContextSwitchCost models the kernel's save/restore path in CPU
+	// cycles when the Go-level scheduler switches processes.
+	ContextSwitchCost int
+}
+
+// DefaultConfig is the paper's base machine: 4-wide core, 64-byte lines,
+// 8-byte multiplexed bus at ratio 6, non-combining uncached buffer, 64-byte
+// single-entry CSB.
+func DefaultConfig() Config {
+	return Config{
+		CPU:               cpu.DefaultConfig(),
+		Caches:            cache.DefaultHierConfig(),
+		Bus:               bus.DefaultConfig(),
+		UB:                uncbuf.DefaultConfig(),
+		CSB:               core.DefaultConfig(),
+		Ratio:             6,
+		ContextSwitchCost: 200,
+	}
+}
+
+// Validate reports configuration errors.
+func (c Config) Validate() error {
+	if err := c.CPU.Validate(); err != nil {
+		return err
+	}
+	if err := c.Caches.Validate(); err != nil {
+		return err
+	}
+	if err := c.Bus.Validate(); err != nil {
+		return err
+	}
+	if err := c.UB.Validate(); err != nil {
+		return err
+	}
+	if err := c.CSB.Validate(); err != nil {
+		return err
+	}
+	if c.Ratio <= 0 {
+		return fmt.Errorf("sim: ratio must be positive")
+	}
+	if c.ContextSwitchCost < 0 {
+		return fmt.Errorf("sim: negative context switch cost")
+	}
+	return nil
+}
+
+// Device is a bus agent ticked once per bus cycle (e.g. a DMA engine).
+type Device interface {
+	// TickBus lets the device issue bus transactions.
+	TickBus(b *bus.Bus)
+	// Idle reports whether the device has no pending work.
+	Idle() bool
+}
+
+// Stats is a full-machine snapshot.
+type Stats struct {
+	Cycles    uint64
+	BusCycles uint64
+	CPU       cpu.Stats
+	Bus       bus.Stats
+	Caches    cache.HierStats
+	UB        uncbuf.Stats
+	CSB       core.Stats
+	TLBHits   uint64
+	TLBMisses uint64
+}
+
+// Machine is one simulated node.
+type Machine struct {
+	Cfg    Config
+	RAM    *mem.Memory
+	Router *mem.Router
+	Bus    *bus.Bus
+	Hier   *cache.Hierarchy
+	UB     *uncbuf.Buffer
+	CSB    *core.CSB
+	CPU    *cpu.CPU
+
+	devices []Device
+	spaces  map[uint8]*mem.PageTable
+
+	console bytes.Buffer
+	cycle   uint64
+}
+
+// New builds a machine from the configuration.
+func New(cfg Config) (*Machine, error) {
+	if err := cfg.Validate(); err != nil {
+		return nil, err
+	}
+	ram := mem.NewMemory()
+	router := mem.NewRouter(ram)
+	b, err := bus.New(cfg.Bus, router)
+	if err != nil {
+		return nil, err
+	}
+	hier, err := cache.NewHierarchy(cfg.Caches)
+	if err != nil {
+		return nil, err
+	}
+	ub, err := uncbuf.New(cfg.UB)
+	if err != nil {
+		return nil, err
+	}
+	csb, err := core.New(cfg.CSB)
+	if err != nil {
+		return nil, err
+	}
+	c, err := cpu.New(cfg.CPU, hier, ub, csb, ram)
+	if err != nil {
+		return nil, err
+	}
+	m := &Machine{
+		Cfg: cfg, RAM: ram, Router: router, Bus: b,
+		Hier: hier, UB: ub, CSB: csb, CPU: c,
+		spaces: make(map[uint8]*mem.PageTable),
+	}
+	// Default address space for PID 0: created lazily by MapRange.
+	pt := mem.NewPageTable()
+	m.spaces[0] = pt
+	c.SetPageTable(pt)
+	c.PIDChanged = func(pid uint8) {
+		if pt, ok := m.spaces[pid]; ok {
+			c.SetPageTable(pt)
+		}
+	}
+	c.TrapHook = m.defaultTrap
+	return m, nil
+}
+
+// defaultTrap implements the console conventions used by the examples:
+// trap 1 prints the byte in %o0, trap 2 prints %o0 as a decimal, trap 3
+// prints %o0 as hex. Other codes are unhandled.
+func (m *Machine) defaultTrap(code int64) bool {
+	r := m.CPU.State().R
+	switch code {
+	case 1:
+		m.console.WriteByte(byte(r[8]))
+		return true
+	case 2:
+		fmt.Fprintf(&m.console, "%d", int64(r[8]))
+		return true
+	case 3:
+		fmt.Fprintf(&m.console, "%#x", r[8])
+		return true
+	}
+	return false
+}
+
+// Console returns everything the program printed via traps.
+func (m *Machine) Console() string { return m.console.String() }
+
+// AddressSpace returns (creating if needed) the page table for a PID.
+func (m *Machine) AddressSpace(pid uint8) *mem.PageTable {
+	pt, ok := m.spaces[pid]
+	if !ok {
+		pt = mem.NewPageTable()
+		m.spaces[pid] = pt
+	}
+	return pt
+}
+
+// MapRange identity-maps [va, va+size) with the given kind into PID 0's
+// address space (writable).
+func (m *Machine) MapRange(va, size uint64, kind mem.Kind) {
+	m.AddressSpace(0).MapRange(va, va, size, kind, true)
+}
+
+// AddDevice registers a bus-mastering device region.
+func (m *Machine) AddDevice(base, size uint64, name string, t mem.Target, d Device) error {
+	if err := m.Router.Register(base, size, name, t); err != nil {
+		return err
+	}
+	if d != nil {
+		m.devices = append(m.devices, d)
+	}
+	return nil
+}
+
+// Load writes an assembled program into RAM, identity-maps its span as
+// cached memory, and resets the CPU to its entry point.
+func (m *Machine) Load(p *asm.Program) error {
+	base, data, err := p.Bytes()
+	if err != nil {
+		return err
+	}
+	m.RAM.Write(base, data)
+	// Map a generous cached window around the program for stack and data
+	// (programs that want uncached or combining space call MapRange).
+	span := uint64(len(data)) + 1<<20
+	m.MapRange(base&^uint64(mem.PageSize-1), span, mem.KindCached)
+	m.CPU.Reset(p.Entry)
+	return nil
+}
+
+// LoadSource assembles and loads source text.
+func (m *Machine) LoadSource(name, src string) (*asm.Program, error) {
+	p, err := asm.Assemble(name, src)
+	if err != nil {
+		return nil, err
+	}
+	if err := m.Load(p); err != nil {
+		return nil, err
+	}
+	return p, nil
+}
+
+// WarmProgram preloads all of a program's lines into the instruction and
+// data caches, so measurements start from a warm state (the bandwidth
+// figures assume the bus is idle except for the measured traffic).
+func (m *Machine) WarmProgram(p *asm.Program) {
+	base, data, err := p.Bytes()
+	if err != nil {
+		return
+	}
+	m.WarmCode(base, uint64(len(data)))
+	m.WarmData(base, uint64(len(data)))
+}
+
+// WarmCode preloads the I-cache lines covering [addr, addr+size).
+func (m *Machine) WarmCode(addr, size uint64) {
+	ls := uint64(m.Hier.LineSize())
+	for a := addr &^ (ls - 1); a < addr+size; a += ls {
+		m.Hier.Warm(a, true)
+	}
+}
+
+// WarmData preloads the D-cache lines covering [addr, addr+size).
+func (m *Machine) WarmData(addr, size uint64) {
+	ls := uint64(m.Hier.LineSize())
+	for a := addr &^ (ls - 1); a < addr+size; a += ls {
+		m.Hier.Warm(a, false)
+	}
+}
+
+// Cycle returns the elapsed CPU cycles.
+func (m *Machine) Cycle() uint64 { return m.cycle }
+
+// Tick advances the machine one CPU cycle (and the bus every Ratio
+// cycles). Bus-agent priority per bus cycle: CSB line bursts first (the
+// low-latency I/O path), then the uncached buffer, then cache miss
+// traffic, then DMA devices.
+func (m *Machine) Tick() {
+	// The uncached buffer's send stage drains at core rate, before this
+	// cycle's retiring stores arrive (so an idle system interface takes
+	// the head entry immediately, bounding the combining window).
+	m.UB.TickCPU()
+	m.CPU.Tick()
+	m.Hier.TickCPU()
+	m.cycle++
+	if m.cycle%uint64(m.Cfg.Ratio) == 0 {
+		m.Bus.Tick()
+		m.CSB.TickBus(m.Bus)
+		m.UB.TickBus(m.Bus)
+		m.Hier.TickBus(m.Bus)
+		for _, d := range m.devices {
+			d.TickBus(m.Bus)
+		}
+	}
+}
+
+// Run executes until HALT or maxCycles elapse. It returns an error if the
+// CPU faulted or the cycle limit was hit.
+func (m *Machine) Run(maxCycles uint64) error {
+	for i := uint64(0); i < maxCycles; i++ {
+		if m.CPU.Halted() {
+			return m.CPU.Err()
+		}
+		m.Tick()
+	}
+	if m.CPU.Halted() {
+		return m.CPU.Err()
+	}
+	return fmt.Errorf("sim: cycle limit %d reached at pc %#x", maxCycles, m.CPU.State().PC)
+}
+
+// Drain runs bus cycles until all buffers, devices and the bus are idle.
+func (m *Machine) Drain(maxCycles uint64) error {
+	for i := uint64(0); i < maxCycles; i++ {
+		if m.UB.Empty() && m.CSB.Drained() && m.Bus.Idle() && m.Hier.Idle() && m.devicesIdle() {
+			return nil
+		}
+		m.Tick()
+	}
+	return fmt.Errorf("sim: drain did not complete in %d cycles", maxCycles)
+}
+
+func (m *Machine) devicesIdle() bool {
+	for _, d := range m.devices {
+		if !d.Idle() {
+			return false
+		}
+	}
+	return true
+}
+
+// Stats snapshots all counters.
+func (m *Machine) Stats() Stats {
+	return Stats{
+		Cycles:    m.cycle,
+		BusCycles: m.Bus.Cycle(),
+		CPU:       m.CPU.Stats(),
+		Bus:       m.Bus.Stats(),
+		Caches:    m.Hier.Stats(),
+		UB:        m.UB.Stats(),
+		CSB:       m.CSB.Stats(),
+		TLBHits:   m.CPU.TLB().Hits,
+		TLBMisses: m.CPU.TLB().Misses,
+	}
+}
+
+// Registers returns the committed integer register file (test helper).
+func (m *Machine) Registers() [isa.NumRegs]uint64 { return m.CPU.State().R }
+
+// Reg returns one committed integer register by assembler name ("%o0").
+func (m *Machine) Reg(name string) (uint64, error) {
+	r, err := isa.ParseReg(name)
+	if err != nil {
+		return 0, err
+	}
+	return m.CPU.State().R[r], nil
+}

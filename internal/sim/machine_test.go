@@ -1,0 +1,512 @@
+package sim
+
+import (
+	"strconv"
+	"strings"
+	"testing"
+
+	"csbsim/internal/mem"
+)
+
+// runProgram builds a default machine, loads src and runs to halt.
+func runProgram(t *testing.T, src string) *Machine {
+	t.Helper()
+	m, err := New(DefaultConfig())
+	if err != nil {
+		t.Fatal(err)
+	}
+	p, err := m.LoadSource("test.s", src)
+	if err != nil {
+		t.Fatal(err)
+	}
+	m.WarmProgram(p)
+	if err := m.Run(1_000_000); err != nil {
+		t.Fatalf("run: %v", err)
+	}
+	return m
+}
+
+func wantReg(t *testing.T, m *Machine, name string, want uint64) {
+	t.Helper()
+	got, err := m.Reg(name)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if got != want {
+		t.Errorf("%s = %d (%#x), want %d (%#x)", name, got, got, want, want)
+	}
+}
+
+func TestArithmetic(t *testing.T) {
+	m := runProgram(t, `
+	mov 6, %g1
+	mov 7, %g2
+	add %g1, %g2, %g3      ! 13
+	sub %g3, 3, %g4        ! 10
+	mul %g1, %g2, %g5      ! 42
+	sll %g1, 4, %g6        ! 96
+	xor %g5, %g5, %g7      ! 0
+	halt
+`)
+	wantReg(t, m, "%g3", 13)
+	wantReg(t, m, "%g4", 10)
+	wantReg(t, m, "%g5", 42)
+	wantReg(t, m, "%g6", 96)
+	wantReg(t, m, "%g7", 0)
+}
+
+func TestCountingLoop(t *testing.T) {
+	m := runProgram(t, `
+	clr %g1                ! sum
+	mov 10, %g2            ! counter
+loop:
+	add %g1, %g2, %g1
+	subcc %g2, 1, %g2
+	bnz loop
+	halt
+`)
+	wantReg(t, m, "%g1", 55)
+	s := m.Stats()
+	if s.CPU.Branches < 10 {
+		t.Errorf("branches = %d, want >= 10", s.CPU.Branches)
+	}
+}
+
+func TestBranchConditions(t *testing.T) {
+	m := runProgram(t, `
+	mov 5, %g1
+	cmp %g1, 5
+	bz eq
+	mov 99, %g2
+	halt
+eq:	mov 1, %g2
+	cmp %g1, 10
+	bl less
+	mov 99, %g3
+	halt
+less:	mov 2, %g3
+	cmp %g1, 3
+	bg greater
+	mov 99, %g4
+	halt
+greater: mov 3, %g4
+	halt
+`)
+	wantReg(t, m, "%g2", 1)
+	wantReg(t, m, "%g3", 2)
+	wantReg(t, m, "%g4", 3)
+}
+
+func TestUnsignedConditions(t *testing.T) {
+	m := runProgram(t, `
+	mov -1, %g1            ! unsigned max
+	cmp %g1, 1
+	bgu big
+	mov 99, %g2
+	halt
+big:	mov 1, %g2
+	halt
+`)
+	wantReg(t, m, "%g2", 1)
+}
+
+func TestMemoryLoadStore(t *testing.T) {
+	m := runProgram(t, `
+	.equ BUF, 0x20000
+	set BUF, %o1
+	set 0x1234, %g1
+	stx %g1, [%o1]
+	stw %g1, [%o1+8]
+	sth %g1, [%o1+12]
+	stb %g1, [%o1+14]
+	ldx [%o1], %g2
+	ldw [%o1+8], %g3
+	ldh [%o1+12], %g4
+	ldb [%o1+14], %g5
+	halt
+`)
+	wantReg(t, m, "%g2", 0x1234)
+	wantReg(t, m, "%g3", 0x1234)
+	wantReg(t, m, "%g4", 0x1234)
+	wantReg(t, m, "%g5", 0x34)
+}
+
+func TestStoreLoadOrdering(t *testing.T) {
+	// A load must see an older store to the same address even when both
+	// are in flight simultaneously.
+	m := runProgram(t, `
+	.equ BUF, 0x20000
+	set BUF, %o1
+	mov 11, %g1
+	stx %g1, [%o1]
+	ldx [%o1], %g2
+	mov 22, %g3
+	stx %g3, [%o1]
+	ldx [%o1], %g4
+	halt
+`)
+	wantReg(t, m, "%g2", 11)
+	wantReg(t, m, "%g4", 22)
+}
+
+func TestFunctionCall(t *testing.T) {
+	m := runProgram(t, `
+	mov 20, %o0
+	call double
+	mov %o0, %g1
+	call double
+	mov %o0, %g2
+	halt
+double:
+	add %o0, %o0, %o0
+	ret
+`)
+	wantReg(t, m, "%g1", 40)
+	wantReg(t, m, "%g2", 80)
+}
+
+func TestFloatingPoint(t *testing.T) {
+	m := runProgram(t, `
+	.org 0x1000
+a:	.double 1.5
+b:	.double 2.25
+sum:	.double 0
+	.entry main
+main:
+	set a, %o1
+	ldd [%o1], %f0
+	ldd [%o1+8], %f2
+	faddd %f0, %f2, %f4    ! 3.75
+	fmuld %f0, %f2, %f6    ! 3.375
+	std %f4, [%o1+16]
+	ldx [%o1+16], %g1
+	mov 10, %g5
+	fitod %g5, %f8
+	fdtoi %f8, %g2
+	halt
+`)
+	// 3.75 = 0x400E000000000000
+	wantReg(t, m, "%g1", 0x400E000000000000)
+	wantReg(t, m, "%g2", 10)
+}
+
+func TestConsoleTraps(t *testing.T) {
+	m := runProgram(t, `
+	mov 'H', %o0
+	trap 1
+	mov 'i', %o0
+	trap 1
+	mov 32, %o0
+	trap 1
+	mov 42, %o0
+	trap 2
+	halt
+`)
+	if got := m.Console(); got != "Hi 42" {
+		t.Errorf("console = %q, want %q", got, "Hi 42")
+	}
+}
+
+func TestDataHazardChain(t *testing.T) {
+	// Long dependency chain: result correctness under renaming.
+	m := runProgram(t, `
+	mov 1, %g1
+	add %g1, %g1, %g1
+	add %g1, %g1, %g1
+	add %g1, %g1, %g1
+	add %g1, %g1, %g1
+	add %g1, %g1, %g1
+	halt
+`)
+	wantReg(t, m, "%g1", 32)
+}
+
+func TestMispredictionRecovery(t *testing.T) {
+	// Alternating taken/not-taken branches defeat the 2-bit predictor;
+	// results must still be correct.
+	m := runProgram(t, `
+	clr %g1                ! i
+	clr %g2                ! evens
+	clr %g3                ! odds
+loop:
+	andcc %g1, 1, %g0
+	bnz odd
+	add %g2, 1, %g2
+	ba next
+odd:
+	add %g3, 1, %g3
+next:
+	add %g1, 1, %g1
+	cmp %g1, 20
+	bl loop
+	halt
+`)
+	wantReg(t, m, "%g2", 10)
+	wantReg(t, m, "%g3", 10)
+	if m.Stats().CPU.Mispredicts == 0 {
+		t.Error("expected some mispredictions")
+	}
+	if m.Stats().CPU.Squashed == 0 {
+		t.Error("expected squashed instructions")
+	}
+}
+
+func TestUncachedStoreGoesToBus(t *testing.T) {
+	m, err := New(DefaultConfig())
+	if err != nil {
+		t.Fatal(err)
+	}
+	m.MapRange(0x4000_0000, mem.PageSize, mem.KindUncached)
+	if _, err := m.LoadSource("t.s", `
+	set 0x40000000, %o1
+	mov 7, %g1
+	stx %g1, [%o1]
+	stx %g1, [%o1+8]
+	membar
+	halt
+`); err != nil {
+		t.Fatal(err)
+	}
+	if err := m.Run(100000); err != nil {
+		t.Fatal(err)
+	}
+	s := m.Stats()
+	if s.CPU.UncachedStores != 2 {
+		t.Errorf("uncached stores = %d, want 2", s.CPU.UncachedStores)
+	}
+	if s.Bus.Writes < 2 {
+		t.Errorf("bus writes = %d, want >= 2", s.Bus.Writes)
+	}
+	// Membar guaranteed the data reached memory before halt.
+	if got := m.RAM.ReadUint(0x4000_0000, 8); got != 7 {
+		t.Errorf("uncached data = %d, want 7", got)
+	}
+}
+
+func TestUncachedLoadBlocking(t *testing.T) {
+	m, err := New(DefaultConfig())
+	if err != nil {
+		t.Fatal(err)
+	}
+	m.MapRange(0x4000_0000, mem.PageSize, mem.KindUncached)
+	m.RAM.WriteUint(0x4000_0010, 8, 0xabcd)
+	if _, err := m.LoadSource("t.s", `
+	set 0x40000000, %o1
+	ldx [%o1+16], %g1
+	halt
+`); err != nil {
+		t.Fatal(err)
+	}
+	if err := m.Run(100000); err != nil {
+		t.Fatal(err)
+	}
+	wantReg(t, m, "%g1", 0xabcd)
+	if m.Stats().CPU.UncachedLoads != 1 {
+		t.Error("uncached load not counted")
+	}
+}
+
+// The paper's own code listing: 8 combining stores, conditional flush,
+// compare, retry loop. Single process: flush must succeed first try.
+func TestPaperCSBSequence(t *testing.T) {
+	m, err := New(DefaultConfig())
+	if err != nil {
+		t.Fatal(err)
+	}
+	m.MapRange(0x4000_0000, mem.PageSize, mem.KindCombining)
+	if _, err := m.LoadSource("csb.s", `
+	set 0x40000000, %o1
+	! seed FP registers with recognizable doubles
+	mov 101, %g1
+	movr2f %g1, %f0
+	mov 102, %g1
+	movr2f %g1, %f2
+RETRY:
+	set 8, %l4             ! expected value
+	std %f0, [%o1]
+	std %f2, [%o1+8]
+	std %f0, [%o1+16]
+	std %f2, [%o1+24]
+	std %f0, [%o1+32]
+	std %f2, [%o1+40]
+	std %f0, [%o1+48]
+	std %f2, [%o1+56]
+	swap [%o1], %l4        ! conditional flush
+	cmp %l4, 8             ! compare values
+	bnz RETRY              ! retry on failure
+	halt
+`); err != nil {
+		t.Fatal(err)
+	}
+	if err := m.Run(1_000_000); err != nil {
+		t.Fatal(err)
+	}
+	if err := m.Drain(10000); err != nil {
+		t.Fatal(err)
+	}
+	s := m.Stats()
+	if s.CPU.CSBStores != 8 {
+		t.Errorf("CSB stores = %d, want 8", s.CPU.CSBStores)
+	}
+	if s.CPU.CSBFlushes != 1 || s.CPU.CSBFlushFails != 0 {
+		t.Errorf("flushes = %d (fails %d), want 1 clean flush", s.CPU.CSBFlushes, s.CPU.CSBFlushFails)
+	}
+	if s.CSB.Bursts != 1 {
+		t.Errorf("CSB bursts = %d, want 1", s.CSB.Bursts)
+	}
+	// Flush succeeded: %l4 kept its value 8.
+	wantReg(t, m, "%l4", 8)
+	// Data landed in the target line.
+	if got := m.RAM.ReadUint(0x4000_0000, 8); got != 101 {
+		t.Errorf("line[0] = %d, want 101", got)
+	}
+	if got := m.RAM.ReadUint(0x4000_0008, 8); got != 102 {
+		t.Errorf("line[8] = %d, want 102", got)
+	}
+}
+
+// Lock acquire/release with swap on a cached address — the conventional
+// scheme of figure 5.
+func TestSwapLock(t *testing.T) {
+	m, err := New(DefaultConfig())
+	if err != nil {
+		t.Fatal(err)
+	}
+	if _, err := m.LoadSource("lock.s", `
+	.org 0x1000
+lock:	.dword 0
+	.entry main
+main:
+	set lock, %o1
+acquire:
+	mov 1, %l4
+	swap [%o1], %l4
+	tst %l4
+	bnz acquire            ! already held → spin
+	! critical section
+	mov 77, %g1
+	membar
+	clr %g2
+	stx %g2, [%o1]         ! release
+	ldx [%o1], %g3         ! observe released lock
+	halt
+`); err != nil {
+		t.Fatal(err)
+	}
+	if err := m.Run(1_000_000); err != nil {
+		t.Fatal(err)
+	}
+	wantReg(t, m, "%g1", 77)
+	wantReg(t, m, "%g3", 0)
+	if m.Stats().CPU.Swaps != 1 {
+		t.Errorf("swaps = %d, want 1", m.Stats().CPU.Swaps)
+	}
+}
+
+func TestRDPRAndWRPR(t *testing.T) {
+	m := runProgram(t, `
+	mov 5, %g1
+	wrpr %g1, %scratch
+	rdpr %scratch, %g2
+	rdpr %cycle, %g3
+	halt
+`)
+	wantReg(t, m, "%g2", 5)
+	if got, _ := m.Reg("%g3"); got == 0 {
+		t.Error("cycle counter read as 0")
+	}
+}
+
+func TestMemoryFaultHalts(t *testing.T) {
+	m, err := New(DefaultConfig())
+	if err != nil {
+		t.Fatal(err)
+	}
+	if _, err := m.LoadSource("bad.s", `
+	set 0x7f000000, %o1    ! unmapped
+	ldx [%o1], %g1
+	halt
+`); err != nil {
+		t.Fatal(err)
+	}
+	err = m.Run(100000)
+	if err == nil || !strings.Contains(err.Error(), "fault") {
+		t.Errorf("expected fault error, got %v", err)
+	}
+}
+
+func TestWrongPathFaultHarmless(t *testing.T) {
+	// A mispredicted path briefly dereferences a garbage pointer; the
+	// fault must be squashed, not taken.
+	m := runProgram(t, `
+	clr %g5
+	mov 10, %g2
+loop:
+	cmp %g5, %g2
+	bge done               ! predicted taken eventually mispredicts
+	! body touches memory legitimately
+	set 0x20000, %o1
+	add %o1, %g5, %o1
+	ldb [%o1], %g1
+	add %g5, 1, %g5
+	ba loop
+done:
+	mov 1, %g7
+	halt
+`)
+	wantReg(t, m, "%g7", 1)
+}
+
+func TestIPCReasonable(t *testing.T) {
+	// Independent ALU ops should sustain IPC well above 1 on a 4-wide
+	// machine with 2 integer units (ILP-limited to ~2).
+	var body strings.Builder
+	for i := 0; i < 400; i++ {
+		body.WriteString("\tadd %g1, 1, %g1\n\tadd %g2, 1, %g2\n")
+	}
+	m := runProgram(t, body.String()+"\thalt\n")
+	s := m.Stats()
+	ipc := s.CPU.IPC()
+	if ipc < 1.2 {
+		t.Errorf("IPC = %.2f, want >= 1.2 (2 int ALUs)", ipc)
+	}
+	wantReg(t, m, "%g1", 400)
+	wantReg(t, m, "%g2", 400)
+}
+
+func TestTLBMissCostsCycles(t *testing.T) {
+	run := func(stride int, pages int) uint64 {
+		m, err := New(DefaultConfig())
+		if err != nil {
+			t.Fatal(err)
+		}
+		m.MapRange(0x100000, uint64(pages+1)*mem.PageSize, mem.KindCached)
+		src := `
+	set 0x100000, %o1
+	clr %g1
+	mov ` + itoa(pages) + `, %g2
+loop:
+	ldb [%o1], %g3
+	add %g1, %g3, %g1
+	set ` + itoa(stride) + `, %g4
+	add %o1, %g4, %o1
+	subcc %g2, 1, %g2
+	bnz loop
+	halt
+`
+		if _, err := m.LoadSource("tlb.s", src); err != nil {
+			t.Fatal(err)
+		}
+		if err := m.Run(10_000_000); err != nil {
+			t.Fatal(err)
+		}
+		return m.Stats().TLBMisses
+	}
+	densePages := run(8, 200)     // sequential bytes: few TLB misses
+	sparsePages := run(4096, 200) // one page per access: many misses
+	if sparsePages <= densePages {
+		t.Errorf("TLB misses: sparse %d <= dense %d", sparsePages, densePages)
+	}
+}
+
+func itoa(v int) string { return strconv.Itoa(v) }

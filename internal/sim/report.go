@@ -1,0 +1,56 @@
+package sim
+
+import (
+	"fmt"
+	"sort"
+	"strings"
+)
+
+// Report renders the full-machine statistics as a human-readable block,
+// used by cmd/csbsim -v and handy from tests.
+func (s Stats) Report() string {
+	var b strings.Builder
+	fmt.Fprintf(&b, "cycles:        %d CPU, %d bus\n", s.Cycles, s.BusCycles)
+	fmt.Fprintf(&b, "instructions:  %d retired, IPC %.2f (%d fetched, %d squashed)\n",
+		s.CPU.Retired, s.CPU.IPC(), s.CPU.Fetched, s.CPU.Squashed)
+	fmt.Fprintf(&b, "branches:      %d (%d mispredicted", s.CPU.Branches, s.CPU.Mispredicts)
+	if s.CPU.Branches > 0 {
+		fmt.Fprintf(&b, ", %.1f%%", 100*float64(s.CPU.Mispredicts)/float64(s.CPU.Branches))
+	}
+	b.WriteString(")\n")
+	fmt.Fprintf(&b, "caches:        L1I %d/%d  L1D %d/%d  L2 %d/%d (hits/misses)\n",
+		s.Caches.L1I.Hits, s.Caches.L1I.Misses,
+		s.Caches.L1D.Hits, s.Caches.L1D.Misses,
+		s.Caches.L2.Hits, s.Caches.L2.Misses)
+	fmt.Fprintf(&b, "tlb:           %d hits, %d misses\n", s.TLBHits, s.TLBMisses)
+	fmt.Fprintf(&b, "uncached:      %d stores (%d coalesced), %d loads, %d swaps\n",
+		s.CPU.UncachedStores, s.UB.Coalesced, s.CPU.UncachedLoads, s.CPU.Swaps)
+	fmt.Fprintf(&b, "csb:           %d stores, %d flushes ok, %d failed, %d bursts, %d conflicts, %d busy stalls\n",
+		s.CSB.Stores, s.CSB.FlushOK, s.CSB.FlushFail, s.CSB.Bursts, s.CSB.Conflicts, s.CSB.StallBusy)
+	busy := 0.0
+	if s.BusCycles > 0 {
+		busy = 100 * float64(s.Bus.BusyCycles) / float64(s.BusCycles)
+	}
+	fmt.Fprintf(&b, "bus:           %d transactions (%d reads, %d writes, %d bursts), %d bytes, %.1f%% busy\n",
+		s.Bus.Transactions, s.Bus.Reads, s.Bus.Writes, s.Bus.Bursts, s.Bus.Bytes, busy)
+	if len(s.Bus.BySize) > 0 {
+		sizes := make([]int, 0, len(s.Bus.BySize))
+		for sz := range s.Bus.BySize {
+			sizes = append(sizes, sz)
+		}
+		sort.Ints(sizes)
+		b.WriteString("  by size:    ")
+		for i, sz := range sizes {
+			if i > 0 {
+				b.WriteString(", ")
+			}
+			fmt.Fprintf(&b, "%dB×%d", sz, s.Bus.BySize[sz])
+		}
+		b.WriteByte('\n')
+	}
+	if s.CPU.Interrupts+s.CPU.Traps > 0 {
+		fmt.Fprintf(&b, "events:        %d interrupts, %d traps, %d faults\n",
+			s.CPU.Interrupts, s.CPU.Traps, s.CPU.Faults)
+	}
+	return b.String()
+}

@@ -1,0 +1,133 @@
+package sim
+
+import (
+	"strings"
+	"testing"
+)
+
+func TestReportContainsAllSections(t *testing.T) {
+	m, err := New(DefaultConfig())
+	if err != nil {
+		t.Fatal(err)
+	}
+	m.MapRange(0x4000_0000, 1<<16, 2 /* KindCombining */)
+	p, err := m.LoadSource("r.s", `
+	set 0x40000000, %o1
+	mov 1, %l4
+	stx %g1, [%o1]
+	swap [%o1], %l4
+	mov 3, %o0
+	trap 2
+	trap 3
+	halt
+`)
+	if err != nil {
+		t.Fatal(err)
+	}
+	m.WarmProgram(p)
+	if err := m.Run(1_000_000); err != nil {
+		t.Fatal(err)
+	}
+	if err := m.Drain(100_000); err != nil {
+		t.Fatal(err)
+	}
+	rep := m.Stats().Report()
+	for _, want := range []string{
+		"cycles:", "instructions:", "branches:", "caches:", "tlb:",
+		"uncached:", "csb:", "bus:", "by size:", "events:",
+	} {
+		if !strings.Contains(rep, want) {
+			t.Errorf("report missing %q:\n%s", want, rep)
+		}
+	}
+	if got := m.Console(); got != "30x3" {
+		t.Errorf("console = %q, want decimal then hex", got)
+	}
+	if m.Cycle() == 0 {
+		t.Error("Cycle accessor")
+	}
+	if regs := m.Registers(); regs[20] != 1 {
+		t.Errorf("Registers()[l4] = %d (flush should have succeeded)", regs[20])
+	}
+}
+
+func TestEmptyReportHasNoEvents(t *testing.T) {
+	rep := (Stats{}).Report()
+	if strings.Contains(rep, "events:") {
+		t.Error("empty stats should omit the events line")
+	}
+}
+
+func TestConfigValidateRejectsBadFields(t *testing.T) {
+	bad := DefaultConfig()
+	bad.Ratio = 0
+	if err := bad.Validate(); err == nil {
+		t.Error("zero ratio accepted")
+	}
+	bad2 := DefaultConfig()
+	bad2.ContextSwitchCost = -1
+	if err := bad2.Validate(); err == nil {
+		t.Error("negative context switch cost accepted")
+	}
+	bad3 := DefaultConfig()
+	bad3.CSB.LineSize = 7
+	if err := bad3.Validate(); err == nil {
+		t.Error("bad CSB config accepted")
+	}
+	bad4 := DefaultConfig()
+	bad4.Bus.WidthBytes = 0
+	if err := bad4.Validate(); err == nil {
+		t.Error("bad bus config accepted")
+	}
+	bad5 := DefaultConfig()
+	bad5.UB.Entries = 0
+	if err := bad5.Validate(); err == nil {
+		t.Error("bad uncbuf config accepted")
+	}
+	bad6 := DefaultConfig()
+	bad6.CPU.ROBSize = 0
+	if err := bad6.Validate(); err == nil {
+		t.Error("bad cpu config accepted")
+	}
+	bad7 := DefaultConfig()
+	bad7.Caches.MSHRs = 0
+	if err := bad7.Validate(); err == nil {
+		t.Error("bad cache config accepted")
+	}
+}
+
+func TestRunReportsCycleLimit(t *testing.T) {
+	m, err := New(DefaultConfig())
+	if err != nil {
+		t.Fatal(err)
+	}
+	if _, err := m.LoadSource("spin.s", "loop: ba loop\n"); err != nil {
+		t.Fatal(err)
+	}
+	if err := m.Run(1000); err == nil || !strings.Contains(err.Error(), "cycle limit") {
+		t.Errorf("err = %v", err)
+	}
+}
+
+func TestLoadSourceSurfacesAssemblyErrors(t *testing.T) {
+	m, err := New(DefaultConfig())
+	if err != nil {
+		t.Fatal(err)
+	}
+	if _, err := m.LoadSource("bad.s", "bogus %g1\n"); err == nil {
+		t.Error("assembly error not surfaced")
+	}
+}
+
+func TestUnhandledTrapCodeFails(t *testing.T) {
+	m, err := New(DefaultConfig())
+	if err != nil {
+		t.Fatal(err)
+	}
+	if _, err := m.LoadSource("t.s", "trap 55\nhalt\n"); err != nil {
+		t.Fatal(err)
+	}
+	if err := m.Run(100_000); err == nil {
+		t.Error("unhandled trap should halt with error")
+	}
+}

@@ -1,0 +1,100 @@
+// Package trace records and formats retired-instruction traces from the
+// simulated processor — the commit-order view of execution, which is what
+// one debugs programs (and the simulator itself) against.
+package trace
+
+import (
+	"fmt"
+	"io"
+	"strings"
+
+	"csbsim/internal/cpu"
+)
+
+// Recorder collects retire events. It can stream them to a writer, keep
+// the last N in a ring, or both. The zero value keeps nothing; use New.
+type Recorder struct {
+	w     io.Writer
+	ring  []cpu.RetireEvent
+	next  int
+	count uint64
+	full  bool
+	// Filter, if set, drops events for which it returns false.
+	Filter func(cpu.RetireEvent) bool
+}
+
+// New creates a recorder that streams formatted events to w (may be nil)
+// and keeps the most recent ringSize events (0 keeps none).
+func New(w io.Writer, ringSize int) *Recorder {
+	r := &Recorder{w: w}
+	if ringSize > 0 {
+		r.ring = make([]cpu.RetireEvent, ringSize)
+	}
+	return r
+}
+
+// Attach hooks the recorder to a CPU. It overwrites any previous OnRetire
+// hook.
+func (r *Recorder) Attach(c *cpu.CPU) {
+	c.OnRetire = r.Record
+}
+
+// Record consumes one event (usable directly as the OnRetire hook).
+func (r *Recorder) Record(ev cpu.RetireEvent) {
+	if r.Filter != nil && !r.Filter(ev) {
+		return
+	}
+	r.count++
+	if r.ring != nil {
+		r.ring[r.next] = ev
+		r.next++
+		if r.next == len(r.ring) {
+			r.next = 0
+			r.full = true
+		}
+	}
+	if r.w != nil {
+		fmt.Fprintln(r.w, FormatEvent(ev))
+	}
+}
+
+// Count returns the number of recorded events.
+func (r *Recorder) Count() uint64 { return r.count }
+
+// Last returns up to n most recent events, oldest first.
+func (r *Recorder) Last(n int) []cpu.RetireEvent {
+	if r.ring == nil {
+		return nil
+	}
+	var events []cpu.RetireEvent
+	if r.full {
+		events = append(events, r.ring[r.next:]...)
+	}
+	events = append(events, r.ring[:r.next]...)
+	if n < len(events) {
+		events = events[len(events)-n:]
+	}
+	out := make([]cpu.RetireEvent, len(events))
+	copy(out, events)
+	return out
+}
+
+// FormatEvent renders one event as a single trace line.
+func FormatEvent(ev cpu.RetireEvent) string {
+	var b strings.Builder
+	fmt.Fprintf(&b, "%10d  %08x  %-28s", ev.Cycle, ev.PC, ev.Inst.String())
+	if ev.IsMem {
+		fmt.Fprintf(&b, "  [va %08x]", ev.Addr)
+	}
+	if ev.Inst.WritesIntReg() || ev.Inst.WritesFPReg() {
+		fmt.Fprintf(&b, "  = %#x", ev.Result)
+	}
+	return b.String()
+}
+
+// Dump writes the ring buffer contents to w, oldest first.
+func (r *Recorder) Dump(w io.Writer) {
+	for _, ev := range r.Last(len(r.ring)) {
+		fmt.Fprintln(w, FormatEvent(ev))
+	}
+}

@@ -1,0 +1,97 @@
+package trace
+
+import (
+	"strings"
+	"testing"
+
+	"csbsim/internal/cpu"
+	"csbsim/internal/isa"
+)
+
+func ev(seq uint64, pc uint64) cpu.RetireEvent {
+	return cpu.RetireEvent{
+		Cycle: seq * 2, Seq: seq, PC: pc,
+		Inst: isa.Inst{Op: isa.OpADDI, Rd: 1, Rs1: 1, Imm: 1},
+	}
+}
+
+func TestStreamsToWriter(t *testing.T) {
+	var sb strings.Builder
+	r := New(&sb, 0)
+	r.Record(ev(1, 0x1000))
+	r.Record(ev(2, 0x1004))
+	out := sb.String()
+	if strings.Count(out, "\n") != 2 {
+		t.Fatalf("expected 2 lines:\n%s", out)
+	}
+	if !strings.Contains(out, "00001000") || !strings.Contains(out, "addi") {
+		t.Errorf("format wrong:\n%s", out)
+	}
+}
+
+func TestRingKeepsMostRecent(t *testing.T) {
+	r := New(nil, 4)
+	for i := uint64(1); i <= 10; i++ {
+		r.Record(ev(i, 0x1000+i*4))
+	}
+	if r.Count() != 10 {
+		t.Errorf("count = %d", r.Count())
+	}
+	last := r.Last(4)
+	if len(last) != 4 {
+		t.Fatalf("got %d events", len(last))
+	}
+	for i, e := range last {
+		if want := uint64(7 + i); e.Seq != want {
+			t.Errorf("event %d seq = %d, want %d", i, e.Seq, want)
+		}
+	}
+	// Asking for fewer returns the newest.
+	if l2 := r.Last(2); len(l2) != 2 || l2[1].Seq != 10 {
+		t.Errorf("Last(2) = %+v", l2)
+	}
+}
+
+func TestRingBeforeWrap(t *testing.T) {
+	r := New(nil, 8)
+	r.Record(ev(1, 0x1000))
+	r.Record(ev(2, 0x1004))
+	last := r.Last(8)
+	if len(last) != 2 || last[0].Seq != 1 || last[1].Seq != 2 {
+		t.Errorf("pre-wrap ring wrong: %+v", last)
+	}
+}
+
+func TestFilter(t *testing.T) {
+	r := New(nil, 8)
+	r.Filter = func(e cpu.RetireEvent) bool { return e.Inst.Op.IsMem() }
+	r.Record(ev(1, 0x1000)) // addi: filtered
+	r.Record(cpu.RetireEvent{Seq: 2, Inst: isa.Inst{Op: isa.OpSTX, Rd: 1, Rs1: 2}, IsMem: true})
+	if r.Count() != 1 {
+		t.Errorf("count = %d, want 1 (filtered)", r.Count())
+	}
+}
+
+func TestFormatEventMem(t *testing.T) {
+	e := cpu.RetireEvent{
+		Cycle: 12, PC: 0x2000,
+		Inst:  isa.Inst{Op: isa.OpLDX, Rd: 5, Rs1: 9, Imm: 8},
+		IsMem: true, Addr: 0x4000_0008, Result: 0x7777,
+	}
+	s := FormatEvent(e)
+	for _, want := range []string{"ldx", "va 40000008", "= 0x7777"} {
+		if !strings.Contains(s, want) {
+			t.Errorf("missing %q in %q", want, s)
+		}
+	}
+}
+
+func TestDump(t *testing.T) {
+	r := New(nil, 4)
+	r.Record(ev(1, 0x1000))
+	var sb strings.Builder
+	r.Dump(&sb)
+	if !strings.Contains(sb.String(), "00001000") {
+		t.Error("dump empty")
+	}
+}

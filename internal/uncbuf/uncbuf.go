@@ -1,0 +1,288 @@
+// Package uncbuf models the processor's uncached buffer (paper §4.1): a
+// FIFO queue between the retire stage and the system interface that holds
+// uncached loads and stores. Optionally it combines stores into block-sized
+// entries, covering the spectrum of real designs from the PowerPC 620 (two
+// stores) to the R10000's uncached-accelerated buffer (a full cache line):
+// the block size is configurable from 16 bytes to a cache line, or
+// combining can be disabled entirely.
+//
+// Combining is opportunistic and software-transparent: a store coalesces
+// into the youngest entry when it falls into the same block and does not
+// bypass an earlier load or barrier; head entries are popped as soon as the
+// bus can accept them, so combining succeeds only while the buffer is
+// backed up — exactly the latency/utilization trade-off §2 describes.
+package uncbuf
+
+import (
+	"fmt"
+
+	"csbsim/internal/bus"
+)
+
+// Config parameterizes the uncached buffer.
+type Config struct {
+	// Entries is the queue depth (default 8).
+	Entries int
+	// BlockSize is the combining block in bytes; 0 disables combining
+	// (every store issues as its own single-beat transaction).
+	BlockSize int
+	// MaxBurst caps a single bus transaction (the cache line size).
+	MaxBurst int
+	// Sequential restricts combining to strictly sequential addresses,
+	// modeling the R10000 uncached-accelerated buffer (ablation X4).
+	Sequential bool
+}
+
+// DefaultConfig returns an 8-entry non-combining buffer with 64-byte
+// maximum bursts.
+func DefaultConfig() Config {
+	return Config{Entries: 8, BlockSize: 0, MaxBurst: 64}
+}
+
+// Validate reports configuration errors.
+func (c Config) Validate() error {
+	if c.Entries <= 0 {
+		return fmt.Errorf("uncbuf: entries must be positive")
+	}
+	if c.BlockSize != 0 && (c.BlockSize < 8 || c.BlockSize&(c.BlockSize-1) != 0) {
+		return fmt.Errorf("uncbuf: block size %d invalid", c.BlockSize)
+	}
+	if c.MaxBurst <= 0 || c.MaxBurst&(c.MaxBurst-1) != 0 {
+		return fmt.Errorf("uncbuf: max burst %d invalid", c.MaxBurst)
+	}
+	return nil
+}
+
+// Stats counts buffer activity.
+type Stats struct {
+	Stores       uint64 // stores accepted
+	Loads        uint64 // loads accepted
+	Coalesced    uint64 // stores merged into an existing entry
+	Entries      uint64 // entries created
+	Transactions uint64 // bus transactions issued
+	StallFull    uint64 // cycles a store could not be accepted
+}
+
+type entryKind uint8
+
+const (
+	entryStore entryKind = iota
+	entryLoad
+)
+
+type entry struct {
+	kind      entryKind
+	blockAddr uint64
+	data      []byte
+	mask      []bool
+	// seqNext is the only offset a store may merge at in Sequential
+	// (R10000-style) mode: exactly one past the previous store.
+	seqNext int
+	// load fields
+	loadAddr uint64
+	loadSize int
+	done     func([]byte)
+}
+
+// Buffer is the uncached buffer. It is not safe for concurrent use; the
+// simulator is single-threaded by design.
+type Buffer struct {
+	cfg   Config
+	queue []entry
+	// chunks of the popped head entry awaiting bus issue
+	sending  []bus.Chunk
+	sendData []byte
+	sendBase uint64
+	inflight int // bus transactions issued but not yet complete
+	stats    Stats
+}
+
+// New creates an uncached buffer.
+func New(cfg Config) (*Buffer, error) {
+	if err := cfg.Validate(); err != nil {
+		return nil, err
+	}
+	return &Buffer{cfg: cfg}, nil
+}
+
+// Config returns the buffer configuration.
+func (u *Buffer) Config() Config { return u.cfg }
+
+// Stats returns a snapshot of the counters.
+func (u *Buffer) Stats() Stats { return u.stats }
+
+// Len returns the number of queued entries (excluding any entry currently
+// being transferred).
+func (u *Buffer) Len() int { return len(u.queue) }
+
+// Empty reports whether the buffer holds nothing and no issued transaction
+// is still on the bus. MEMBAR retires only when this is true.
+func (u *Buffer) Empty() bool {
+	return len(u.queue) == 0 && len(u.sending) == 0 && u.inflight == 0
+}
+
+// CanAcceptStore reports whether a store would be accepted this cycle.
+func (u *Buffer) CanAcceptStore(addr uint64, size int) bool {
+	if u.mergeIndex(addr, size) >= 0 {
+		return true
+	}
+	return len(u.queue) < u.cfg.Entries
+}
+
+// mergeIndex returns the queue index the store at addr can coalesce into,
+// or -1. Only the youngest entry is eligible, which guarantees stores never
+// bypass older loads, barriers or stores to other blocks.
+func (u *Buffer) mergeIndex(addr uint64, size int) int {
+	if u.cfg.BlockSize == 0 || len(u.queue) == 0 {
+		return -1
+	}
+	i := len(u.queue) - 1
+	e := &u.queue[i]
+	if e.kind != entryStore {
+		return -1
+	}
+	block := addr &^ uint64(u.cfg.BlockSize-1)
+	if e.blockAddr != block {
+		return -1
+	}
+	off := int(addr - block)
+	if off+size > u.cfg.BlockSize {
+		return -1
+	}
+	if u.cfg.Sequential && off != e.seqNext {
+		// R10000-style: the store must be to the address immediately
+		// following the previous one.
+		return -1
+	}
+	return i
+}
+
+// AddStore offers an uncached store to the buffer. It returns false when
+// the buffer is full (the retire stage must stall and retry).
+func (u *Buffer) AddStore(addr uint64, size int, data []byte) bool {
+	if len(data) != size {
+		panic(fmt.Sprintf("uncbuf: store data %d != size %d", len(data), size))
+	}
+	if i := u.mergeIndex(addr, size); i >= 0 {
+		e := &u.queue[i]
+		off := int(addr - e.blockAddr)
+		copy(e.data[off:], data)
+		for k := 0; k < size; k++ {
+			e.mask[off+k] = true
+		}
+		e.seqNext = off + size
+		u.stats.Stores++
+		u.stats.Coalesced++
+		return true
+	}
+	if len(u.queue) >= u.cfg.Entries {
+		u.stats.StallFull++
+		return false
+	}
+	var e entry
+	if u.cfg.BlockSize == 0 {
+		// Non-combining: entry is exactly the store.
+		e = entry{kind: entryStore, blockAddr: addr, data: append([]byte(nil), data...), mask: allTrue(size)}
+	} else {
+		block := addr &^ uint64(u.cfg.BlockSize-1)
+		e = entry{kind: entryStore, blockAddr: block,
+			data: make([]byte, u.cfg.BlockSize), mask: make([]bool, u.cfg.BlockSize)}
+		off := int(addr - block)
+		copy(e.data[off:], data)
+		for k := 0; k < size; k++ {
+			e.mask[off+k] = true
+		}
+		e.seqNext = off + size
+	}
+	u.queue = append(u.queue, e)
+	u.stats.Stores++
+	u.stats.Entries++
+	return true
+}
+
+// AddLoad queues an uncached load. done receives the data when the bus
+// transaction completes. It returns false when the buffer is full.
+func (u *Buffer) AddLoad(addr uint64, size int, done func([]byte)) bool {
+	if len(u.queue) >= u.cfg.Entries {
+		u.stats.StallFull++
+		return false
+	}
+	u.queue = append(u.queue, entry{kind: entryLoad, loadAddr: addr, loadSize: size, done: done})
+	u.stats.Loads++
+	u.stats.Entries++
+	return true
+}
+
+func allTrue(n int) []bool {
+	m := make([]bool, n)
+	for i := range m {
+		m[i] = true
+	}
+	return m
+}
+
+// TickCPU pops the head store entry into the system-interface send stage
+// as soon as it is free. The machine calls this every CPU cycle, *before*
+// the core retires new stores: the send stage drains at core rate, so with
+// an idle bus the first store of a stream always departs alone and only
+// the backlog behind it can combine (the warm-up effect of §4.3.1).
+func (u *Buffer) TickCPU() {
+	if len(u.sending) != 0 || len(u.queue) == 0 {
+		return
+	}
+	head := u.queue[0]
+	if head.kind != entryStore {
+		return // loads issue directly from the queue on bus cycles
+	}
+	u.queue = u.queue[1:]
+	u.sendBase = head.blockAddr
+	u.sendData = head.data
+	u.sending = bus.AlignedChunks(head.blockAddr, head.mask, u.cfg.MaxBurst)
+}
+
+// TickBus gives the buffer a chance to issue one transaction on the bus.
+// The machine calls this once per bus cycle, after bus.Tick.
+func (u *Buffer) TickBus(b *bus.Bus) {
+	u.TickCPU() // the send stage also refills on bus cycles
+	if len(u.sending) == 0 && len(u.queue) > 0 {
+		head := u.queue[0]
+		switch head.kind {
+		case entryLoad:
+			// Strong ordering: a load issues only after all older
+			// transactions completed.
+			if u.inflight > 0 {
+				return
+			}
+			txn := &bus.Txn{
+				Addr: head.loadAddr, Size: head.loadSize,
+				Ordered: true, IO: true,
+			}
+			done := head.done
+			txn.Done = func(t *bus.Txn) {
+				u.inflight--
+				if done != nil {
+					done(t.Data)
+				}
+			}
+			if b.TryIssue(txn) {
+				u.queue = u.queue[1:]
+				u.inflight++
+				u.stats.Transactions++
+			}
+			return
+		}
+	}
+	if len(u.sending) == 0 {
+		return
+	}
+	c := u.sending[0]
+	data := make([]byte, c.Size)
+	copy(data, u.sendData[c.Addr-u.sendBase:])
+	txn := &bus.Txn{Addr: c.Addr, Size: c.Size, Write: true, Data: data, Ordered: true, IO: true}
+	txn.Done = func(*bus.Txn) { u.inflight-- }
+	if b.TryIssue(txn) {
+		u.inflight++
+		u.sending = u.sending[1:]
+		u.stats.Transactions++
+	}
+}
