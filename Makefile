@@ -1,0 +1,30 @@
+# Build/test entry points; `make ci` is what .github/workflows/ci.yml runs.
+
+GO ?= go
+
+.PHONY: all build vet test race bench-smoke obsbench ci
+
+all: build
+
+build:
+	$(GO) build ./...
+
+vet:
+	$(GO) vet ./...
+
+test:
+	$(GO) test ./...
+
+race:
+	$(GO) test -race ./...
+
+# One iteration of every benchmark — catches bit-rot in the measurement
+# harnesses without paying for full benchmark runs.
+bench-smoke:
+	$(GO) test -run XXX -bench . -benchtime 1x ./...
+
+# Re-measure the observability overhead baseline.
+obsbench:
+	$(GO) run ./cmd/obsbench > BENCH_observability.json
+
+ci: vet build race bench-smoke

@@ -12,9 +12,17 @@
 // -uncached map extra I/O ranges, e.g.:
 //
 //	csbsim -combining 0x40000000:64K prog.s
+//
+// Observability flags: -cpistack prints the stall-attribution stack,
+// -perfetto writes a Chrome trace-event JSON loadable at ui.perfetto.dev,
+// -metrics streams periodic machine samples (JSONL, or CSV for .csv
+// files), -json emits the full statistics object, and -pipeview N prints
+// an ASCII pipeline diagram of the last N instructions.
 package main
 
 import (
+	"bufio"
+	"encoding/json"
 	"flag"
 	"fmt"
 	"os"
@@ -24,6 +32,7 @@ import (
 	"csbsim"
 	"csbsim/internal/bus"
 	"csbsim/internal/mem"
+	"csbsim/internal/obs"
 	"csbsim/internal/trace"
 )
 
@@ -41,6 +50,13 @@ func main() {
 		unc       = flag.String("uncached", "", "map uncached space: addr:size")
 		verbose   = flag.Bool("v", false, "print full statistics")
 		traceRun  = flag.Bool("trace", false, "stream the retired-instruction trace to stderr")
+
+		perfetto    = flag.String("perfetto", "", "write a Chrome trace-event JSON file (load at ui.perfetto.dev)")
+		metrics     = flag.String("metrics", "", "write periodic machine metrics to FILE (JSONL, or CSV with a .csv extension)")
+		metricsEach = flag.Uint64("metrics-every", 10_000, "metrics sample interval in CPU cycles")
+		cpistack    = flag.Bool("cpistack", false, "print the CPI stall-attribution stack")
+		jsonOut     = flag.Bool("json", false, "print full statistics as JSON on stdout")
+		pipeview    = flag.Int("pipeview", 0, "print an ASCII pipeline diagram of the last N retired instructions")
 	)
 	flag.Usage = func() {
 		fmt.Fprintf(os.Stderr, "usage: csbsim [flags] program.s\n")
@@ -94,6 +110,41 @@ func main() {
 	if *traceRun {
 		trace.New(os.Stderr, 0).Attach(m.CPU)
 	}
+
+	var exporter *obs.Perfetto
+	if *perfetto != "" {
+		exporter = obs.NewPerfetto()
+		m.AttachPerfetto(exporter)
+	}
+	var metricsFile *os.File
+	var metricsBuf *bufio.Writer
+	var metricsW *obs.MetricsWriter
+	if *metrics != "" {
+		f, err := os.Create(*metrics)
+		if err != nil {
+			fatal(err)
+		}
+		metricsFile, metricsBuf = f, bufio.NewWriter(f)
+		format := obs.FormatJSONL
+		if strings.HasSuffix(*metrics, ".csv") {
+			format = obs.FormatCSV
+		}
+		metricsW = obs.NewMetricsWriter(metricsBuf, format)
+		if err := m.AttachMetrics(metricsW, *metricsEach); err != nil {
+			fatal(err)
+		}
+	}
+	var pipeRing []obs.InstEvent
+	if *pipeview > 0 {
+		n := *pipeview
+		m.AttachInstEvents(func(e obs.InstEvent) {
+			pipeRing = append(pipeRing, e)
+			if len(pipeRing) > n {
+				pipeRing = pipeRing[1:]
+			}
+		})
+	}
+
 	runErr := m.Run(*maxCycles)
 	if out := m.Console(); out != "" {
 		fmt.Print(out)
@@ -101,16 +152,50 @@ func main() {
 			fmt.Println()
 		}
 	}
+	m.FlushMetrics()
+	if metricsFile != nil {
+		if err := metricsBuf.Flush(); err != nil {
+			fatal(err)
+		}
+		if err := metricsFile.Close(); err != nil {
+			fatal(err)
+		}
+	}
+	if exporter != nil {
+		f, err := os.Create(*perfetto)
+		if err != nil {
+			fatal(err)
+		}
+		if _, err := exporter.WriteTo(f); err != nil {
+			fatal(err)
+		}
+		if err := f.Close(); err != nil {
+			fatal(err)
+		}
+	}
 	if runErr != nil {
 		fatal(runErr)
 	}
 
 	s := m.Stats()
-	if *verbose {
+	switch {
+	case *jsonOut:
+		data, err := json.MarshalIndent(s, "", "  ")
+		if err != nil {
+			fatal(err)
+		}
+		fmt.Println(string(data))
+	case *verbose:
 		fmt.Print(s.Report())
-	} else {
+	default:
 		fmt.Printf("halted after %d cycles (%d bus cycles), %d instructions, IPC %.2f\n",
 			s.Cycles, s.BusCycles, s.CPU.Retired, s.CPU.IPC())
+	}
+	if *cpistack {
+		fmt.Print(s.ReportCPI())
+	}
+	if *pipeview > 0 {
+		fmt.Print(obs.FormatPipeline(pipeRing))
 	}
 }
 

@@ -1,0 +1,212 @@
+// Command obsbench measures the runtime cost of the observability layer:
+// it runs the example workloads with hooks disabled and with the Perfetto
+// exporter plus metrics sampler attached, and reports simulated cycles and
+// wall-clock time for both as JSON (see BENCH_observability.json for a
+// recorded baseline).
+//
+// Usage:
+//
+//	obsbench [-reps N] > BENCH_observability.json
+package main
+
+import (
+	"encoding/json"
+	"flag"
+	"fmt"
+	"io"
+	"os"
+	"time"
+
+	"csbsim/internal/bench"
+	"csbsim/internal/cluster"
+	"csbsim/internal/device"
+	"csbsim/internal/mem"
+	"csbsim/internal/obs"
+	"csbsim/internal/sim"
+)
+
+// result records one workload's cost with hooks off and on.
+type result struct {
+	Workload    string  `json:"workload"`
+	Cycles      uint64  `json:"cycles"`
+	WallOffNs   int64   `json:"wall_ns_hooks_off"`
+	WallOnNs    int64   `json:"wall_ns_hooks_on"`
+	OverheadPct float64 `json:"hooks_on_overhead_pct"`
+	Insts       uint64  `json:"instructions"`
+}
+
+type report struct {
+	Description string   `json:"description"`
+	Reps        int      `json:"reps"`
+	Results     []result `json:"results"`
+}
+
+// workload builds a fresh machine-or-cluster, optionally instruments it,
+// runs it to completion, and returns (cycles, retired instructions,
+// wall time of the run itself — construction and assembly excluded).
+type workload struct {
+	name string
+	run  func(hooks bool) (uint64, uint64, time.Duration, error)
+}
+
+func main() {
+	reps := flag.Int("reps", 5, "repetitions per configuration (best wall time wins)")
+	flag.Parse()
+
+	workloads := []workload{
+		{"csb_stores", func(hooks bool) (uint64, uint64, time.Duration, error) {
+			return runStores(true, hooks)
+		}},
+		{"uncached_stores", func(hooks bool) (uint64, uint64, time.Duration, error) {
+			return runStores(false, hooks)
+		}},
+		{"pingpong_csb", func(hooks bool) (uint64, uint64, time.Duration, error) {
+			return runPingPong(hooks)
+		}},
+		{"piodma_dma_send", func(hooks bool) (uint64, uint64, time.Duration, error) {
+			return runMessageSend(hooks)
+		}},
+	}
+
+	rep := report{
+		Description: "observability overhead: example workloads with hooks off vs Perfetto+metrics attached",
+		Reps:        *reps,
+	}
+	for _, w := range workloads {
+		var r result
+		r.Workload = w.name
+		for _, hooks := range []bool{false, true} {
+			best := time.Duration(1<<63 - 1)
+			for i := 0; i < *reps; i++ {
+				cycles, insts, elapsed, err := w.run(hooks)
+				if err != nil {
+					fmt.Fprintf(os.Stderr, "obsbench: %s: %v\n", w.name, err)
+					os.Exit(1)
+				}
+				if elapsed < best {
+					best = elapsed
+				}
+				r.Cycles, r.Insts = cycles, insts
+			}
+			if hooks {
+				r.WallOnNs = best.Nanoseconds()
+			} else {
+				r.WallOffNs = best.Nanoseconds()
+			}
+		}
+		if r.WallOffNs > 0 {
+			r.OverheadPct = 100 * float64(r.WallOnNs-r.WallOffNs) / float64(r.WallOffNs)
+		}
+		rep.Results = append(rep.Results, r)
+	}
+
+	enc := json.NewEncoder(os.Stdout)
+	enc.SetIndent("", "  ")
+	if err := enc.Encode(rep); err != nil {
+		fmt.Fprintln(os.Stderr, "obsbench:", err)
+		os.Exit(1)
+	}
+}
+
+// attach instruments a machine with the full optional hook set.
+func attach(m *sim.Machine) {
+	m.AttachPerfetto(obs.NewPerfetto())
+	m.AttachMetrics(obs.NewMetricsWriter(io.Discard, obs.FormatJSONL), 1000)
+}
+
+func runStores(csb, hooks bool) (uint64, uint64, time.Duration, error) {
+	m, err := sim.New(sim.DefaultConfig())
+	if err != nil {
+		return 0, 0, 0, err
+	}
+	kind := mem.KindUncached
+	if csb {
+		kind = mem.KindCombining
+	}
+	m.MapRange(bench.IOBase, 1<<20, kind)
+	if hooks {
+		attach(m)
+	}
+	prog, err := m.LoadSource("bw.s", bench.StoreBandwidthProgram(1<<16, 64, csb))
+	if err != nil {
+		return 0, 0, 0, err
+	}
+	m.WarmProgram(prog)
+	start := time.Now()
+	if err := m.Run(50_000_000); err != nil {
+		return 0, 0, 0, err
+	}
+	if err := m.Drain(1_000_000); err != nil {
+		return 0, 0, 0, err
+	}
+	elapsed := time.Since(start)
+	s := m.Stats()
+	return s.Cycles, s.CPU.Retired, elapsed, nil
+}
+
+func runPingPong(hooks bool) (uint64, uint64, time.Duration, error) {
+	cfg := cluster.DefaultConfig()
+	cfg.WireLatency = 60
+	c, err := cluster.New(cfg)
+	if err != nil {
+		return 0, 0, 0, err
+	}
+	for _, n := range []*cluster.Node{c.A, c.B} {
+		n.MapIO(true)
+		n.M.MapRange(0x200000, 1<<16, mem.KindCached)
+		if hooks {
+			attach(n.M)
+		}
+	}
+	ping, pong := bench.PingPongPrograms(bench.SendCSB, 200)
+	pa, err := c.A.M.LoadSource("ping.s", ping)
+	if err != nil {
+		return 0, 0, 0, err
+	}
+	pb, err := c.B.M.LoadSource("pong.s", pong)
+	if err != nil {
+		return 0, 0, 0, err
+	}
+	c.A.M.WarmProgram(pa)
+	c.B.M.WarmProgram(pb)
+	start := time.Now()
+	if err := c.Run(100_000_000); err != nil {
+		return 0, 0, 0, err
+	}
+	elapsed := time.Since(start)
+	sa, sb := c.A.M.Stats(), c.B.M.Stats()
+	return c.Cycle(), sa.CPU.Retired + sb.CPU.Retired, elapsed, nil
+}
+
+func runMessageSend(hooks bool) (uint64, uint64, time.Duration, error) {
+	m, err := sim.New(sim.DefaultConfig())
+	if err != nil {
+		return 0, 0, 0, err
+	}
+	nic := device.NewNIC(device.DefaultConfig(), bench.NICBase)
+	if err := m.AddDevice(bench.NICBase, device.RegionSize, "nic", nic, nic); err != nil {
+		return 0, 0, 0, err
+	}
+	m.MapRange(bench.NICBase, device.PacketBufBase, mem.KindUncached)
+	m.MapRange(bench.NICBase+device.PacketBufBase, device.PacketBufSize, mem.KindUncached)
+	m.MapRange(0x200000, 1<<16, mem.KindCached)
+	m.WarmData(0x200000, 4096)
+	if hooks {
+		attach(m)
+	}
+	prog, err := m.LoadSource("send.s", bench.MessageSendProgram(bench.SendDMA, 4096, 64))
+	if err != nil {
+		return 0, 0, 0, err
+	}
+	m.WarmProgram(prog)
+	start := time.Now()
+	if err := m.Run(50_000_000); err != nil {
+		return 0, 0, 0, err
+	}
+	if err := m.Drain(1_000_000); err != nil {
+		return 0, 0, 0, err
+	}
+	elapsed := time.Since(start)
+	s := m.Stats()
+	return s.Cycles, s.CPU.Retired, elapsed, nil
+}

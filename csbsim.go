@@ -18,6 +18,10 @@
 //     provided), spawn preemptively-scheduled processes with a Kernel,
 //     and read everything back through Stats.
 //   - Regenerate any of the paper's figures with Figure / AllFigures.
+//   - Observe execution: Stats.CPU.CPI is a stall-attribution stack whose
+//     buckets sum to the cycle count; Machine.AttachPerfetto exports
+//     per-instruction lifecycle traces as Chrome trace-event JSON;
+//     Machine.AttachMetrics streams periodic machine samples.
 //
 // See the examples directory for runnable walkthroughs and EXPERIMENTS.md
 // for the measured reproduction of every figure.
@@ -35,6 +39,7 @@ import (
 	"csbsim/internal/device"
 	"csbsim/internal/kernel"
 	"csbsim/internal/mem"
+	"csbsim/internal/obs"
 	"csbsim/internal/sim"
 	"csbsim/internal/trace"
 	"csbsim/internal/uncbuf"
@@ -139,8 +144,50 @@ type TraceRecorder = trace.Recorder
 
 // NewTrace creates a recorder streaming formatted events to w (may be
 // nil) and keeping the most recent ringSize events; attach it with
-// rec.Attach(m.CPU).
+// rec.Attach(m.CPU). Recorders register as retire observers, so they
+// coexist with Perfetto exporters and any other attached hooks.
 func NewTrace(w io.Writer, ringSize int) *TraceRecorder { return trace.New(w, ringSize) }
+
+// CPIStack is the stall-attribution stack carried in Stats.CPU.CPI: every
+// cycle is charged to exactly one cause, so the buckets sum to the cycle
+// count. Format renders it as a table; it marshals to JSON as an object
+// keyed by bucket name.
+type CPIStack = obs.CPIStack
+
+// StallCause labels one CPI stack bucket.
+type StallCause = obs.StallCause
+
+// PerfettoTrace accumulates instruction lifecycles, bus transactions and
+// counter samples and writes Chrome trace-event JSON loadable at
+// ui.perfetto.dev. Attach with Machine.AttachPerfetto before running.
+type PerfettoTrace = obs.Perfetto
+
+// MetricsSample is one periodic machine snapshot from an attached
+// metrics sampler.
+type MetricsSample = obs.Sample
+
+// MetricsWriter encodes samples as JSONL or CSV; pass it to
+// Machine.AttachMetrics.
+type MetricsWriter = obs.MetricsWriter
+
+// Metrics stream encodings.
+const (
+	MetricsJSONL = obs.FormatJSONL
+	MetricsCSV   = obs.FormatCSV
+)
+
+// NewPerfetto creates a trace exporter with the default lane count.
+func NewPerfetto() *PerfettoTrace { return obs.NewPerfetto() }
+
+// NewMetricsWriter creates a sample encoder writing the given format to w.
+func NewMetricsWriter(w io.Writer, format obs.MetricsFormat) *MetricsWriter {
+	return obs.NewMetricsWriter(w, format)
+}
+
+// FormatPipeline renders retired-instruction lifecycle events as an ASCII
+// pipeline diagram — the plain-text fallback when no Perfetto UI is at
+// hand. Collect events with Machine.AttachInstEvents.
+func FormatPipeline(events []obs.InstEvent) string { return obs.FormatPipeline(events) }
 
 // Compile-time checks that the re-exported constructors stay wired to
 // compatible types.

@@ -1,0 +1,31 @@
+! 4 KB of doubleword stores to combining space: each 64-byte line is
+! gathered by the conditional store buffer and flushed with a swap
+! (retrying on failure), so the bus sees one 64-byte burst per line.
+! Run with:
+!   csbsim -combining 0x40000000:64K -cpistack examples/asm/csb_stores.s
+
+	set 0x40000000, %o1
+	mov 201, %g1
+	movr2f %g1, %f0
+	mov 202, %g1
+	movr2f %g1, %f2
+	set 64, %g2
+loop:
+RETRY8:
+	set 8, %l4
+	std %f0, [%o1]
+	std %f2, [%o1+8]
+	std %f0, [%o1+16]
+	std %f2, [%o1+24]
+	std %f0, [%o1+32]
+	std %f2, [%o1+40]
+	std %f0, [%o1+48]
+	std %f2, [%o1+56]
+	swap [%o1], %l4
+	cmp %l4, 8
+	bnz RETRY8
+	add %o1, 64, %o1
+	subcc %g2, 1, %g2
+	bnz loop
+	membar
+	halt

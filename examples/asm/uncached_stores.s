@@ -1,0 +1,26 @@
+! 4 KB of doubleword stores to uncached space: every store becomes its
+! own strongly-ordered 8-byte bus transaction, serializing the pipeline
+! on the uncached buffer drain.
+! Run with:
+!   csbsim -uncached 0x40000000:64K -cpistack examples/asm/uncached_stores.s
+
+	set 0x40000000, %o1
+	mov 201, %g1
+	movr2f %g1, %f0
+	mov 202, %g1
+	movr2f %g1, %f2
+	set 64, %g2
+loop:
+	std %f0, [%o1]
+	std %f2, [%o1+8]
+	std %f0, [%o1+16]
+	std %f2, [%o1+24]
+	std %f0, [%o1+32]
+	std %f2, [%o1+40]
+	std %f0, [%o1+48]
+	std %f2, [%o1+56]
+	add %o1, 64, %o1
+	subcc %g2, 1, %g2
+	bnz loop
+	membar
+	halt

@@ -95,6 +95,12 @@ func pongProgram(method SendMethod, rounds int) string {
 	return b.String()
 }
 
+// PingPongPrograms returns the two node programs of the round-trip
+// workload, for harnesses (cmd/obsbench) that need the raw sources.
+func PingPongPrograms(method SendMethod, rounds int) (ping, pong string) {
+	return pingProgram(method, rounds), pongProgram(method, rounds)
+}
+
 // MeasurePingPong returns the average round-trip time in CPU cycles for
 // 64-byte messages bounced between two nodes.
 func MeasurePingPong(method SendMethod, rounds int, wireLatency uint64) (float64, error) {

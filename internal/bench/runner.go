@@ -128,7 +128,7 @@ func MeasureBandwidth(p MachineParams, totalBytes int) (float64, error) {
 	m.WarmProgram(prog)
 
 	var sp span
-	m.Bus.Observer = sp.observe
+	m.Bus.AttachObserver(sp.observe)
 
 	if err := m.Run(50_000_000); err != nil {
 		return 0, err
@@ -157,7 +157,7 @@ func measureShuffledBandwidth(p MachineParams, totalBytes int) (float64, error) 
 	}
 	m.WarmProgram(prog)
 	var sp span
-	m.Bus.Observer = sp.observe
+	m.Bus.AttachObserver(sp.observe)
 	if err := m.Run(50_000_000); err != nil {
 		return 0, err
 	}

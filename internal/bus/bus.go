@@ -128,11 +128,19 @@ type Bus struct {
 	ackFreeAt  uint64 // first cycle an Ordered transaction may start
 	everIssued bool
 
-	// Observer, if set, runs on every completed transaction (used by the
-	// benchmark harness to measure spans).
-	Observer func(*Txn)
+	// observers run on every completed transaction (the benchmark
+	// harness measures spans, the Perfetto exporter records bus tracks).
+	// Register with AttachObserver; multiple observers coexist.
+	observers []func(*Txn)
 
 	stats Stats
+}
+
+// AttachObserver registers fn to run on every completed transaction, in
+// attachment order, after the transaction's own Done callback target data
+// is filled in but before Done itself runs.
+func (b *Bus) AttachObserver(fn func(*Txn)) {
+	b.observers = append(b.observers, fn)
 }
 
 // New creates a bus over the given physical-address router. The router may
@@ -164,6 +172,12 @@ func (b *Bus) Stats() Stats {
 
 // Idle reports whether no transaction is in flight.
 func (b *Bus) Idle() bool { return b.cur == nil }
+
+// Activity returns the busy-cycle and byte counters without the map copy
+// Stats makes — cheap enough for per-sample polling.
+func (b *Bus) Activity() (busyCycles, bytes uint64) {
+	return b.stats.BusyCycles, b.stats.Bytes
+}
 
 // Duration returns the number of bus cycles a transaction of the given
 // size and direction occupies.
@@ -270,8 +284,8 @@ func (b *Bus) complete(t *Txn) {
 			t.Data = make([]byte, t.Size)
 		}
 	}
-	if b.Observer != nil {
-		b.Observer(t)
+	for _, fn := range b.observers {
+		fn(t)
 	}
 	if t.Done != nil {
 		t.Done(t)

@@ -255,7 +255,7 @@ func TestStats(t *testing.T) {
 func TestObserver(t *testing.T) {
 	b := newBus(t, Config{Model: Multiplexed, WidthBytes: 8})
 	var seen []*Txn
-	b.Observer = func(t *Txn) { seen = append(seen, t) }
+	b.AttachObserver(func(t *Txn) { seen = append(seen, t) })
 	run(t, b, []*Txn{wr(0, 8, false), wr(8, 8, false)})
 	if len(seen) != 2 {
 		t.Errorf("observer saw %d txns, want 2", len(seen))

@@ -202,6 +202,10 @@ func (h *Hierarchy) Store(addr uint64) bool {
 // the cache (MEMBAR waits on this as well as the uncached buffer).
 func (h *Hierarchy) StoreBufferEmpty() bool { return len(h.writeBuf) == 0 }
 
+// WriteBufDepth returns the number of retired cached stores still waiting
+// in the write buffer.
+func (h *Hierarchy) WriteBufDepth() int { return len(h.writeBuf) }
+
 // TickCPU advances CPU-clocked state: L2 probe countdowns and one write
 // buffer drain per cycle.
 func (h *Hierarchy) TickCPU() {

@@ -110,6 +110,25 @@ func (c *CSB) Stats() Stats { return c.stats }
 // HitCount exposes the current hit counter (for tests and tracing).
 func (c *CSB) HitCount() int64 { return c.hits }
 
+// Occupancy returns the number of valid bytes in the combining data
+// register (the metrics sampler's gauge of how full the buffer is).
+func (c *CSB) Occupancy() int {
+	if !c.valid {
+		return 0
+	}
+	n := 0
+	for _, m := range c.mask {
+		if m {
+			n++
+		}
+	}
+	return n
+}
+
+// PendingLines returns the number of flushed lines still waiting for the
+// system interface.
+func (c *CSB) PendingLines() int { return len(c.pending) }
+
 // Busy reports whether the data register is unavailable because a flushed
 // line has not yet been handed to the system interface. Combining stores
 // and flushes stall while Busy (§3.2: "stores following a flush may stall

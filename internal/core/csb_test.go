@@ -307,7 +307,7 @@ func TestBurstIsOrderedIOTransaction(t *testing.T) {
 	c.ConditionalFlush(1, 0x1000, 8, 8)
 	b, _ := bus.New(bus.Config{Model: bus.Multiplexed, WidthBytes: 8}, nil)
 	var seen *bus.Txn
-	b.Observer = func(t *bus.Txn) { seen = t }
+	b.AttachObserver(func(t *bus.Txn) { seen = t })
 	for i := 0; i < 100 && seen == nil; i++ {
 		b.Tick()
 		c.TickBus(b)

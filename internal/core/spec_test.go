@@ -85,11 +85,11 @@ func TestCSBMatchesSpecModel(t *testing.T) {
 		spec := newSpec(64, checkAddr)
 		b, _ := bus.New(bus.Config{Model: bus.Multiplexed, WidthBytes: 8}, nil)
 		committed := make(map[uint64]byte) // bytes observed on the bus
-		b.Observer = func(txn *bus.Txn) {
+		b.AttachObserver(func(txn *bus.Txn) {
 			for i, v := range txn.Data {
 				committed[txn.Addr+uint64(i)] = v
 			}
-		}
+		})
 		wantCommitted := make(map[uint64]byte)
 
 		drain := func() {

@@ -12,7 +12,11 @@
 // gives I/O its in-order, exactly-once semantics.
 package cpu
 
-import "fmt"
+import (
+	"fmt"
+
+	"csbsim/internal/obs"
+)
 
 // Config parameterizes the core. DefaultConfig matches the paper's machine.
 type Config struct {
@@ -127,6 +131,10 @@ type Stats struct {
 	Traps          uint64
 	Interrupts     uint64
 	Faults         uint64
+
+	// CPI is the stall-attribution stack: every cycle is charged to
+	// exactly one bucket, so CPI.Total() == Cycles always holds.
+	CPI obs.CPIStack
 }
 
 // IPC returns retired instructions per cycle.

@@ -5,8 +5,12 @@ import (
 	"csbsim/internal/core"
 	"csbsim/internal/isa"
 	"csbsim/internal/mem"
+	"csbsim/internal/obs"
 	"csbsim/internal/uncbuf"
 )
+
+// StallCause re-exports the CPI-stack bucket type for hook signatures.
+type StallCause = obs.StallCause
 
 // CPU is the out-of-order core. It is wired to the cache hierarchy, the
 // uncached buffer, the conditional store buffer and physical memory by the
@@ -55,9 +59,17 @@ type CPU struct {
 	// PIDChanged, if set, runs when software writes the PID privileged
 	// register (the machine switches page tables here).
 	PIDChanged func(pid uint8)
-	// OnRetire, if set, observes every retired instruction in commit
-	// order (tracing).
-	OnRetire func(RetireEvent)
+	// retireObs observes every retired instruction in commit order;
+	// register with AttachRetire. Multiple observers (tracer, Perfetto
+	// exporter, ...) coexist and run in attachment order.
+	retireObs []func(RetireEvent)
+
+	// Cycle-classification state for the CPI stack (see stall.go).
+	retiredThisCycle bool
+	cycleCause       StallCause
+	cycleCauseSet    bool
+	squashRefill     bool // ROB-empty cycles are a mispredict refill
+	icacheMiss       bool // an I-cache fill for the current stream is in flight
 
 	stats Stats
 }
@@ -71,6 +83,22 @@ type RetireEvent struct {
 	Result uint64 // destination value, if any
 	Addr   uint64 // effective address for memory operations
 	IsMem  bool
+
+	// Lifecycle stamps in CPU cycles; 0 means the stage was not recorded
+	// for this instruction (retire-executed operations skip issue, NOPs
+	// complete at rename, ...). Cycle is the retire stamp.
+	FetchCycle    uint64
+	DispatchCycle uint64
+	IssueCycle    uint64
+	CompleteCycle uint64
+}
+
+// AttachRetire registers fn to observe every retired instruction in
+// commit order. Observers are independent and run in attachment order, so
+// a streaming tracer and a Perfetto exporter can coexist (the old public
+// OnRetire field silently overwrote earlier hooks).
+func (c *CPU) AttachRetire(fn func(RetireEvent)) {
+	c.retireObs = append(c.retireObs, fn)
 }
 
 // New builds a core wired to its memory system.
@@ -157,17 +185,24 @@ func (c *CPU) FlushPipeline() {
 }
 
 // Tick advances the core one CPU cycle. Stage order is reverse-pipeline so
-// results become visible to younger stages one cycle later.
+// results become visible to younger stages one cycle later. Every cycle is
+// charged to exactly one CPI-stack bucket (see stall.go), so the stack's
+// buckets always sum to stats.Cycles.
 func (c *CPU) Tick() {
 	c.stats.Cycles++
 	if c.halted {
+		c.stats.CPI.Add(obs.CauseHalted)
 		return
 	}
 	if c.stallCycles > 0 {
 		c.stallCycles--
+		c.stats.CPI.Add(obs.CauseKernel)
 		return
 	}
+	c.retiredThisCycle = false
+	c.cycleCauseSet = false
 	c.retire()
+	c.stats.CPI.Add(c.classifyCycle())
 	if c.halted {
 		return
 	}
@@ -193,7 +228,7 @@ func (c *CPU) fetch() {
 		}
 		word := uint32(c.ram.ReadUint(c.pc, 4))
 		in := isa.Decode(word)
-		u := &uop{seq: c.nextSeq(), inst: in, pc: c.pc}
+		u := &uop{seq: c.nextSeq(), inst: in, pc: c.pc, fetchC: c.stats.Cycles}
 		c.predecode(u)
 		c.fetchQ = append(c.fetchQ, u)
 		c.stats.Fetched++
@@ -212,12 +247,15 @@ func (c *CPU) startICacheFill(pc uint64) {
 	_, hit, accepted := c.hier.Load(pc, true, func() {
 		if c.fetchGen == gen {
 			c.fetchBlocked = false
+			c.icacheMiss = false
 		}
 	})
 	if hit || !accepted {
 		// hit: racing fill already installed it; !accepted: retry.
 		c.fetchBlocked = false
+		return
 	}
+	c.icacheMiss = true
 }
 
 // predecode computes the predicted next PC and marks control flow.
@@ -270,8 +308,10 @@ func (c *CPU) dispatch() {
 		}
 		c.fetchQ = c.fetchQ[1:]
 		c.rename(u)
+		u.dispatchC = c.stats.Cycles
 		c.rob = append(c.rob, u)
 		c.stats.Dispatched++
+		c.squashRefill = false
 		if u.isBranch {
 			c.branchCount++
 		}
@@ -342,10 +382,10 @@ func (c *CPU) rename(u *uop) {
 	// Trivial completions.
 	switch in.Op {
 	case isa.OpNOP:
-		u.done = true
+		c.markDone(u)
 	case isa.OpInvalid:
 		u.faulted = true
-		u.done = true
+		c.markDone(u)
 	}
 
 	// Register the new producer mappings.
@@ -366,6 +406,13 @@ func (c *CPU) rename(u *uop) {
 		u.snapFP = &sf
 		u.snapCC = c.ccRen
 	}
+}
+
+// markDone completes a uop (its result becomes visible to dependents) and
+// stamps the completion cycle for lifecycle tracing.
+func (c *CPU) markDone(u *uop) {
+	u.done = true
+	u.completeC = c.stats.Cycles
 }
 
 // ReadsIntRs1 and ReadsIntRs2 forward to the instruction predicates; kept
@@ -394,6 +441,7 @@ func (c *CPU) issue() {
 				ints--
 				u.issued = true
 				u.executing = true
+				u.issueC = c.stats.Cycles
 				u.remaining = c.latencyFor(u.inst.Op)
 			}
 		case isa.ClassFPU:
@@ -401,6 +449,7 @@ func (c *CPU) issue() {
 				fps--
 				u.issued = true
 				u.executing = true
+				u.issueC = c.stats.Cycles
 				u.remaining = c.latencyFor(u.inst.Op)
 			}
 		}
@@ -415,6 +464,7 @@ func (c *CPU) issueMem(u *uop, agus, ports *int) {
 		if *agus > 0 && u.addrSrcReady() {
 			*agus--
 			u.agenDone = true
+			u.issueC = c.stats.Cycles
 			u.va = u.val1() + uint64(u.inst.Imm)
 			c.translate(u)
 		}
@@ -428,7 +478,7 @@ func (c *CPU) issueMem(u *uop, agus, ports *int) {
 		// complete so dependents unblock. If it reaches retire alive, the
 		// fault is taken there.
 		u.result = 0
-		u.done = true
+		c.markDone(u)
 		return
 	}
 	if u.needsRetireExec() {
@@ -446,7 +496,7 @@ func (c *CPU) issueMem(u *uop, agus, ports *int) {
 		c.startCachedLoad(u)
 	case isa.ClassStore: // cached store: complete when data is ready
 		if u.dataSrcReady() {
-			u.done = true
+			c.markDone(u)
 		}
 	}
 }
@@ -574,7 +624,7 @@ func (c *CPU) executeAdvance() {
 func (c *CPU) completeCachedLoad(u *uop) {
 	size := u.inst.Op.MemBytes()
 	u.result = c.ram.ReadUint(u.pa, size)
-	u.done = true
+	c.markDone(u)
 	c.stats.CachedLoads++
 }
 
@@ -599,6 +649,9 @@ func (c *CPU) resolveBranch(u *uop) {
 	c.squashAfter(u)
 	c.pc = u.actualNext
 	c.fetchBlocked = false
+	// ROB-empty cycles until the refetched path reaches dispatch are the
+	// squash penalty, not generic frontend starvation.
+	c.squashRefill = true
 }
 
 // squashAfter kills everything younger than u and restores the rename maps
@@ -624,6 +677,7 @@ func (c *CPU) squashAfter(u *uop) {
 	}
 	c.fetchQ = c.fetchQ[:0]
 	c.fetchGen++
+	c.icacheMiss = false // a fill for the squashed stream no longer matters
 	if u.snapInt != nil {
 		c.intRen = *u.snapInt
 		c.fpRen = *u.snapFP
@@ -659,4 +713,6 @@ func (c *CPU) flushAll() {
 	c.memCount = 0
 	c.fetchBlocked = false
 	c.fetchGen++
+	c.squashRefill = false
+	c.icacheMiss = false
 }

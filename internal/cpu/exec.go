@@ -118,5 +118,5 @@ func (c *CPU) execute(u *uop) {
 	case isa.OpNOP:
 		// nothing
 	}
-	u.done = true
+	c.markDone(u)
 }

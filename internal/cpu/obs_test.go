@@ -1,0 +1,177 @@
+package cpu
+
+import (
+	"testing"
+
+	"csbsim/internal/mem"
+	"csbsim/internal/obs"
+)
+
+// TestAttachRetireMultiplexes verifies that multiple retire observers
+// coexist — the property the old overwrite-only OnRetire field lacked.
+func TestAttachRetireMultiplexes(t *testing.T) {
+	r := newRig(t)
+	var first, second []uint64
+	var order []string
+	r.c.AttachRetire(func(ev RetireEvent) {
+		first = append(first, ev.Seq)
+		order = append(order, "a")
+	})
+	r.c.AttachRetire(func(ev RetireEvent) {
+		second = append(second, ev.Seq)
+		order = append(order, "b")
+	})
+	r.load(t, `
+	mov 1, %o0
+	add %o0, 2, %o0
+	halt
+`)
+	r.run(t, 10_000)
+	if len(first) == 0 || len(first) != len(second) {
+		t.Fatalf("observer event counts differ: %d vs %d", len(first), len(second))
+	}
+	for i := range first {
+		if first[i] != second[i] {
+			t.Errorf("event %d: observers saw different seqs %d vs %d", i, first[i], second[i])
+		}
+	}
+	if order[0] != "a" || order[1] != "b" {
+		t.Errorf("observers ran out of attachment order: %v", order[:2])
+	}
+}
+
+// TestRetireEventLifecycleStamps checks the per-stage cycle stamps are
+// monotone and present on ordinary ALU instructions.
+func TestRetireEventLifecycleStamps(t *testing.T) {
+	r := newRig(t)
+	var events []RetireEvent
+	r.c.AttachRetire(func(ev RetireEvent) { events = append(events, ev) })
+	r.load(t, `
+	mov 5, %o0
+	add %o0, %o0, %o1
+	sub %o1, 3, %o2
+	halt
+`)
+	r.run(t, 10_000)
+	if len(events) < 3 {
+		t.Fatalf("only %d retire events", len(events))
+	}
+	for _, ev := range events {
+		if ev.FetchCycle == 0 {
+			t.Errorf("seq %d (%s): no fetch stamp", ev.Seq, ev.Inst.String())
+		}
+		if ev.DispatchCycle < ev.FetchCycle {
+			t.Errorf("seq %d: dispatch %d before fetch %d", ev.Seq, ev.DispatchCycle, ev.FetchCycle)
+		}
+		if ev.Cycle < ev.DispatchCycle {
+			t.Errorf("seq %d: retire %d before dispatch %d", ev.Seq, ev.Cycle, ev.DispatchCycle)
+		}
+		if ev.IssueCycle != 0 && ev.CompleteCycle != 0 && ev.CompleteCycle < ev.IssueCycle {
+			t.Errorf("seq %d: complete %d before issue %d", ev.Seq, ev.CompleteCycle, ev.IssueCycle)
+		}
+	}
+	// The add issues through an ALU: it must carry issue and complete.
+	add := events[1]
+	if add.IssueCycle == 0 || add.CompleteCycle == 0 {
+		t.Errorf("ALU op missing issue/complete stamps: %+v", add)
+	}
+}
+
+// cpiInvariant fails the test unless the CPI stack buckets sum exactly to
+// the cycle counter.
+func cpiInvariant(t *testing.T, s Stats) {
+	t.Helper()
+	if total := s.CPI.Total(); total != s.Cycles {
+		t.Errorf("CPI stack sums to %d, cycles = %d\n%s", total, s.Cycles, s.CPI.Format())
+	}
+}
+
+func TestCPIStackInvariantALU(t *testing.T) {
+	r := newRig(t)
+	r.load(t, `
+	mov 10, %g2
+loop:
+	add %o0, 1, %o0
+	subcc %g2, 1, %g2
+	bnz loop
+	halt
+`)
+	r.run(t, 100_000)
+	s := r.c.Stats()
+	cpiInvariant(t, s)
+	if s.CPI[obs.CauseCommit] == 0 {
+		t.Error("no commit cycles recorded")
+	}
+}
+
+func TestCPIStackChargesUncachedDrain(t *testing.T) {
+	r := newRig(t)
+	r.pt.MapRange(0x4000_0000, 0x4000_0000, 1<<16, mem.KindUncached, true)
+	r.load(t, `
+	set 0x40000000, %o1
+	mov 16, %g2
+loop:
+	stx %g1, [%o1]
+	add %o1, 8, %o1
+	subcc %g2, 1, %g2
+	bnz loop
+	membar
+	halt
+`)
+	r.run(t, 100_000)
+	s := r.c.Stats()
+	cpiInvariant(t, s)
+	if s.CPI[obs.CauseUncached]+s.CPI[obs.CauseBusArb] == 0 {
+		t.Errorf("uncached store loop charged no drain/bus cycles:\n%s", s.CPI.Format())
+	}
+}
+
+func TestCPIStackChargesCSB(t *testing.T) {
+	r := newRig(t)
+	r.pt.MapRange(0x4000_0000, 0x4000_0000, 1<<16, mem.KindCombining, true)
+	r.load(t, `
+	set 0x40000000, %o1
+	mov 4, %g2
+loop:
+	mov 8, %l4
+	stx %g1, [%o1]
+	stx %g1, [%o1+8]
+	stx %g1, [%o1+16]
+	stx %g1, [%o1+24]
+	stx %g1, [%o1+32]
+	stx %g1, [%o1+40]
+	stx %g1, [%o1+48]
+	stx %g1, [%o1+56]
+	swap [%o1], %l4
+	subcc %g2, 1, %g2
+	bnz loop
+	halt
+`)
+	r.run(t, 100_000)
+	s := r.c.Stats()
+	cpiInvariant(t, s)
+	if s.CPI[obs.CauseCSB] == 0 {
+		t.Errorf("CSB store/flush loop charged no csb-busy cycles:\n%s", s.CPI.Format())
+	}
+}
+
+// TestCPIStackInvariantHoldsMidRun samples the invariant every cycle, not
+// just at halt — the charge-exactly-one-bucket-per-tick property.
+func TestCPIStackInvariantHoldsMidRun(t *testing.T) {
+	r := newRig(t)
+	r.load(t, `
+	mov 100, %g2
+loop:
+	add %o0, 1, %o0
+	subcc %g2, 1, %g2
+	bnz loop
+	halt
+`)
+	for i := 0; i < 10_000 && !r.c.Halted(); i++ {
+		r.tick()
+		s := r.c.Stats()
+		if s.CPI.Total() != s.Cycles {
+			t.Fatalf("cycle %d: stack sums to %d, cycles %d", i, s.CPI.Total(), s.Cycles)
+		}
+	}
+}

@@ -5,6 +5,7 @@ import (
 
 	"csbsim/internal/isa"
 	"csbsim/internal/mem"
+	"csbsim/internal/obs"
 )
 
 // retire commits up to RetireWidth instructions in program order. At most
@@ -45,6 +46,7 @@ func (c *CPU) retire() {
 				c.popHead(u)
 			case rexRedirected:
 				c.stats.Retired++
+				c.retiredThisCycle = true
 			}
 			return // at most one retire-exec per cycle
 		}
@@ -106,11 +108,17 @@ func (c *CPU) commitDest(u *uop) {
 }
 
 func (c *CPU) popHead(u *uop) {
-	if c.OnRetire != nil {
-		c.OnRetire(RetireEvent{
+	c.retiredThisCycle = true
+	if len(c.retireObs) != 0 {
+		ev := RetireEvent{
 			Cycle: c.stats.Cycles, Seq: u.seq, PC: u.pc, Inst: u.inst,
 			Result: u.result, Addr: u.va, IsMem: u.isMem,
-		})
+			FetchCycle: u.fetchC, DispatchCycle: u.dispatchC,
+			IssueCycle: u.issueC, CompleteCycle: u.completeC,
+		}
+		for _, fn := range c.retireObs {
+			fn(ev)
+		}
 	}
 	c.rob = c.rob[1:]
 	if u.inst.WritesFPReg() && c.fpRen[u.inst.Rd] == u {
@@ -141,7 +149,7 @@ func (c *CPU) retireExec(u *uop) int {
 	case isa.OpMEMBAR:
 		if c.ub.Empty() && c.hier.StoreBufferEmpty() && c.csb.Drained() {
 			c.stats.Membars++
-			u.done = true
+			c.markDone(u)
 			return rexRetired
 		}
 		c.stats.MembarStall++
@@ -158,7 +166,7 @@ func (c *CPU) retireExec(u *uop) int {
 		} else {
 			u.result = c.arch.PR[pr]
 		}
-		u.done = true
+		c.markDone(u)
 		return rexRetired
 
 	case isa.OpWRPR:
@@ -171,7 +179,7 @@ func (c *CPU) retireExec(u *uop) int {
 		if pr == isa.PRPID && c.PIDChanged != nil {
 			c.PIDChanged(uint8(u.val1()))
 		}
-		u.done = true
+		c.markDone(u)
 		return rexRetired
 
 	case isa.OpIRET:
@@ -186,7 +194,7 @@ func (c *CPU) retireExec(u *uop) int {
 		c.stats.Traps++
 		code := u.inst.Imm
 		if c.TrapHook != nil && c.TrapHook(code) {
-			u.done = true
+			c.markDone(u)
 			return rexRetired
 		}
 		ivec := c.arch.PR[isa.PRIVEC]
@@ -264,7 +272,7 @@ func (c *CPU) retireSwapCached(u *uop) int {
 		c.ram.WriteUint(u.pa, 8, u.vald())
 		c.hier.MarkDirty(u.pa)
 		u.result = old
-		u.done = true
+		c.markDone(u)
 		c.stats.Swaps++
 		return rexRetired
 	default: // 2: waiting for the fill
@@ -299,7 +307,7 @@ func (c *CPU) retireConditionalFlush(u *uop) int {
 		if u.remaining > 0 {
 			return rexStall
 		}
-		u.done = true
+		c.markDone(u)
 		return rexRetired
 	}
 }
@@ -326,7 +334,7 @@ func (c *CPU) retireSwapUncached(u *uop) int {
 		if !c.ub.AddStore(u.pa, 8, leBytes(u.vald(), 8)) {
 			return rexStall
 		}
-		u.done = true
+		c.markDone(u)
 		c.stats.Swaps++
 		return rexRetired
 	}
@@ -350,7 +358,7 @@ func (c *CPU) retireUncachedLoad(u *uop) int {
 	case 1:
 		return rexStall
 	default:
-		u.done = true
+		c.markDone(u)
 		c.stats.UncachedLoads++
 		return rexRetired
 	}
@@ -364,14 +372,14 @@ func (c *CPU) retireUncachedStore(u *uop) int {
 			return rexStall
 		}
 		c.stats.CSBStores++
-		u.done = true
+		c.markDone(u)
 		return rexRetired
 	}
 	if !c.ub.AddStore(u.pa, size, data) {
 		return rexStall
 	}
 	c.stats.UncachedStores++
-	u.done = true
+	c.markDone(u)
 	return rexRetired
 }
 
@@ -385,6 +393,8 @@ func (c *CPU) deliverInterrupt() {
 	cause := c.pendingIntr
 	c.pendingIntr = 0
 	c.stats.Interrupts++
+	c.cycleCause = obs.CauseInterrupt
+	c.cycleCauseSet = true
 	resume := c.pc
 	if len(c.rob) > 0 {
 		resume = c.rob[0].pc

@@ -48,6 +48,14 @@ type uop struct {
 	// retire-phase progress for retire-executed operations
 	retPhase int
 
+	// Lifecycle stamps in CPU cycles (0 = stage not reached/recorded).
+	// Cheap to set unconditionally; carried to the retire observers for
+	// pipeline tracing.
+	fetchC    uint64
+	dispatchC uint64
+	issueC    uint64
+	completeC uint64
+
 	// Branch state.
 	isBranch   bool
 	snapInt    *[isa.NumRegs]*uop

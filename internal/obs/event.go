@@ -1,0 +1,44 @@
+package obs
+
+// InstEvent is one retired instruction's lifecycle, stamped in CPU cycles
+// by the pipeline. A zero stamp means the stage was not recorded for this
+// instruction (e.g. retire-executed operations never pass the issue
+// stage). Retire is always set.
+type InstEvent struct {
+	Seq    uint64
+	PC     uint64
+	Disasm string
+
+	Fetch    uint64
+	Dispatch uint64
+	Issue    uint64
+	Complete uint64
+	Retire   uint64
+
+	IsMem bool
+	Addr  uint64
+}
+
+// Span returns the first and last recorded cycle of the instruction's
+// lifetime (first nonzero stamp through retire).
+func (e InstEvent) Span() (start, end uint64) {
+	start = e.Retire
+	for _, s := range []uint64{e.Fetch, e.Dispatch, e.Issue, e.Complete} {
+		if s != 0 && s < start {
+			start = s
+		}
+	}
+	return start, e.Retire
+}
+
+// BusEvent is one completed bus transaction converted to CPU cycles
+// (the machine multiplies bus cycles by the clock ratio so instruction
+// and bus tracks share one timeline).
+type BusEvent struct {
+	Start uint64 // first occupied CPU cycle
+	End   uint64 // one past the last occupied CPU cycle
+	Addr  uint64
+	Size  int
+	Write bool
+	IO    bool
+}

@@ -1,0 +1,99 @@
+package obs
+
+import (
+	"encoding/json"
+	"fmt"
+	"io"
+)
+
+// Sample is one periodic machine snapshot. Rate fields (Retired, BusBytes,
+// the caches) are deltas since the previous sample; occupancy fields are
+// instantaneous. IPC and BusBusyPct are computed over the sample window.
+type Sample struct {
+	Cycle    uint64 `json:"cycle"`
+	BusCycle uint64 `json:"bus_cycle"`
+
+	Retired    uint64  `json:"retired"`
+	IPC        float64 `json:"ipc"`
+	BusBusyPct float64 `json:"bus_busy_pct"`
+	BusBytes   uint64  `json:"bus_bytes"`
+
+	L1DMisses      uint64 `json:"l1d_misses"`
+	UncachedStores uint64 `json:"uncached_stores"`
+	CSBStores      uint64 `json:"csb_stores"`
+
+	CSBOccupancy  int `json:"csb_occupancy_bytes"`
+	CSBPending    int `json:"csb_pending_lines"`
+	UBDepth       int `json:"ub_depth"`
+	WriteBufDepth int `json:"write_buf_depth"`
+}
+
+// MetricsFormat selects the metrics stream encoding.
+type MetricsFormat uint8
+
+const (
+	// FormatJSONL writes one JSON object per line.
+	FormatJSONL MetricsFormat = iota
+	// FormatCSV writes a header row followed by one record per sample.
+	FormatCSV
+)
+
+// csvColumns fixes the CSV column order; keep in sync with Sample.
+var csvColumns = []string{
+	"cycle", "bus_cycle", "retired", "ipc", "bus_busy_pct", "bus_bytes",
+	"l1d_misses", "uncached_stores", "csb_stores",
+	"csb_occupancy_bytes", "csb_pending_lines", "ub_depth", "write_buf_depth",
+}
+
+// MetricsWriter encodes samples to a stream.
+type MetricsWriter struct {
+	w      io.Writer
+	format MetricsFormat
+	count  int
+}
+
+// NewMetricsWriter creates a writer emitting the given format to w.
+func NewMetricsWriter(w io.Writer, format MetricsFormat) *MetricsWriter {
+	return &MetricsWriter{w: w, format: format}
+}
+
+// Count returns the number of samples written.
+func (m *MetricsWriter) Count() int { return m.count }
+
+// Write emits one sample.
+func (m *MetricsWriter) Write(s Sample) error {
+	if m.format == FormatCSV {
+		return m.writeCSV(s)
+	}
+	data, err := json.Marshal(s)
+	if err != nil {
+		return err
+	}
+	data = append(data, '\n')
+	if _, err := m.w.Write(data); err != nil {
+		return err
+	}
+	m.count++
+	return nil
+}
+
+func (m *MetricsWriter) writeCSV(s Sample) error {
+	if m.count == 0 {
+		for i, c := range csvColumns {
+			if i > 0 {
+				fmt.Fprint(m.w, ",")
+			}
+			fmt.Fprint(m.w, c)
+		}
+		fmt.Fprintln(m.w)
+	}
+	_, err := fmt.Fprintf(m.w, "%d,%d,%d,%.4f,%.2f,%d,%d,%d,%d,%d,%d,%d,%d\n",
+		s.Cycle, s.BusCycle, s.Retired, s.IPC, s.BusBusyPct, s.BusBytes,
+		s.L1DMisses, s.UncachedStores, s.CSBStores,
+		s.CSBOccupancy, s.CSBPending, s.UBDepth, s.WriteBufDepth)
+	if err != nil {
+		return err
+	}
+	m.count++
+	return nil
+}

@@ -16,6 +16,7 @@ import (
 	"csbsim/internal/cpu"
 	"csbsim/internal/isa"
 	"csbsim/internal/mem"
+	"csbsim/internal/obs"
 	"csbsim/internal/uncbuf"
 )
 
@@ -109,6 +110,11 @@ type Machine struct {
 
 	devices []Device
 	spaces  map[uint8]*mem.PageTable
+
+	// Optional observability hooks (see obs.go); nil when unattached, so
+	// an uninstrumented machine pays one nil check per tick.
+	sampler  *metricsSampler
+	perfetto *obs.Perfetto
 
 	console bytes.Buffer
 	cycle   uint64
@@ -287,6 +293,9 @@ func (m *Machine) Tick() {
 		for _, d := range m.devices {
 			d.TickBus(m.Bus)
 		}
+	}
+	if s := m.sampler; s != nil && m.cycle%s.every == 0 {
+		m.sampleMetrics()
 	}
 }
 

@@ -1,0 +1,218 @@
+package sim
+
+import (
+	"bytes"
+	"encoding/json"
+	"flag"
+	"os"
+	"path/filepath"
+	"strings"
+	"testing"
+
+	"csbsim/internal/mem"
+	"csbsim/internal/obs"
+)
+
+var update = flag.Bool("update", false, "rewrite golden files")
+
+// storeLoop is a deterministic workload touching the CSB, the bus and the
+// caches — enough to populate every report section the golden test pins.
+const storeLoop = `
+	set 0x40000000, %o1
+	mov 8, %g2
+loop:
+	mov 8, %l4
+	stx %g1, [%o1]
+	stx %g1, [%o1+8]
+	stx %g1, [%o1+16]
+	stx %g1, [%o1+24]
+	stx %g1, [%o1+32]
+	stx %g1, [%o1+40]
+	stx %g1, [%o1+48]
+	stx %g1, [%o1+56]
+	swap [%o1], %l4
+	subcc %g2, 1, %g2
+	bnz loop
+	mov 3, %o0
+	trap 2
+	halt
+`
+
+func runStoreLoop(t *testing.T) *Machine {
+	t.Helper()
+	m, err := New(DefaultConfig())
+	if err != nil {
+		t.Fatal(err)
+	}
+	m.MapRange(0x4000_0000, 1<<16, mem.KindCombining)
+	p, err := m.LoadSource("loop.s", storeLoop)
+	if err != nil {
+		t.Fatal(err)
+	}
+	m.WarmProgram(p)
+	return m
+}
+
+// TestReportGolden pins the exact Report output for a deterministic run.
+// Refresh with: go test ./internal/sim -run TestReportGolden -update
+func TestReportGolden(t *testing.T) {
+	m := runStoreLoop(t)
+	if err := m.Run(1_000_000); err != nil {
+		t.Fatal(err)
+	}
+	if err := m.Drain(100_000); err != nil {
+		t.Fatal(err)
+	}
+	got := m.Stats().Report()
+
+	golden := filepath.Join("testdata", "report.golden")
+	if *update {
+		if err := os.MkdirAll("testdata", 0o755); err != nil {
+			t.Fatal(err)
+		}
+		if err := os.WriteFile(golden, []byte(got), 0o644); err != nil {
+			t.Fatal(err)
+		}
+	}
+	want, err := os.ReadFile(golden)
+	if err != nil {
+		t.Fatalf("%v (run with -update to create)", err)
+	}
+	if got != string(want) {
+		t.Errorf("report drifted from golden file (refresh with -update if intended)\n--- got ---\n%s--- want ---\n%s", got, want)
+	}
+}
+
+// TestMachineCPIInvariant checks the stack invariant at the machine level
+// and that this workload's dominant stall is the CSB.
+func TestMachineCPIInvariant(t *testing.T) {
+	m := runStoreLoop(t)
+	if err := m.Run(1_000_000); err != nil {
+		t.Fatal(err)
+	}
+	s := m.Stats()
+	if total := s.CPU.CPI.Total(); total != s.CPU.Cycles {
+		t.Fatalf("CPI stack sums to %d, cycles %d\n%s", total, s.CPU.Cycles, s.CPU.CPI.Format())
+	}
+	if s.CPU.CPI[obs.CauseCSB] == 0 {
+		t.Errorf("CSB workload charged no csb-busy cycles:\n%s", s.ReportCPI())
+	}
+	if !strings.Contains(s.ReportCPI(), "csb-busy") {
+		t.Error("ReportCPI missing the csb-busy bucket")
+	}
+}
+
+// TestAttachMetricsSampling verifies the sampler cadence (one sample per
+// interval plus the final flush) and the delta semantics.
+func TestAttachMetricsSampling(t *testing.T) {
+	m := runStoreLoop(t)
+	var buf bytes.Buffer
+	w := obs.NewMetricsWriter(&buf, obs.FormatJSONL)
+	if err := m.AttachMetrics(w, 200); err != nil {
+		t.Fatal(err)
+	}
+	if err := m.AttachMetrics(w, 200); err == nil {
+		t.Error("second sampler attach accepted")
+	}
+	if err := m.Run(1_000_000); err != nil {
+		t.Fatal(err)
+	}
+	m.FlushMetrics()
+	m.FlushMetrics() // idempotent at the same cycle
+
+	cycles := m.Cycle()
+	wantMin := int(cycles / 200)
+	if w.Count() < wantMin {
+		t.Fatalf("%d samples over %d cycles, want >= %d", w.Count(), cycles, wantMin)
+	}
+	var prevCycle, totalRetired uint64
+	for _, line := range strings.Split(strings.TrimSpace(buf.String()), "\n") {
+		var s obs.Sample
+		if err := json.Unmarshal([]byte(line), &s); err != nil {
+			t.Fatalf("bad sample %q: %v", line, err)
+		}
+		if s.Cycle <= prevCycle {
+			t.Fatalf("samples not monotone: %d after %d", s.Cycle, prevCycle)
+		}
+		prevCycle = s.Cycle
+		totalRetired += s.Retired
+	}
+	if got := m.Stats().CPU.Retired; totalRetired != got {
+		t.Errorf("sample deltas sum to %d retired, machine says %d", totalRetired, got)
+	}
+}
+
+// TestAttachPerfettoIntegration runs an instrumented machine and checks
+// the exported trace holds instruction, bus and counter events on the
+// shared CPU-cycle timeline.
+func TestAttachPerfettoIntegration(t *testing.T) {
+	m := runStoreLoop(t)
+	p := obs.NewPerfetto()
+	m.AttachPerfetto(p)
+	var buf bytes.Buffer
+	if err := m.AttachMetrics(obs.NewMetricsWriter(&buf, obs.FormatJSONL), 500); err != nil {
+		t.Fatal(err)
+	}
+	if err := m.Run(1_000_000); err != nil {
+		t.Fatal(err)
+	}
+	if err := m.Drain(100_000); err != nil {
+		t.Fatal(err)
+	}
+	m.FlushMetrics()
+	if p.Count() == 0 {
+		t.Fatal("no instructions recorded")
+	}
+
+	var out bytes.Buffer
+	if _, err := p.WriteTo(&out); err != nil {
+		t.Fatal(err)
+	}
+	var doc struct {
+		TraceEvents []struct {
+			Ph  string `json:"ph"`
+			Ts  uint64 `json:"ts"`
+			Dur uint64 `json:"dur"`
+			PID int    `json:"pid"`
+		} `json:"traceEvents"`
+	}
+	if err := json.Unmarshal(out.Bytes(), &doc); err != nil {
+		t.Fatalf("invalid trace JSON: %v", err)
+	}
+	cycles := m.Cycle()
+	var busSlices, counters int
+	for _, e := range doc.TraceEvents {
+		switch e.Ph {
+		case "X":
+			if e.PID == 2 {
+				busSlices++
+			}
+			// Both tracks live on the CPU-cycle timeline: nothing may end
+			// past the run (bus events are converted from bus cycles).
+			if e.Ts+e.Dur > cycles+uint64(m.Cfg.Ratio) {
+				t.Errorf("slice ends at %d, run was %d CPU cycles", e.Ts+e.Dur, cycles)
+			}
+		case "C":
+			counters++
+		}
+	}
+	if busSlices == 0 {
+		t.Error("no bus slices in trace")
+	}
+	if counters == 0 {
+		t.Error("metrics samples did not land as counter tracks")
+	}
+}
+
+// TestUnattachedMachineHasNoObservers documents the nil-cost-off design:
+// a plain machine carries no observers or sampler.
+func TestUnattachedMachineHasNoObservers(t *testing.T) {
+	m := runStoreLoop(t)
+	if m.sampler != nil || m.perfetto != nil {
+		t.Error("fresh machine has observability state attached")
+	}
+	if err := m.Run(1_000_000); err != nil {
+		t.Fatal(err)
+	}
+	m.FlushMetrics() // must be a no-op, not a panic
+}

@@ -54,3 +54,9 @@ func (s Stats) Report() string {
 	}
 	return b.String()
 }
+
+// ReportCPI renders the stall-attribution stack (every cycle charged to
+// exactly one cause; buckets sum to the CPU cycle count).
+func (s Stats) ReportCPI() string {
+	return s.CPU.CPI.Format()
+}

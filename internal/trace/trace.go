@@ -33,13 +33,13 @@ func New(w io.Writer, ringSize int) *Recorder {
 	return r
 }
 
-// Attach hooks the recorder to a CPU. It overwrites any previous OnRetire
-// hook.
+// Attach hooks the recorder to a CPU. It registers alongside any other
+// retire observers; recorders and exporters coexist.
 func (r *Recorder) Attach(c *cpu.CPU) {
-	c.OnRetire = r.Record
+	c.AttachRetire(r.Record)
 }
 
-// Record consumes one event (usable directly as the OnRetire hook).
+// Record consumes one event (usable directly as a retire observer).
 func (r *Recorder) Record(ev cpu.RetireEvent) {
 	if r.Filter != nil && !r.Filter(ev) {
 		return

@@ -36,7 +36,7 @@ func dword(v byte) []byte {
 func drive(t *testing.T, u *Buffer, b *bus.Bus, maxCycles int) []*bus.Txn {
 	t.Helper()
 	var seen []*bus.Txn
-	b.Observer = func(txn *bus.Txn) { seen = append(seen, txn) }
+	b.AttachObserver(func(txn *bus.Txn) { seen = append(seen, txn) })
 	for i := 0; i < maxCycles; i++ {
 		b.Tick()
 		u.TickBus(b)
@@ -193,7 +193,7 @@ func TestIdleBusLimitsCombining(t *testing.T) {
 	u := newBuf(t, Config{Entries: 8, BlockSize: 64, MaxBurst: 64})
 	b := newBus(t)
 	var seen []*bus.Txn
-	b.Observer = func(txn *bus.Txn) { seen = append(seen, txn) }
+	b.AttachObserver(func(txn *bus.Txn) { seen = append(seen, txn) })
 
 	// Interleave: one store per bus cycle (CPU faster than bus would be
 	// multiple per cycle; one is enough to show the effect).
@@ -333,14 +333,14 @@ func TestByteConservationProperty(t *testing.T) {
 		}
 		// Track which bytes the bus saw, and how often.
 		seen := make(map[uint64]int)
-		b.Observer = func(txn *bus.Txn) {
+		b.AttachObserver(func(txn *bus.Txn) {
 			if !txn.Write {
 				return
 			}
 			for i := 0; i < txn.Size; i++ {
 				seen[txn.Addr+uint64(i)]++
 			}
-		}
+		})
 		// Issue random aligned dword stores over a small region,
 		// remembering the last writer of each byte.
 		want := make(map[uint64]bool)
