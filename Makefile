@@ -1,8 +1,10 @@
 # Build/test entry points; `make ci` is what .github/workflows/ci.yml runs.
 
 GO ?= go
+# Parallel workers for figure sweeps (cmd/csbfig -j); defaults to all cores.
+J ?= 0
 
-.PHONY: all build vet test race bench-smoke obsbench ci
+.PHONY: all build vet test race bench-smoke obsbench figures bench-simspeed zero-alloc ci
 
 all: build
 
@@ -27,4 +29,19 @@ bench-smoke:
 obsbench:
 	$(GO) run ./cmd/obsbench > BENCH_observability.json
 
-ci: vet build race bench-smoke
+# Regenerate all paper figures, sweeping measurement points across $(J)
+# workers (0 = one per core).
+figures:
+	$(GO) run ./cmd/csbfig -all -j $(J)
+
+# Re-measure raw simulator speed (tick rate + parallel figure speedup).
+bench-simspeed:
+	$(GO) run ./cmd/simspeed > BENCH_simspeed.json
+
+# The steady-state zero-allocation check must run WITHOUT -race (the race
+# detector's instrumentation allocates); the race target skips it via its
+# build tag.
+zero-alloc:
+	$(GO) test -run TestTickSteadyStateZeroAlloc ./internal/bench/
+
+ci: vet build race zero-alloc bench-smoke

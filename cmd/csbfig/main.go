@@ -6,6 +6,11 @@
 //	csbfig -list
 //	csbfig -fig 3a
 //	csbfig -all
+//	csbfig -all -j 8
+//
+// Figure sweeps fan their measurement points across -j worker goroutines
+// (default NumCPU); every point is an isolated machine, so the output is
+// byte-identical at any -j.
 //
 // Figure IDs follow the paper: 3a-3i (uncached store bandwidth on a
 // multiplexed bus), 4a-4e (split bus), 5a/5b (locking vs CSB). Extension
@@ -17,6 +22,7 @@ import (
 	"flag"
 	"fmt"
 	"os"
+	"runtime"
 
 	"csbsim"
 )
@@ -34,7 +40,10 @@ func main() {
 	list := flag.Bool("list", false, "list available figure IDs")
 	csv := flag.Bool("csv", false, "emit CSV instead of a table")
 	bars := flag.Bool("bars", false, "render grouped ASCII bars instead of a table")
+	workers := flag.Int("j", runtime.NumCPU(), "measurement points to run concurrently (1 = sequential)")
 	flag.Parse()
+
+	csbsim.SetFigureWorkers(*workers)
 
 	switch {
 	case *list:

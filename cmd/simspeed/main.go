@@ -1,0 +1,207 @@
+// Command simspeed measures how fast the simulator itself runs: the
+// single-thread tick rate (simulated CPU cycles per wall-clock second) on
+// the paper's store-bandwidth workloads, and the wall-clock time to
+// regenerate representative figure sweeps sequentially versus on the
+// parallel sweep engine.
+//
+// The JSON it prints is the repo's sim-speed baseline; `make
+// bench-simspeed` refreshes BENCH_simspeed.json with it. Methodology is
+// described in EXPERIMENTS.md ("Simulator speed").
+//
+// Usage:
+//
+//	simspeed [-cycles N] [-j N] [-quick] [-skip-figures]
+package main
+
+import (
+	"encoding/json"
+	"flag"
+	"fmt"
+	"os"
+	"runtime"
+	"time"
+
+	"csbsim/internal/bench"
+	"csbsim/internal/mem"
+)
+
+// TickResult is the single-thread hot-loop measurement for one workload.
+type TickResult struct {
+	Workload string  `json:"workload"`
+	Cycles   uint64  `json:"simulated_cycles"`
+	Retired  uint64  `json:"retired_instructions"`
+	Seconds  float64 `json:"wall_seconds"`
+	KHz      float64 `json:"sim_khz"`  // simulated CPU cycles per wall second / 1000
+	MIPS     float64 `json:"sim_mips"` // retired instructions per wall second / 1e6
+}
+
+// FigureResult is one figure-regeneration wall-clock measurement.
+type FigureResult struct {
+	Name    string  `json:"name"`
+	Workers int     `json:"workers"`
+	Seconds float64 `json:"wall_seconds"`
+}
+
+// Report is the full simspeed output.
+type Report struct {
+	GoVersion  string         `json:"go_version"`
+	NumCPU     int            `json:"num_cpu"`
+	GOMAXPROCS int            `json:"gomaxprocs"`
+	Tick       []TickResult   `json:"tick"`
+	Figures    []FigureResult `json:"figures,omitempty"`
+	// SpeedupJ is wall-clock(sequential) / wall-clock(-j workers) summed
+	// over the measured figures; 1.0 on a single-core machine.
+	SpeedupJ float64 `json:"figure_speedup,omitempty"`
+}
+
+func main() {
+	var (
+		cycles      = flag.Uint64("cycles", 8_000_000, "simulated CPU cycles per tick-rate workload")
+		workers     = flag.Int("j", runtime.NumCPU(), "worker count for the parallel figure timing")
+		quick       = flag.Bool("quick", false, "smoke mode: few cycles, skip figure timing")
+		skipFigures = flag.Bool("skip-figures", false, "skip the figure wall-clock comparison")
+	)
+	flag.Parse()
+	if *quick {
+		*cycles = 200_000
+		*skipFigures = true
+	}
+
+	rep := Report{
+		GoVersion:  runtime.Version(),
+		NumCPU:     runtime.NumCPU(),
+		GOMAXPROCS: runtime.GOMAXPROCS(0),
+	}
+
+	for _, w := range []struct {
+		name string
+		csb  bool
+	}{
+		{"store-bandwidth-uncached", false},
+		{"store-bandwidth-csb", true},
+	} {
+		tr, err := measureTickRate(w.name, w.csb, *cycles)
+		if err != nil {
+			fatal(err)
+		}
+		rep.Tick = append(rep.Tick, tr)
+	}
+
+	if !*skipFigures {
+		seq, par, err := measureFigures(*workers)
+		if err != nil {
+			fatal(err)
+		}
+		rep.Figures = append(rep.Figures, seq...)
+		rep.Figures = append(rep.Figures, par...)
+		var seqTotal, parTotal float64
+		for _, f := range seq {
+			seqTotal += f.Seconds
+		}
+		for _, f := range par {
+			parTotal += f.Seconds
+		}
+		if parTotal > 0 {
+			rep.SpeedupJ = seqTotal / parTotal
+		}
+	}
+
+	enc := json.NewEncoder(os.Stdout)
+	enc.SetIndent("", "  ")
+	if err := enc.Encode(rep); err != nil {
+		fatal(err)
+	}
+}
+
+// measureTickRate runs the store-bandwidth microbenchmark loop for a fixed
+// number of simulated cycles and reports the wall-clock tick rate. The
+// transfer is sized so the program never halts inside the window: the
+// measurement sees only the steady-state store loop.
+func measureTickRate(name string, csb bool, cycles uint64) (TickResult, error) {
+	p := bench.DefaultParams()
+	if csb {
+		p.Scheme = bench.SchemeCSB
+	}
+	m, err := p.Build()
+	if err != nil {
+		return TickResult{}, err
+	}
+	kind := mem.KindUncached
+	if csb {
+		kind = mem.KindCombining
+	}
+	// 64 MB of stores walked sequentially: more loop iterations than any
+	// sane cycle budget reaches, so the measurement window sees only the
+	// steady-state store loop (pages are allocated lazily as touched).
+	m.MapRange(bench.IOBase, 1<<26, kind)
+	src := bench.StoreBandwidthProgram(1<<26, p.LineSize, csb)
+	prog, err := m.LoadSource("simspeed.s", src)
+	if err != nil {
+		return TickResult{}, err
+	}
+	m.WarmProgram(prog)
+
+	start := time.Now()
+	for i := uint64(0); i < cycles && !m.CPU.Halted(); i++ {
+		m.Tick()
+	}
+	elapsed := time.Since(start).Seconds()
+	if err := m.CPU.Err(); err != nil {
+		return TickResult{}, fmt.Errorf("%s: %w", name, err)
+	}
+
+	s := m.Stats()
+	tr := TickResult{
+		Workload: name,
+		Cycles:   s.Cycles,
+		Retired:  s.CPU.Retired,
+		Seconds:  elapsed,
+	}
+	if elapsed > 0 {
+		tr.KHz = float64(s.Cycles) / elapsed / 1e3
+		tr.MIPS = float64(s.CPU.Retired) / elapsed / 1e6
+	}
+	return tr, nil
+}
+
+// measureFigures times Figure3FrequencyRatio and Figure3BlockSize
+// sequentially (1 worker) and on the parallel sweep engine (-j workers).
+func measureFigures(workers int) (seq, par []FigureResult, err error) {
+	figures := []struct {
+		name string
+		run  func() ([]bench.Result, error)
+	}{
+		{"Figure3FrequencyRatio", bench.Figure3FrequencyRatio},
+		{"Figure3BlockSize", bench.Figure3BlockSize},
+	}
+	time1 := func(workers int) ([]FigureResult, error) {
+		prev := bench.Workers()
+		bench.SetWorkers(workers)
+		defer bench.SetWorkers(prev)
+		var out []FigureResult
+		for _, f := range figures {
+			start := time.Now()
+			if _, err := f.run(); err != nil {
+				return nil, err
+			}
+			out = append(out, FigureResult{
+				Name:    f.name,
+				Workers: workers,
+				Seconds: time.Since(start).Seconds(),
+			})
+		}
+		return out, nil
+	}
+	if seq, err = time1(1); err != nil {
+		return nil, nil, err
+	}
+	if par, err = time1(workers); err != nil {
+		return nil, nil, err
+	}
+	return seq, par, nil
+}
+
+func fatal(err error) {
+	fmt.Fprintln(os.Stderr, "simspeed:", err)
+	os.Exit(1)
+}

@@ -129,6 +129,15 @@ func Figure(id string) (FigureResult, error) { return bench.ByID(id) }
 // AllFigures regenerates every figure of the paper's evaluation section.
 func AllFigures() ([]FigureResult, error) { return bench.All() }
 
+// SetFigureWorkers sets how many measurement points figure regeneration
+// runs concurrently (the csbfig -j flag). Each point is an isolated
+// machine, so results are byte-identical at any worker count. n <= 0
+// restores the GOMAXPROCS default.
+func SetFigureWorkers(n int) { bench.SetWorkers(n) }
+
+// FigureWorkers reports the current figure-regeneration parallelism.
+func FigureWorkers() int { return bench.Workers() }
+
 // FormatFigure renders a figure as an aligned text table.
 func FormatFigure(r FigureResult) string { return bench.Format(r) }
 

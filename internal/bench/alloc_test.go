@@ -1,0 +1,70 @@
+//go:build !race
+
+// Excluded under the race detector: its instrumentation allocates on paths
+// that are allocation-free in normal builds, which would make the
+// AllocsPerRun assertion meaningless.
+
+package bench
+
+import (
+	"testing"
+
+	"csbsim/internal/mem"
+)
+
+// The hot loop's contract: once a bandwidth workload reaches steady state,
+// Machine.Tick performs no heap allocations — uops, branch snapshots, bus
+// transactions, combining-buffer entries and store payloads all recycle.
+func TestTickSteadyStateZeroAlloc(t *testing.T) {
+	for _, tc := range []struct {
+		name string
+		csb  bool
+	}{
+		{"store-bandwidth-uncached", false},
+		{"store-bandwidth-csb", true},
+	} {
+		t.Run(tc.name, func(t *testing.T) {
+			p := DefaultParams()
+			kind := mem.KindUncached
+			if tc.csb {
+				p.Scheme = SchemeCSB
+				kind = mem.KindCombining
+			}
+			m, err := p.Build()
+			if err != nil {
+				t.Fatal(err)
+			}
+			const span = 1 << 24 // far more stores than the measured window retires
+			m.MapRange(IOBase, span, kind)
+			prog, err := m.LoadSource(tc.name, StoreBandwidthProgram(span, p.LineSize, tc.csb))
+			if err != nil {
+				t.Fatal(err)
+			}
+			m.WarmProgram(prog)
+			// Materialize the target pages: sparse physical memory
+			// allocates a page on first touch, which is a cold-start cost,
+			// not a per-tick one.
+			zero := []byte{0}
+			for a := uint64(0); a < span; a += mem.PageSize {
+				m.RAM.Write(IOBase+a, zero)
+			}
+			for i := 0; i < 200_000; i++ {
+				m.Tick()
+			}
+			if m.CPU.Halted() {
+				t.Fatal("workload finished during warm-up")
+			}
+			avg := testing.AllocsPerRun(5, func() {
+				for i := 0; i < 20_000; i++ {
+					m.Tick()
+				}
+			})
+			if m.CPU.Halted() {
+				t.Fatal("workload finished during measurement")
+			}
+			if avg != 0 {
+				t.Errorf("steady-state Tick allocated %.1f times per 20k cycles, want 0", avg)
+			}
+		})
+	}
+}

@@ -22,7 +22,8 @@ func sizeLabels() []string {
 }
 
 // bandwidthFigure sweeps all schemes over all transfer sizes on one
-// machine variation.
+// machine variation. The (scheme, size) grid runs on the parallel sweep
+// pool; each point builds its own machine.
 func bandwidthFigure(id, title string, p MachineParams) (Result, error) {
 	r := Result{
 		ID: id, Title: title,
@@ -31,18 +32,21 @@ func bandwidthFigure(id, title string, p MachineParams) (Result, error) {
 		Notes: fmt.Sprintf("%s %dB bus, ratio %d, line %dB, turnaround %d, ack delay %d",
 			p.Bus.Model, p.Bus.WidthBytes, p.Ratio, p.LineSize, p.Bus.Turnaround, p.Bus.AckDelay),
 	}
-	for _, scheme := range Schemes(p.LineSize) {
+	schemes := Schemes(p.LineSize)
+	ys, err := sweepSeries(len(schemes), len(TransferSizes), func(si, xi int) (float64, error) {
 		pp := p
-		pp.Scheme = scheme
-		s := Series{Name: scheme.String()}
-		for _, size := range TransferSizes {
-			bw, err := MeasureBandwidth(pp, size)
-			if err != nil {
-				return r, fmt.Errorf("figure %s %s %dB: %w", id, scheme, size, err)
-			}
-			s.Y = append(s.Y, bw)
+		pp.Scheme = schemes[si]
+		bw, err := MeasureBandwidth(pp, TransferSizes[xi])
+		if err != nil {
+			return 0, fmt.Errorf("figure %s %s %dB: %w", id, schemes[si], TransferSizes[xi], err)
 		}
-		r.Series = append(r.Series, s)
+		return bw, nil
+	})
+	if err != nil {
+		return r, err
+	}
+	for si, scheme := range schemes {
+		r.Series = append(r.Series, Series{Name: scheme.String(), Y: ys[si]})
 	}
 	return r, nil
 }
@@ -175,22 +179,26 @@ func Figure5(lockHit bool) (Result, error) {
 	for _, n := range LockTransferDwords {
 		r.X = append(r.X, fmt.Sprintf("%dB", n*8))
 	}
-	for _, scheme := range Schemes(p.LineSize) {
+	schemes := Schemes(p.LineSize)
+	ys, err := sweepSeries(len(schemes), len(LockTransferDwords), func(si, xi int) (float64, error) {
 		pp := p
-		pp.Scheme = scheme
+		pp.Scheme = schemes[si]
+		n := LockTransferDwords[xi]
+		cycles, err := MeasureLockLatency(pp, n, lockHit)
+		if err != nil {
+			return 0, fmt.Errorf("figure %s %s n=%d: %w", id, schemes[si], n, err)
+		}
+		return cycles, nil
+	})
+	if err != nil {
+		return r, err
+	}
+	for si, scheme := range schemes {
 		name := "lock+" + scheme.String()
 		if scheme == SchemeCSB {
 			name = "CSB"
 		}
-		s := Series{Name: name}
-		for _, n := range LockTransferDwords {
-			cycles, err := MeasureLockLatency(pp, n, lockHit)
-			if err != nil {
-				return r, fmt.Errorf("figure %s %s n=%d: %w", id, scheme, n, err)
-			}
-			s.Y = append(s.Y, cycles)
-		}
-		r.Series = append(r.Series, s)
+		r.Series = append(r.Series, Series{Name: name, Y: ys[si]})
 	}
 	return r, nil
 }
@@ -212,23 +220,22 @@ func AblationDoubleBuffer() (Result, error) {
 	for _, n := range counts {
 		r.X = append(r.X, fmt.Sprintf("%d", n))
 	}
-	for _, double := range []bool{false, true} {
+	variants := []bool{false, true} // single-, then double-buffered
+	ys, err := sweepSeries(len(variants), len(counts), func(si, xi int) (float64, error) {
 		p := DefaultParams()
 		p.Scheme = SchemeCSB
-		p.DoubleBufferedCSB = double
+		p.DoubleBufferedCSB = variants[si]
+		return MeasureCSBIssueOverhead(p, counts[xi])
+	})
+	if err != nil {
+		return r, err
+	}
+	for si, double := range variants {
 		name := "single-buffer"
 		if double {
 			name = "double-buffer"
 		}
-		s := Series{Name: name}
-		for _, n := range counts {
-			cycles, err := MeasureCSBIssueOverhead(p, n)
-			if err != nil {
-				return r, err
-			}
-			s.Y = append(s.Y, cycles)
-		}
-		r.Series = append(r.Series, s)
+		r.Series = append(r.Series, Series{Name: name, Y: ys[si]})
 	}
 	return r, nil
 }
@@ -243,23 +250,22 @@ func AblationR10KCombining() (Result, error) {
 		X:     sizeLabels(),
 		Notes: "stores within each line issue in a fixed shuffled order",
 	}
-	for _, seq := range []bool{false, true} {
+	variants := []bool{false, true} // any-order, then sequential-only
+	ys, err := sweepSeries(len(variants), len(TransferSizes), func(si, xi int) (float64, error) {
 		p := DefaultParams()
 		p.Scheme = Scheme(64)
-		p.SequentialCombining = seq
+		p.SequentialCombining = variants[si]
+		return measureShuffledBandwidth(p, TransferSizes[xi])
+	})
+	if err != nil {
+		return r, err
+	}
+	for si, seq := range variants {
 		name := "combine-64 (any order)"
 		if seq {
 			name = "combine-64 (R10K sequential)"
 		}
-		s := Series{Name: name}
-		for _, size := range TransferSizes {
-			bw, err := measureShuffledBandwidth(p, size)
-			if err != nil {
-				return r, err
-			}
-			s.Y = append(s.Y, bw)
-		}
-		r.Series = append(r.Series, s)
+		r.Series = append(r.Series, Series{Name: name, Y: ys[si]})
 	}
 	return r, nil
 }

@@ -27,7 +27,7 @@ func TestCPIStackInvariantBandwidth(t *testing.T) {
 	for _, scheme := range []Scheme{Scheme(0), Scheme(8), SchemeCSB} {
 		p := DefaultParams()
 		p.Scheme = scheme
-		m, err := p.build()
+		m, err := p.Build()
 		if err != nil {
 			t.Fatal(err)
 		}

@@ -145,16 +145,19 @@ func ExtensionPingPong() (Result, error) {
 	for _, l := range latencies {
 		r.X = append(r.X, fmt.Sprintf("%d", l))
 	}
-	for _, method := range []SendMethod{SendPIO, SendCSB, SendDMA} {
-		s := Series{Name: method.String()}
-		for _, l := range latencies {
-			rt, err := MeasurePingPong(method, rounds, l)
-			if err != nil {
-				return r, fmt.Errorf("X8 %s wire=%d: %w", method, l, err)
-			}
-			s.Y = append(s.Y, rt)
+	methods := []SendMethod{SendPIO, SendCSB, SendDMA}
+	ys, err := sweepSeries(len(methods), len(latencies), func(si, xi int) (float64, error) {
+		rt, err := MeasurePingPong(methods[si], rounds, latencies[xi])
+		if err != nil {
+			return 0, fmt.Errorf("X8 %s wire=%d: %w", methods[si], latencies[xi], err)
 		}
-		r.Series = append(r.Series, s)
+		return rt, nil
+	})
+	if err != nil {
+		return r, err
+	}
+	for si, method := range methods {
+		r.Series = append(r.Series, Series{Name: method.String(), Y: ys[si]})
 	}
 	return r, nil
 }

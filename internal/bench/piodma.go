@@ -191,17 +191,32 @@ func pioVsDMA() (overheadR, latencyR Result, err error) {
 		overheadR.X = append(overheadR.X, label)
 		latencyR.X = append(latencyR.X, label)
 	}
-	for _, method := range []SendMethod{SendPIO, SendCSB, SendDMA} {
-		p := DefaultParams()
+	methods := []SendMethod{SendPIO, SendCSB, SendDMA}
+	type sendPoint struct {
+		method SendMethod
+		size   int
+	}
+	points := make([]sendPoint, 0, len(methods)*len(sizes))
+	for _, method := range methods {
+		for _, size := range sizes {
+			points = append(points, sendPoint{method, size})
+		}
+	}
+	// Each point yields two measurements: [wire latency, CPU overhead].
+	pairs, err := Sweep(points, 0, func(pt sendPoint) ([2]float64, error) {
+		wire, overhead, err := MeasureMessageSend(DefaultParams(), pt.method, pt.size)
+		return [2]float64{wire, overhead}, err
+	})
+	if err != nil {
+		return overheadR, latencyR, err
+	}
+	for mi, method := range methods {
 		ov := Series{Name: method.String()}
 		lat := Series{Name: method.String()}
-		for _, size := range sizes {
-			wire, overhead, err := MeasureMessageSend(p, method, size)
-			if err != nil {
-				return overheadR, latencyR, err
-			}
-			ov.Y = append(ov.Y, overhead)
-			lat.Y = append(lat.Y, wire)
+		for si := range sizes {
+			pair := pairs[mi*len(sizes)+si]
+			lat.Y = append(lat.Y, pair[0])
+			ov.Y = append(ov.Y, pair[1])
 		}
 		overheadR.Series = append(overheadR.Series, ov)
 		latencyR.Series = append(latencyR.Series, lat)

@@ -38,8 +38,8 @@ func DefaultParams() MachineParams {
 	}
 }
 
-// build constructs a machine for the given parameters.
-func (p MachineParams) build() (*sim.Machine, error) {
+// Build constructs a machine for the given parameters.
+func (p MachineParams) Build() (*sim.Machine, error) {
 	cfg := sim.DefaultConfig()
 	cfg.Ratio = p.Ratio
 	cfg.Bus = p.Bus
@@ -62,17 +62,10 @@ func (p MachineParams) build() (*sim.Machine, error) {
 		cfg.CPU.RetireWidth = p.CoreWidth
 		// Scale the issue bandwidth with the core, as the paper's 2- and
 		// 8-way variants would.
-		cfg.CPU.IntALUs = maxInt(1, p.CoreWidth/2)
-		cfg.CPU.FPUs = maxInt(1, p.CoreWidth/2)
+		cfg.CPU.IntALUs = max(1, p.CoreWidth/2)
+		cfg.CPU.FPUs = max(1, p.CoreWidth/2)
 	}
 	return sim.New(cfg)
-}
-
-func maxInt(a, b int) int {
-	if a > b {
-		return a
-	}
-	return b
 }
 
 // span tracks the bus-cycle window occupied by the measured I/O store
@@ -106,22 +99,18 @@ func (s *span) cycles() uint64 {
 	return s.last - s.first + 1
 }
 
-// MeasureBandwidth runs the store-bandwidth microbenchmark for one
-// (transfer size, scheme, machine) point and returns the effective
-// bandwidth in useful bytes per bus cycle.
-func MeasureBandwidth(p MachineParams, totalBytes int) (float64, error) {
-	m, err := p.build()
+// measureStoreStream is the shared store-bandwidth harness: build the
+// machine, map the I/O window with the right memory kind, run the given
+// store program to completion, drain the buffers, and return the
+// effective bandwidth (useful bytes per bus cycle) over the observed
+// I/O-write window.
+func measureStoreStream(p MachineParams, name, src string, kind mem.Kind, totalBytes int) (float64, error) {
+	m, err := p.Build()
 	if err != nil {
 		return 0, err
 	}
-	kind := mem.KindUncached
-	if p.Scheme == SchemeCSB {
-		kind = mem.KindCombining
-	}
 	m.MapRange(IOBase, 1<<20, kind)
-
-	src := StoreBandwidthProgram(totalBytes, p.LineSize, p.Scheme == SchemeCSB)
-	prog, err := m.LoadSource("bandwidth.s", src)
+	prog, err := m.LoadSource(name, src)
 	if err != nil {
 		return 0, err
 	}
@@ -143,32 +132,24 @@ func MeasureBandwidth(p MachineParams, totalBytes int) (float64, error) {
 	return float64(totalBytes) / float64(cyc), nil
 }
 
+// MeasureBandwidth runs the store-bandwidth microbenchmark for one
+// (transfer size, scheme, machine) point and returns the effective
+// bandwidth in useful bytes per bus cycle.
+func MeasureBandwidth(p MachineParams, totalBytes int) (float64, error) {
+	csb := p.Scheme == SchemeCSB
+	kind := mem.KindUncached
+	if csb {
+		kind = mem.KindCombining
+	}
+	src := StoreBandwidthProgram(totalBytes, p.LineSize, csb)
+	return measureStoreStream(p, "bandwidth.s", src, kind, totalBytes)
+}
+
 // measureShuffledBandwidth is MeasureBandwidth with the shuffled-order
 // workload (ablation X4).
 func measureShuffledBandwidth(p MachineParams, totalBytes int) (float64, error) {
-	m, err := p.build()
-	if err != nil {
-		return 0, err
-	}
-	m.MapRange(IOBase, 1<<20, mem.KindUncached)
-	prog, err := m.LoadSource("shuffled.s", ShuffledStoreProgram(totalBytes, p.LineSize))
-	if err != nil {
-		return 0, err
-	}
-	m.WarmProgram(prog)
-	var sp span
-	m.Bus.AttachObserver(sp.observe)
-	if err := m.Run(50_000_000); err != nil {
-		return 0, err
-	}
-	if err := m.Drain(1_000_000); err != nil {
-		return 0, err
-	}
-	cyc := sp.cycles()
-	if cyc == 0 {
-		return 0, fmt.Errorf("bench: no I/O transactions observed")
-	}
-	return float64(totalBytes) / float64(cyc), nil
+	src := ShuffledStoreProgram(totalBytes, p.LineSize)
+	return measureStoreStream(p, "shuffled.s", src, mem.KindUncached, totalBytes)
 }
 
 // MeasureCSBIssueOverhead returns the CPU cycles a program needs to issue
@@ -177,7 +158,7 @@ func measureShuffledBandwidth(p MachineParams, totalBytes int) (float64, error) 
 // CSB of §3.2 pays off: the single-entry design stalls each new sequence
 // until the previous line has been handed to the system interface.
 func MeasureCSBIssueOverhead(p MachineParams, lines int) (float64, error) {
-	m, err := p.build()
+	m, err := p.Build()
 	if err != nil {
 		return 0, err
 	}
@@ -206,7 +187,7 @@ func MeasureCSBIssueOverhead(p MachineParams, lines int) (float64, error) {
 // nDwords doublewords, with the lock either warm in L1 or cold.
 func MeasureLockLatency(p MachineParams, nDwords int, lockHit bool) (float64, error) {
 	run := func(src string) (uint64, error) {
-		m, err := p.build()
+		m, err := p.Build()
 		if err != nil {
 			return 0, err
 		}

@@ -193,24 +193,24 @@ func ExtensionSharedNIC() (Result, error) {
 	for _, q := range quanta {
 		r.X = append(r.X, fmt.Sprintf("%d", q))
 	}
-	for _, useCSB := range []bool{false, true} {
-		name := "lock+uncached"
-		if useCSB {
-			name = "CSB lock-free"
+	variants := []bool{false, true} // lock-based, then CSB lock-free
+	names := []string{"lock+uncached", "CSB lock-free"}
+	ys, err := sweepSeries(len(variants), len(quanta), func(si, xi int) (float64, error) {
+		res, err := MeasureSharedNIC(variants[si], msgs, quanta[xi])
+		if err != nil {
+			return 0, err
 		}
-		s := Series{Name: name}
-		for _, q := range quanta {
-			res, err := MeasureSharedNIC(useCSB, msgs, q)
-			if err != nil {
-				return r, err
-			}
-			if res.Packets != 2*msgs {
-				return r, fmt.Errorf("bench X6 (%s, q=%d): %d packets, want %d",
-					name, q, res.Packets, 2*msgs)
-			}
-			s.Y = append(s.Y, float64(res.Cycles))
+		if res.Packets != 2*msgs {
+			return 0, fmt.Errorf("bench X6 (%s, q=%d): %d packets, want %d",
+				names[si], quanta[xi], res.Packets, 2*msgs)
 		}
-		r.Series = append(r.Series, s)
+		return float64(res.Cycles), nil
+	})
+	if err != nil {
+		return r, err
+	}
+	for si, name := range names {
+		r.Series = append(r.Series, Series{Name: name, Y: ys[si]})
 	}
 	return r, nil
 }

@@ -1,0 +1,136 @@
+// Parallel sweep engine. Every paper figure is a sweep of independent
+// (machine, scheme, transfer-size) points, each measured on a freshly
+// built sim.Machine; machines share no mutable state (the only
+// package-level variables in the simulator are immutable lookup tables),
+// so the points can run on as many OS threads as the host offers. Sweep
+// fans the points across a worker pool and assembles results in index
+// order, so the output is byte-identical to a sequential run regardless
+// of worker count or scheduling.
+package bench
+
+import (
+	"runtime"
+	"sync"
+	"sync/atomic"
+)
+
+// workerCount is the package-wide default parallelism for Sweep calls
+// that pass workers <= 0. Zero means "use GOMAXPROCS".
+var workerCount atomic.Int32
+
+// Workers reports the current default sweep parallelism.
+func Workers() int {
+	if n := workerCount.Load(); n > 0 {
+		return int(n)
+	}
+	return runtime.GOMAXPROCS(0)
+}
+
+// SetWorkers sets the default sweep parallelism (the figure tool's -j
+// flag lands here). n <= 0 restores the GOMAXPROCS default.
+func SetWorkers(n int) {
+	if n < 0 {
+		n = 0
+	}
+	workerCount.Store(int32(n))
+}
+
+// Sweep measures every point with fn, running up to `workers` calls
+// concurrently (workers <= 0 means the package default, see SetWorkers).
+// Results are returned in point order. fn must be safe for concurrent
+// use; measurement functions that build a fresh Machine per call are.
+//
+// On error the sweep stops handing out new points, waits for in-flight
+// measurements, and returns the error of the lowest-index failed point —
+// the same error a sequential run would surface first.
+func Sweep[P, R any](points []P, workers int, fn func(P) (R, error)) ([]R, error) {
+	results := make([]R, len(points))
+	if len(points) == 0 {
+		return results, nil
+	}
+	if workers <= 0 {
+		workers = Workers()
+	}
+	if workers > len(points) {
+		workers = len(points)
+	}
+	if workers == 1 {
+		// Sequential fast path: no goroutines, deterministic by
+		// construction. This is also the reference path the parallel
+		// assembly is tested against.
+		for i, p := range points {
+			r, err := fn(p)
+			if err != nil {
+				return nil, err
+			}
+			results[i] = r
+		}
+		return results, nil
+	}
+
+	var (
+		next     atomic.Int64 // next unclaimed point index
+		stop     atomic.Bool  // set on first error: stop claiming points
+		mu       sync.Mutex
+		errIdx   = -1 // lowest failed index seen so far
+		firstErr error
+		wg       sync.WaitGroup
+	)
+	wg.Add(workers)
+	for w := 0; w < workers; w++ {
+		go func() {
+			defer wg.Done()
+			for {
+				i := int(next.Add(1)) - 1
+				if i >= len(points) || stop.Load() {
+					return
+				}
+				r, err := fn(points[i])
+				if err != nil {
+					mu.Lock()
+					if errIdx < 0 || i < errIdx {
+						errIdx, firstErr = i, err
+					}
+					mu.Unlock()
+					stop.Store(true)
+					return
+				}
+				results[i] = r
+			}
+		}()
+	}
+	wg.Wait()
+	if firstErr != nil {
+		return nil, firstErr
+	}
+	return results, nil
+}
+
+// seriesPoint addresses one (series, x) cell of a figure grid.
+type seriesPoint struct{ si, xi int }
+
+// sweepSeries evaluates an nSeries x nX measurement grid on the sweep
+// pool and returns the filled Y vectors, one per series. fn receives the
+// series and x indices and returns that cell's measurement.
+func sweepSeries(nSeries, nX int, fn func(si, xi int) (float64, error)) ([][]float64, error) {
+	points := make([]seriesPoint, 0, nSeries*nX)
+	for si := 0; si < nSeries; si++ {
+		for xi := 0; xi < nX; xi++ {
+			points = append(points, seriesPoint{si, xi})
+		}
+	}
+	ys, err := Sweep(points, 0, func(pt seriesPoint) (float64, error) {
+		return fn(pt.si, pt.xi)
+	})
+	if err != nil {
+		return nil, err
+	}
+	out := make([][]float64, nSeries)
+	for si := range out {
+		out[si] = make([]float64, nX)
+	}
+	for k, pt := range points {
+		out[pt.si][pt.xi] = ys[k]
+	}
+	return out, nil
+}

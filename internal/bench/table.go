@@ -32,27 +32,18 @@ func Format(r Result) string {
 		fmt.Fprintf(&b, "  %s\n", r.Notes)
 	}
 
-	colw := 0
+	colw := 7
 	for _, x := range r.X {
-		if len(x) > colw {
-			colw = len(x)
-		}
+		colw = max(colw, len(x))
 	}
 	for _, s := range r.Series {
 		for _, v := range s.Y {
-			if n := len(fmt.Sprintf("%.2f", v)); n > colw {
-				colw = n
-			}
+			colw = max(colw, len(fmt.Sprintf("%.2f", v)))
 		}
 	}
 	namew := 0
 	for _, s := range r.Series {
-		if len(s.Name) > namew {
-			namew = len(s.Name)
-		}
-	}
-	if colw < 7 {
-		colw = 7
+		namew = max(namew, len(s.Name))
 	}
 
 	fmt.Fprintf(&b, "  %-*s", namew, "")
@@ -83,13 +74,9 @@ func FormatBars(r Result) string {
 	maxVal := 0.0
 	namew := 0
 	for _, s := range r.Series {
-		if len(s.Name) > namew {
-			namew = len(s.Name)
-		}
+		namew = max(namew, len(s.Name))
 		for _, v := range s.Y {
-			if v > maxVal {
-				maxVal = v
-			}
+			maxVal = max(maxVal, v)
 		}
 	}
 	if maxVal == 0 {

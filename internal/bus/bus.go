@@ -93,7 +93,8 @@ type Txn struct {
 	// RAM.
 	Silent bool
 	// Done, if non-nil, runs when the transaction completes. Reads see
-	// their Data filled in.
+	// their Data filled in. The issuing agent may recycle the Txn after
+	// Done returns, so callbacks (and bus observers) must not retain it.
 	Done func(*Txn)
 
 	// Start and End are the first and last occupied bus cycles, filled
@@ -139,6 +140,10 @@ type Bus struct {
 // AttachObserver registers fn to run on every completed transaction, in
 // attachment order, after the transaction's own Done callback target data
 // is filled in but before Done itself runs.
+//
+// The *Txn (and its Data slice) is only valid for the duration of the
+// call: agents recycle completed transactions, so observers must copy
+// anything they want to keep.
 func (b *Bus) AttachObserver(fn func(*Txn)) {
 	b.observers = append(b.observers, fn)
 }

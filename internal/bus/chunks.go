@@ -15,7 +15,14 @@ type Chunk struct {
 // base is the (block-aligned) address of mask[0]. maxSize caps individual
 // transfers (a full cache line at most).
 func AlignedChunks(base uint64, mask []bool, maxSize int) []Chunk {
-	var out []Chunk
+	return AppendAlignedChunks(nil, base, mask, maxSize)
+}
+
+// AppendAlignedChunks is AlignedChunks appending into dst, letting hot
+// callers reuse one chunk slice across entries instead of allocating per
+// decomposition.
+func AppendAlignedChunks(dst []Chunk, base uint64, mask []bool, maxSize int) []Chunk {
+	out := dst
 	i := 0
 	for i < len(mask) {
 		if !mask[i] {

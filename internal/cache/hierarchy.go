@@ -86,6 +86,10 @@ type Hierarchy struct {
 	writeBuf   []uint64 // retiring cached stores (addresses)
 	storeMiss  bool     // head of writeBuf is waiting on a fill
 
+	// silentBuf is the reusable payload of Silent writeback transactions
+	// (tag-only model: the bus only checks the length, never the bytes).
+	silentBuf []byte
+
 	stats HierStats
 }
 
@@ -106,7 +110,11 @@ func NewHierarchy(cfg HierConfig) (*Hierarchy, error) {
 	if err != nil {
 		return nil, err
 	}
-	return &Hierarchy{cfg: cfg, l1i: l1i, l1d: l1d, l2: l2}, nil
+	return &Hierarchy{
+		cfg: cfg, l1i: l1i, l1d: l1d, l2: l2,
+		writeBuf:  make([]uint64, 0, cfg.WriteBuffer),
+		silentBuf: make([]byte, cfg.L2.LineSize),
+	}, nil
 }
 
 // LineSize returns the hierarchy's line size in bytes.
@@ -234,18 +242,26 @@ func (h *Hierarchy) drainWriteBuffer() {
 	addr := h.writeBuf[0]
 	if h.l1d.Lookup(addr) {
 		h.l1d.SetDirty(addr)
-		h.writeBuf = h.writeBuf[1:]
+		h.popWriteBuf()
 		return
 	}
 	// Write-allocate: fetch the line, then complete the store.
 	ok := h.addMiss(addr, false, func() {
 		h.l1d.SetDirty(addr)
-		h.writeBuf = h.writeBuf[1:]
+		h.popWriteBuf()
 		h.storeMiss = false
 	})
 	if ok {
 		h.storeMiss = true
 	}
+}
+
+// popWriteBuf removes the head store by shifting in place, so the buffer
+// keeps its backing array (≤ WriteBuffer entries) instead of re-slicing
+// toward a reallocation.
+func (h *Hierarchy) popWriteBuf() {
+	copy(h.writeBuf, h.writeBuf[1:])
+	h.writeBuf = h.writeBuf[:len(h.writeBuf)-1]
 }
 
 // finishFill installs the line in L2 (if it came from memory) and the
@@ -297,12 +313,20 @@ func (h *Hierarchy) TickBus(b *bus.Bus) {
 		// Tag-only model: the data is already in RAM, so the writeback
 		// is a Silent (timing-only) transaction.
 		txn := &bus.Txn{Addr: wb, Size: h.LineSize(), Write: true,
-			Data: make([]byte, h.LineSize()), Silent: true}
+			Data: h.silentBuf, Silent: true}
 		if b.TryIssue(txn) {
-			h.writebacks = h.writebacks[1:]
+			copy(h.writebacks, h.writebacks[1:])
+			h.writebacks = h.writebacks[:len(h.writebacks)-1]
 			h.stats.Writebacks++
 		}
 	}
+}
+
+// NeedsBus reports whether the hierarchy has bus work pending (fills
+// waiting for the bus or queued writebacks); Machine.Tick skips the
+// TickBus call otherwise.
+func (h *Hierarchy) NeedsBus() bool {
+	return len(h.mshrs) != 0 || len(h.writebacks) != 0
 }
 
 // Idle reports whether no miss or writeback activity is pending.

@@ -78,8 +78,14 @@ type CSB struct {
 	mask     []bool
 
 	// Lines accepted by a successful flush but not yet issued on the
-	// bus. Capacity 1, or 2 when double-buffered.
-	pending []pendingLine
+	// bus: a ring of two slots with reusable line buffers (capacity 1,
+	// or 2 when double-buffered).
+	pending   [2]pendingLine
+	pendHead  int
+	pendCount int
+
+	txnFree     []*bus.Txn // recycled burst transactions
+	onBurstDone func(*bus.Txn)
 
 	stats Stats
 }
@@ -94,11 +100,18 @@ func New(cfg Config) (*CSB, error) {
 	if err := cfg.Validate(); err != nil {
 		return nil, err
 	}
-	return &CSB{
+	c := &CSB{
 		cfg:  cfg,
 		data: make([]byte, cfg.LineSize),
 		mask: make([]bool, cfg.LineSize),
-	}, nil
+	}
+	for i := range c.pending {
+		c.pending[i].data = make([]byte, cfg.LineSize)
+	}
+	c.onBurstDone = func(t *bus.Txn) {
+		c.txnFree = append(c.txnFree, t)
+	}
+	return c, nil
 }
 
 // Config returns the CSB configuration.
@@ -127,7 +140,7 @@ func (c *CSB) Occupancy() int {
 
 // PendingLines returns the number of flushed lines still waiting for the
 // system interface.
-func (c *CSB) PendingLines() int { return len(c.pending) }
+func (c *CSB) PendingLines() int { return c.pendCount }
 
 // Busy reports whether the data register is unavailable because a flushed
 // line has not yet been handed to the system interface. Combining stores
@@ -138,11 +151,11 @@ func (c *CSB) Busy() bool {
 	if c.cfg.DoubleBuffered {
 		capacity = 2
 	}
-	return len(c.pending) >= capacity
+	return c.pendCount >= capacity
 }
 
 // Drained reports whether no flushed line is still waiting for the bus.
-func (c *CSB) Drained() bool { return len(c.pending) == 0 }
+func (c *CSB) Drained() bool { return c.pendCount == 0 }
 
 func (c *CSB) clear() {
 	c.valid = false
@@ -230,9 +243,10 @@ func (c *CSB) ConditionalFlush(pid uint8, addr uint64, expected int64, old uint6
 			c.stats.PaddedBytes++
 		}
 	}
-	lineData := make([]byte, c.cfg.LineSize)
-	copy(lineData, c.data)
-	c.pending = append(c.pending, pendingLine{addr: c.lineAddr, data: lineData})
+	slot := &c.pending[(c.pendHead+c.pendCount)%len(c.pending)]
+	slot.addr = c.lineAddr
+	copy(slot.data, c.data)
+	c.pendCount++
 	c.stats.BytesCommitted += uint64(c.cfg.LineSize)
 	c.stats.FlushOK++
 	c.clear()
@@ -242,16 +256,27 @@ func (c *CSB) ConditionalFlush(pid uint8, addr uint64, expected int64, old uint6
 // TickBus hands at most one pending line to the bus as a single ordered
 // burst transaction. The machine calls this once per bus cycle.
 func (c *CSB) TickBus(b *bus.Bus) {
-	if len(c.pending) == 0 {
+	if c.pendCount == 0 {
 		return
 	}
-	p := c.pending[0]
-	txn := &bus.Txn{
-		Addr: p.addr, Size: len(p.data), Write: true, Data: p.data,
-		Ordered: true, IO: true,
+	p := &c.pending[c.pendHead]
+	// The transaction carries its own copy of the line: the pending slot
+	// may be refilled by a new flush while the burst is still in flight.
+	var txn *bus.Txn
+	if n := len(c.txnFree); n > 0 {
+		txn = c.txnFree[n-1]
+		c.txnFree = c.txnFree[:n-1]
+		txn.Start, txn.End = 0, 0
+	} else {
+		txn = &bus.Txn{Write: true, Ordered: true, IO: true, Done: c.onBurstDone}
 	}
+	txn.Addr, txn.Size = p.addr, len(p.data)
+	txn.Data = append(txn.Data[:0], p.data...)
 	if b.TryIssue(txn) {
-		c.pending = c.pending[1:]
+		c.pendHead = (c.pendHead + 1) % len(c.pending)
+		c.pendCount--
 		c.stats.Bursts++
+	} else {
+		c.txnFree = append(c.txnFree, txn)
 	}
 }

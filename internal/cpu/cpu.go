@@ -35,6 +35,23 @@ type CPU struct {
 	ccRen  *uop
 	seq    uint64
 
+	// Allocation-free steady state: rob and fetchQ are windows into fixed
+	// backing arrays (compacted to the front when a push reaches the end),
+	// retired uops queue in retq until no in-flight uop can reference them
+	// and then return to uopFree, and branch snapshots recycle via
+	// snapFree. stBuf is the scratch encoding buffer for store data.
+	robBack  []*uop
+	fqBack   []*uop
+	uopFree  []*uop
+	retq     []*uop
+	snapFree []*renSnap
+	stBuf    [8]byte
+
+	// Decoded-instruction cache: fetch skips the RAM read and decode for
+	// PCs it has seen (see decache.go).
+	decCache []decEntry
+	decGen   uint32
+
 	pc           uint64
 	fetchBlocked bool
 	fetchGen     uint64 // invalidates in-flight I-cache fill callbacks
@@ -114,8 +131,94 @@ func New(cfg Config, hier *cache.Hierarchy, ub *uncbuf.Buffer, csb *core.CSB, ra
 		ram:  ram,
 		tlb:  mem.NewTLB(cfg.TLBEntries),
 		pred: newPredictor(cfg.PredictorSize),
+		// Double-capacity backings: pushes compact the live window to the
+		// front only when it drifts past the halfway point, amortizing the
+		// copy without ring-buffer indexing at every use site.
+		robBack:  make([]*uop, 0, 2*cfg.ROBSize),
+		fqBack:   make([]*uop, 0, 2*cfg.FetchQueue),
+		decCache: make([]decEntry, decCacheSize),
+		decGen:   1,
 	}
+	c.rob = c.robBack
+	c.fetchQ = c.fqBack
 	return c, nil
+}
+
+// newUop returns a zeroed uop from the free list (or a fresh one).
+func (c *CPU) newUop() *uop {
+	if n := len(c.uopFree); n > 0 {
+		u := c.uopFree[n-1]
+		c.uopFree = c.uopFree[:n-1]
+		*u = uop{}
+		return u
+	}
+	return &uop{}
+}
+
+// newSnap returns a rename snapshot from the pool; its contents are
+// overwritten in full by the caller.
+func (c *CPU) newSnap() *renSnap {
+	if n := len(c.snapFree); n > 0 {
+		s := c.snapFree[n-1]
+		c.snapFree = c.snapFree[:n-1]
+		return s
+	}
+	return &renSnap{}
+}
+
+// releaseSnap returns u's snapshot (if any) to the pool.
+func (c *CPU) releaseSnap(u *uop) {
+	if u.snap != nil {
+		c.snapFree = append(c.snapFree, u.snap)
+		u.snap = nil
+	}
+}
+
+// pushROB appends to the ROB window, compacting it to the front of its
+// backing array when the window has drifted to the end.
+func (c *CPU) pushROB(u *uop) {
+	if len(c.rob) == cap(c.rob) {
+		c.rob = append(c.robBack[:0], c.rob...)
+	}
+	c.rob = append(c.rob, u)
+}
+
+func (c *CPU) pushFetchQ(u *uop) {
+	if len(c.fetchQ) == cap(c.fetchQ) {
+		c.fetchQ = append(c.fqBack[:0], c.fetchQ...)
+	}
+	c.fetchQ = append(c.fetchQ, u)
+}
+
+// recycleRetired moves retired uops whose references have provably drained
+// from the pipeline onto the free list. A uop retired at sequence stamp S
+// can only be referenced (as a renamed source or in a branch snapshot) by
+// uops fetched no later than S; once the oldest in-flight uop is younger,
+// the slot is reusable. Pinned uops (outstanding fill/load callbacks) are
+// dropped to the GC instead.
+func (c *CPU) recycleRetired() {
+	if len(c.retq) == 0 {
+		return
+	}
+	oldest := c.seq + 1 // pipeline empty: everything is recyclable
+	if len(c.rob) > 0 {
+		oldest = c.rob[0].seq
+	} else if len(c.fetchQ) > 0 {
+		oldest = c.fetchQ[0].seq
+	}
+	i := 0
+	for ; i < len(c.retq); i++ {
+		u := c.retq[i]
+		if u.freeStamp >= oldest {
+			break
+		}
+		if u.pins == 0 {
+			c.uopFree = append(c.uopFree, u)
+		}
+	}
+	if i > 0 {
+		c.retq = append(c.retq[:0], c.retq[i:]...)
+	}
 }
 
 // SetPageTable installs the page table used for data-address translation.
@@ -129,6 +232,7 @@ func (c *CPU) TLB() *mem.TLB { return c.tlb }
 
 // Reset clears the pipeline and starts execution at entry.
 func (c *CPU) Reset(entry uint64) {
+	c.invalidateDecodeCache() // a new program may occupy the same PCs
 	c.flushAll()
 	c.arch = ArchState{PC: entry}
 	c.pc = entry
@@ -174,12 +278,14 @@ func (c *CPU) RestoreState(s ArchState) {
 	c.halted = false
 	c.haltErr = nil
 	c.pendingIntr = 0
+	c.invalidateDecodeCache() // the kernel may have (re)loaded program text
 	c.flushAll()
 }
 
 // FlushPipeline squashes all in-flight work and restarts fetch at the
 // committed PC (used by the kernel after it mutates state directly).
 func (c *CPU) FlushPipeline() {
+	c.invalidateDecodeCache()
 	c.flushAll()
 	c.pc = c.arch.PC
 }
@@ -203,6 +309,7 @@ func (c *CPU) Tick() {
 	c.cycleCauseSet = false
 	c.retire()
 	c.stats.CPI.Add(c.classifyCycle())
+	c.recycleRetired()
 	if c.halted {
 		return
 	}
@@ -226,11 +333,13 @@ func (c *CPU) fetch() {
 			}
 			return
 		}
-		word := uint32(c.ram.ReadUint(c.pc, 4))
-		in := isa.Decode(word)
-		u := &uop{seq: c.nextSeq(), inst: in, pc: c.pc, fetchC: c.stats.Cycles}
+		u := c.newUop()
+		u.seq = c.nextSeq()
+		u.inst = c.decode(c.pc)
+		u.pc = c.pc
+		u.fetchC = c.stats.Cycles
 		c.predecode(u)
-		c.fetchQ = append(c.fetchQ, u)
+		c.pushFetchQ(u)
 		c.stats.Fetched++
 		taken := u.predNext != u.pc+4
 		c.pc = u.predNext
@@ -309,7 +418,7 @@ func (c *CPU) dispatch() {
 		c.fetchQ = c.fetchQ[1:]
 		c.rename(u)
 		u.dispatchC = c.stats.Cycles
-		c.rob = append(c.rob, u)
+		c.pushROB(u)
 		c.stats.Dispatched++
 		c.squashRefill = false
 		if u.isBranch {
@@ -400,11 +509,11 @@ func (c *CPU) rename(u *uop) {
 
 	// Branches snapshot the rename state including their own writes.
 	if u.isBranch {
-		si := c.intRen
-		sf := c.fpRen
-		u.snapInt = &si
-		u.snapFP = &sf
-		u.snapCC = c.ccRen
+		s := c.newSnap()
+		s.ints = c.intRen
+		s.fps = c.fpRen
+		s.cc = c.ccRen
+		u.snap = s
 	}
 }
 
@@ -502,11 +611,16 @@ func (c *CPU) issueMem(u *uop, agus, ports *int) {
 }
 
 func (c *CPU) startCachedLoad(u *uop) {
+	u.pins++ // the fill callback captures u; see recycleRetired
 	lat, hit, accepted := c.hier.Load(u.pa, false, func() {
+		u.pins--
 		if !u.dead {
 			u.memWait = false
 		}
 	})
+	if hit || !accepted {
+		u.pins-- // callback not retained
+	}
 	if !accepted {
 		return // MSHRs full; retry next cycle
 	}
@@ -672,26 +786,57 @@ func (c *CPU) squashAfter(u *uop) {
 	}
 	c.stats.Squashed += uint64(len(c.rob) - idx - 1 + len(c.fetchQ))
 	c.rob = c.rob[:idx+1]
-	for _, x := range c.fetchQ {
-		x.dead = true
-	}
-	c.fetchQ = c.fetchQ[:0]
+	c.recycleFetchQ()
 	c.fetchGen++
 	c.icacheMiss = false // a fill for the squashed stream no longer matters
-	if u.snapInt != nil {
-		c.intRen = *u.snapInt
-		c.fpRen = *u.snapFP
-		c.ccRen = u.snapCC
+	if u.snap != nil {
+		c.intRen = u.snap.ints
+		c.fpRen = u.snap.fps
+		c.ccRen = u.snap.cc
+		// Producers that retired after the snapshot was taken have
+		// committed to the architectural file (and their uops may be
+		// recycled); scrub them so rename reads the register instead.
+		for i, p := range c.intRen {
+			if p != nil && p.retired {
+				c.intRen[i] = nil
+			}
+		}
+		for i, p := range c.fpRen {
+			if p != nil && p.retired {
+				c.fpRen[i] = nil
+			}
+		}
+		if c.ccRen != nil && c.ccRen.retired {
+			c.ccRen = nil
+		}
 	}
 }
 
+// recycleFetchQ kills and immediately recycles the fetch queue: its uops
+// are not yet renamed, so nothing can reference them.
+func (c *CPU) recycleFetchQ() {
+	for _, x := range c.fetchQ {
+		x.dead = true
+		c.uopFree = append(c.uopFree, x)
+	}
+	c.fetchQ = c.fetchQ[:0]
+}
+
+// killUop squashes an in-flight uop. Squashed uops become unreachable the
+// moment their ROB window is truncated (references only ever point from
+// younger to older, and everything younger dies with them), so the slot is
+// recycled immediately — unless an outstanding callback still pins it.
 func (c *CPU) killUop(x *uop) {
 	x.dead = true
+	c.releaseSnap(x)
 	if x.isBranch && !x.resolved {
 		c.branchCount--
 	}
 	if x.isMem {
 		c.memCount--
+	}
+	if x.pins == 0 {
+		c.uopFree = append(c.uopFree, x)
 	}
 }
 
@@ -702,10 +847,7 @@ func (c *CPU) flushAll() {
 	}
 	c.stats.Squashed += uint64(len(c.rob) + len(c.fetchQ))
 	c.rob = c.rob[:0]
-	for _, x := range c.fetchQ {
-		x.dead = true
-	}
-	c.fetchQ = c.fetchQ[:0]
+	c.recycleFetchQ()
 	c.intRen = [isa.NumRegs]*uop{}
 	c.fpRen = [isa.NumFRegs]*uop{}
 	c.ccRen = nil

@@ -182,13 +182,14 @@ func TestNeedsRetireExec(t *testing.T) {
 }
 
 func TestLeBytesRoundTrip(t *testing.T) {
+	var c CPU
 	f := func(v uint64) bool {
-		return leUint(leBytes(v, 8)) == v
+		return leUint(c.leBytes(v, 8)) == v
 	}
 	if err := quick.Check(f, nil); err != nil {
 		t.Error(err)
 	}
-	if leUint(leBytes(0x1234, 2)) != 0x1234 {
+	if leUint(c.leBytes(0x1234, 2)) != 0x1234 {
 		t.Error("2-byte round trip failed")
 	}
 }

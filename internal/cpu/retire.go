@@ -88,6 +88,7 @@ func (c *CPU) commit(u *uop) bool {
 		}
 		size := u.inst.Op.MemBytes()
 		c.ram.WriteUint(u.pa, size, u.vald())
+		c.decInvalidate(u.pa, size)
 		c.hier.MarkDirty(u.pa)
 		c.stats.CachedStores++
 	}
@@ -135,6 +136,10 @@ func (c *CPU) popHead(u *uop) {
 	if u.isBranch && !u.resolved {
 		c.branchCount--
 	}
+	c.releaseSnap(u)
+	u.retired = true
+	u.freeStamp = c.seq
+	c.retq = append(c.retq, u)
 	c.stats.Retired++
 	if u.isBranch && u.resolved {
 		c.arch.PC = u.actualNext
@@ -247,11 +252,16 @@ func (c *CPU) retireSwap(u *uop) int {
 func (c *CPU) retireSwapCached(u *uop) int {
 	switch u.retPhase {
 	case 0:
+		u.pins++
 		lat, hit, accepted := c.hier.Load(u.pa, false, func() {
+			u.pins--
 			if !u.dead {
 				u.memWait = false
 			}
 		})
+		if hit || !accepted {
+			u.pins-- // callback not retained
+		}
 		if !accepted {
 			return rexStall
 		}
@@ -270,6 +280,7 @@ func (c *CPU) retireSwapCached(u *uop) int {
 		}
 		old := c.ram.ReadUint(u.pa, 8)
 		c.ram.WriteUint(u.pa, 8, u.vald())
+		c.decInvalidate(u.pa, 8)
 		c.hier.MarkDirty(u.pa)
 		u.result = old
 		c.markDone(u)
@@ -317,13 +328,16 @@ func (c *CPU) retireConditionalFlush(u *uop) int {
 func (c *CPU) retireSwapUncached(u *uop) int {
 	switch u.retPhase {
 	case 0:
+		u.pins++
 		ok := c.ub.AddLoad(u.pa, 8, func(data []byte) {
+			u.pins--
 			if !u.dead {
 				u.result = leUint(data)
 				u.retPhase = 2
 			}
 		})
 		if !ok {
+			u.pins--
 			return rexStall
 		}
 		u.retPhase = 1
@@ -331,7 +345,7 @@ func (c *CPU) retireSwapUncached(u *uop) int {
 	case 1:
 		return rexStall // waiting for the read
 	default: // 2
-		if !c.ub.AddStore(u.pa, 8, leBytes(u.vald(), 8)) {
+		if !c.ub.AddStore(u.pa, 8, c.leBytes(u.vald(), 8)) {
 			return rexStall
 		}
 		c.markDone(u)
@@ -344,13 +358,16 @@ func (c *CPU) retireUncachedLoad(u *uop) int {
 	switch u.retPhase {
 	case 0:
 		size := u.inst.Op.MemBytes()
+		u.pins++
 		ok := c.ub.AddLoad(u.pa, size, func(data []byte) {
+			u.pins--
 			if !u.dead {
 				u.result = leUint(data)
 				u.retPhase = 2
 			}
 		})
 		if !ok {
+			u.pins--
 			return rexStall
 		}
 		u.retPhase = 1
@@ -366,7 +383,7 @@ func (c *CPU) retireUncachedLoad(u *uop) int {
 
 func (c *CPU) retireUncachedStore(u *uop) int {
 	size := u.inst.Op.MemBytes()
-	data := leBytes(u.vald(), size)
+	data := c.leBytes(u.vald(), size)
 	if u.kind == mem.KindCombining {
 		if !c.csb.Store(c.arch.PID(), u.pa, size, data) {
 			return rexStall
@@ -429,9 +446,12 @@ func leUint(data []byte) uint64 {
 	return v
 }
 
-func leBytes(v uint64, size int) []byte {
-	b := make([]byte, size)
-	for i := 0; i < size; i++ {
+// leBytes encodes v little-endian into the CPU's scratch buffer. The
+// returned slice is only valid until the next call; both consumers
+// (uncbuf.AddStore, core.CSB.Store) copy the bytes before returning.
+func (c *CPU) leBytes(v uint64, size int) []byte {
+	b := c.stBuf[:size]
+	for i := range b {
 		b[i] = byte(v >> (8 * i))
 	}
 	return b

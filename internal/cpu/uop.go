@@ -58,11 +58,28 @@ type uop struct {
 
 	// Branch state.
 	isBranch   bool
-	snapInt    *[isa.NumRegs]*uop
-	snapFP     *[isa.NumFRegs]*uop
-	snapCC     *uop
+	snap       *renSnap
 	actualNext uint64
 	resolved   bool
+
+	// Recycling state (see the free list in cpu.go). retired marks a
+	// committed uop whose slot is awaiting reuse; freeStamp is the global
+	// sequence number at retirement — every uop that could still hold a
+	// reference has seq <= freeStamp. pins counts outstanding callbacks
+	// (cache fills, uncached-load completions) that captured this uop; a
+	// pinned uop is never recycled (it is left to the GC instead).
+	retired   bool
+	freeStamp uint64
+	pins      int
+}
+
+// renSnap is a branch's snapshot of the rename state, taken at dispatch and
+// restored on a misprediction. Snapshots are pooled by the CPU: released
+// when the owning branch retires or is squashed.
+type renSnap struct {
+	ints [isa.NumRegs]*uop
+	fps  [isa.NumFRegs]*uop
+	cc   *uop
 }
 
 // needsRetireExec reports whether the operation's effect happens at the

@@ -118,6 +118,9 @@ type Machine struct {
 
 	console bytes.Buffer
 	cycle   uint64
+	// busCountdown reaches 0 every Ratio-th CPU cycle (a decrement and
+	// compare instead of a 64-bit modulo in the hottest loop).
+	busCountdown int
 }
 
 // New builds a machine from the configuration.
@@ -150,7 +153,8 @@ func New(cfg Config) (*Machine, error) {
 	m := &Machine{
 		Cfg: cfg, RAM: ram, Router: router, Bus: b,
 		Hier: hier, UB: ub, CSB: csb, CPU: c,
-		spaces: make(map[uint8]*mem.PageTable),
+		spaces:       make(map[uint8]*mem.PageTable),
+		busCountdown: cfg.Ratio,
 	}
 	// Default address space for PID 0: created lazily by MapRange.
 	pt := mem.NewPageTable()
@@ -285,17 +289,33 @@ func (m *Machine) Tick() {
 	m.CPU.Tick()
 	m.Hier.TickCPU()
 	m.cycle++
-	if m.cycle%uint64(m.Cfg.Ratio) == 0 {
+	m.busCountdown--
+	if m.busCountdown == 0 {
+		m.busCountdown = m.Cfg.Ratio
 		m.Bus.Tick()
-		m.CSB.TickBus(m.Bus)
-		m.UB.TickBus(m.Bus)
-		m.Hier.TickBus(m.Bus)
+		// Idle agents are skipped: each predicate is the same emptiness
+		// check the agent's TickBus would bail out on. Devices are always
+		// ticked — they stamp incoming work with their last-ticked cycle,
+		// so skipping them while "idle" would skew those timestamps.
+		if !m.CSB.Drained() {
+			m.CSB.TickBus(m.Bus)
+		}
+		if m.UB.HasWork() {
+			m.UB.TickBus(m.Bus)
+		}
+		if m.Hier.NeedsBus() {
+			m.Hier.TickBus(m.Bus)
+		}
 		for _, d := range m.devices {
 			d.TickBus(m.Bus)
 		}
 	}
-	if s := m.sampler; s != nil && m.cycle%s.every == 0 {
-		m.sampleMetrics()
+	if s := m.sampler; s != nil {
+		s.countdown--
+		if s.countdown == 0 {
+			s.countdown = s.every
+			m.sampleMetrics()
+		}
 	}
 }
 

@@ -81,7 +81,10 @@ func instEvent(ev cpu.RetireEvent, cache disasmCache) obs.InstEvent {
 // snapshot the deltas are computed against.
 type metricsSampler struct {
 	every uint64
-	w     *obs.MetricsWriter
+	// countdown ticks down to the next sample (cheaper than a modulo in
+	// Machine.Tick; samples land every `every` cycles after attach).
+	countdown uint64
+	w         *obs.MetricsWriter
 
 	prevCycle     uint64
 	prevBusCycles uint64
@@ -105,7 +108,8 @@ func (m *Machine) AttachMetrics(w *obs.MetricsWriter, every uint64) error {
 	if m.sampler != nil {
 		return fmt.Errorf("sim: metrics sampler already attached")
 	}
-	m.sampler = &metricsSampler{every: every, w: w}
+	m.sampler = &metricsSampler{every: every, countdown: every, w: w,
+		prevCycle: m.cycle}
 	return nil
 }
 

@@ -86,15 +86,27 @@ type entry struct {
 
 // Buffer is the uncached buffer. It is not safe for concurrent use; the
 // simulator is single-threaded by design.
+//
+// The queue is a fixed ring of cfg.Entries slots whose data/mask buffers
+// are reused across entries, the send stage copies the head entry into
+// its own buffer, and completed store transactions return to a free list
+// — so the steady-state store path performs no heap allocations.
 type Buffer struct {
 	cfg   Config
-	queue []entry
+	queue []entry // ring buffer, capacity cfg.Entries
+	qhead int
+	qlen  int
 	// chunks of the popped head entry awaiting bus issue
-	sending  []bus.Chunk
-	sendData []byte
-	sendBase uint64
-	inflight int // bus transactions issued but not yet complete
-	stats    Stats
+	sending    []bus.Chunk
+	sendChunks []bus.Chunk // backing storage reused by sending
+	sendData   []byte      // send-stage copy of the head entry's bytes
+	sendBase   uint64
+	inflight   int // bus transactions issued but not yet complete
+
+	txnFree     []*bus.Txn // recycled store transactions
+	onStoreDone func(*bus.Txn)
+
+	stats Stats
 }
 
 // New creates an uncached buffer.
@@ -102,7 +114,42 @@ func New(cfg Config) (*Buffer, error) {
 	if err := cfg.Validate(); err != nil {
 		return nil, err
 	}
-	return &Buffer{cfg: cfg}, nil
+	bufSize := max(cfg.BlockSize, 8) // plain entries hold one ≤8-byte store
+	u := &Buffer{
+		cfg:      cfg,
+		queue:    make([]entry, cfg.Entries),
+		sendData: make([]byte, bufSize),
+	}
+	for i := range u.queue {
+		u.queue[i].data = make([]byte, 0, bufSize)
+		u.queue[i].mask = make([]bool, 0, bufSize)
+	}
+	u.onStoreDone = func(t *bus.Txn) {
+		u.inflight--
+		u.txnFree = append(u.txnFree, t)
+	}
+	return u, nil
+}
+
+// at returns the i-th queued entry (0 = head).
+func (u *Buffer) at(i int) *entry {
+	return &u.queue[(u.qhead+i)%len(u.queue)]
+}
+
+// pushSlot returns the next tail slot with its buffers reset, ready to be
+// filled in place.
+func (u *Buffer) pushSlot() *entry {
+	e := u.at(u.qlen)
+	u.qlen++
+	*e = entry{data: e.data[:0], mask: e.mask[:0]}
+	return e
+}
+
+// popHead removes the head entry. Its slot (and buffers) will be reused,
+// so callers must copy out anything they need first.
+func (u *Buffer) popHead() {
+	u.qhead = (u.qhead + 1) % len(u.queue)
+	u.qlen--
 }
 
 // Config returns the buffer configuration.
@@ -113,58 +160,64 @@ func (u *Buffer) Stats() Stats { return u.stats }
 
 // Len returns the number of queued entries (excluding any entry currently
 // being transferred).
-func (u *Buffer) Len() int { return len(u.queue) }
+func (u *Buffer) Len() int { return u.qlen }
 
 // Empty reports whether the buffer holds nothing and no issued transaction
 // is still on the bus. MEMBAR retires only when this is true.
 func (u *Buffer) Empty() bool {
-	return len(u.queue) == 0 && len(u.sending) == 0 && u.inflight == 0
+	return u.qlen == 0 && len(u.sending) == 0 && u.inflight == 0
+}
+
+// HasWork reports whether a bus-cycle tick has anything to do: entries
+// queued or chunks of a popped entry still awaiting issue. Machine.Tick
+// skips the TickBus call otherwise.
+func (u *Buffer) HasWork() bool {
+	return u.qlen != 0 || len(u.sending) != 0
 }
 
 // CanAcceptStore reports whether a store would be accepted this cycle.
 func (u *Buffer) CanAcceptStore(addr uint64, size int) bool {
-	if u.mergeIndex(addr, size) >= 0 {
+	if u.mergeTarget(addr, size) != nil {
 		return true
 	}
-	return len(u.queue) < u.cfg.Entries
+	return u.qlen < u.cfg.Entries
 }
 
-// mergeIndex returns the queue index the store at addr can coalesce into,
-// or -1. Only the youngest entry is eligible, which guarantees stores never
-// bypass older loads, barriers or stores to other blocks.
-func (u *Buffer) mergeIndex(addr uint64, size int) int {
-	if u.cfg.BlockSize == 0 || len(u.queue) == 0 {
-		return -1
+// mergeTarget returns the queue entry the store at addr can coalesce
+// into, or nil. Only the youngest entry is eligible, which guarantees
+// stores never bypass older loads, barriers or stores to other blocks.
+func (u *Buffer) mergeTarget(addr uint64, size int) *entry {
+	if u.cfg.BlockSize == 0 || u.qlen == 0 {
+		return nil
 	}
-	i := len(u.queue) - 1
-	e := &u.queue[i]
+	e := u.at(u.qlen - 1)
 	if e.kind != entryStore {
-		return -1
+		return nil
 	}
 	block := addr &^ uint64(u.cfg.BlockSize-1)
 	if e.blockAddr != block {
-		return -1
+		return nil
 	}
 	off := int(addr - block)
 	if off+size > u.cfg.BlockSize {
-		return -1
+		return nil
 	}
 	if u.cfg.Sequential && off != e.seqNext {
 		// R10000-style: the store must be to the address immediately
 		// following the previous one.
-		return -1
+		return nil
 	}
-	return i
+	return e
 }
 
-// AddStore offers an uncached store to the buffer. It returns false when
-// the buffer is full (the retire stage must stall and retry).
+// AddStore offers an uncached store to the buffer. The bytes are copied;
+// the caller may reuse data. It returns false when the buffer is full
+// (the retire stage must stall and retry).
 func (u *Buffer) AddStore(addr uint64, size int, data []byte) bool {
 	if len(data) != size {
 		panic(fmt.Sprintf("uncbuf: store data %d != size %d", len(data), size))
 	}
-	if i := u.mergeIndex(addr, size); i >= 0 {
-		e := &u.queue[i]
+	if e := u.mergeTarget(addr, size); e != nil {
 		off := int(addr - e.blockAddr)
 		copy(e.data[off:], data)
 		for k := 0; k < size; k++ {
@@ -175,18 +228,31 @@ func (u *Buffer) AddStore(addr uint64, size int, data []byte) bool {
 		u.stats.Coalesced++
 		return true
 	}
-	if len(u.queue) >= u.cfg.Entries {
+	if u.qlen >= u.cfg.Entries {
 		u.stats.StallFull++
 		return false
 	}
-	var e entry
+	e := u.pushSlot()
+	e.kind = entryStore
 	if u.cfg.BlockSize == 0 {
 		// Non-combining: entry is exactly the store.
-		e = entry{kind: entryStore, blockAddr: addr, data: append([]byte(nil), data...), mask: allTrue(size)}
+		e.blockAddr = addr
+		e.data = append(e.data, data...)
+		e.mask = e.mask[:size]
+		for k := range e.mask {
+			e.mask[k] = true
+		}
 	} else {
 		block := addr &^ uint64(u.cfg.BlockSize-1)
-		e = entry{kind: entryStore, blockAddr: block,
-			data: make([]byte, u.cfg.BlockSize), mask: make([]bool, u.cfg.BlockSize)}
+		e.blockAddr = block
+		e.data = e.data[:u.cfg.BlockSize]
+		e.mask = e.mask[:u.cfg.BlockSize]
+		for k := range e.data {
+			e.data[k] = 0
+		}
+		for k := range e.mask {
+			e.mask[k] = false
+		}
 		off := int(addr - block)
 		copy(e.data[off:], data)
 		for k := 0; k < size; k++ {
@@ -194,7 +260,6 @@ func (u *Buffer) AddStore(addr uint64, size int, data []byte) bool {
 		}
 		e.seqNext = off + size
 	}
-	u.queue = append(u.queue, e)
 	u.stats.Stores++
 	u.stats.Entries++
 	return true
@@ -203,22 +268,18 @@ func (u *Buffer) AddStore(addr uint64, size int, data []byte) bool {
 // AddLoad queues an uncached load. done receives the data when the bus
 // transaction completes. It returns false when the buffer is full.
 func (u *Buffer) AddLoad(addr uint64, size int, done func([]byte)) bool {
-	if len(u.queue) >= u.cfg.Entries {
+	if u.qlen >= u.cfg.Entries {
 		u.stats.StallFull++
 		return false
 	}
-	u.queue = append(u.queue, entry{kind: entryLoad, loadAddr: addr, loadSize: size, done: done})
+	e := u.pushSlot()
+	e.kind = entryLoad
+	e.loadAddr = addr
+	e.loadSize = size
+	e.done = done
 	u.stats.Loads++
 	u.stats.Entries++
 	return true
-}
-
-func allTrue(n int) []bool {
-	m := make([]bool, n)
-	for i := range m {
-		m[i] = true
-	}
-	return m
 }
 
 // TickCPU pops the head store entry into the system-interface send stage
@@ -227,25 +288,29 @@ func allTrue(n int) []bool {
 // an idle bus the first store of a stream always departs alone and only
 // the backlog behind it can combine (the warm-up effect of §4.3.1).
 func (u *Buffer) TickCPU() {
-	if len(u.sending) != 0 || len(u.queue) == 0 {
+	if len(u.sending) != 0 || u.qlen == 0 {
 		return
 	}
-	head := u.queue[0]
+	head := u.at(0)
 	if head.kind != entryStore {
 		return // loads issue directly from the queue on bus cycles
 	}
-	u.queue = u.queue[1:]
+	// Copy the entry into the send stage before freeing its slot: the
+	// ring reuses entry buffers as soon as the head is popped.
 	u.sendBase = head.blockAddr
-	u.sendData = head.data
-	u.sending = bus.AlignedChunks(head.blockAddr, head.mask, u.cfg.MaxBurst)
+	u.sendData = u.sendData[:len(head.data)]
+	copy(u.sendData, head.data)
+	u.sending = bus.AppendAlignedChunks(u.sendChunks[:0], head.blockAddr, head.mask, u.cfg.MaxBurst)
+	u.sendChunks = u.sending
+	u.popHead()
 }
 
 // TickBus gives the buffer a chance to issue one transaction on the bus.
 // The machine calls this once per bus cycle, after bus.Tick.
 func (u *Buffer) TickBus(b *bus.Bus) {
 	u.TickCPU() // the send stage also refills on bus cycles
-	if len(u.sending) == 0 && len(u.queue) > 0 {
-		head := u.queue[0]
+	if len(u.sending) == 0 && u.qlen > 0 {
+		head := u.at(0)
 		switch head.kind {
 		case entryLoad:
 			// Strong ordering: a load issues only after all older
@@ -265,7 +330,7 @@ func (u *Buffer) TickBus(b *bus.Bus) {
 				}
 			}
 			if b.TryIssue(txn) {
-				u.queue = u.queue[1:]
+				u.popHead()
 				u.inflight++
 				u.stats.Transactions++
 			}
@@ -276,13 +341,28 @@ func (u *Buffer) TickBus(b *bus.Bus) {
 		return
 	}
 	c := u.sending[0]
-	data := make([]byte, c.Size)
-	copy(data, u.sendData[c.Addr-u.sendBase:])
-	txn := &bus.Txn{Addr: c.Addr, Size: c.Size, Write: true, Data: data, Ordered: true, IO: true}
-	txn.Done = func(*bus.Txn) { u.inflight-- }
+	txn := u.newStoreTxn()
+	txn.Addr, txn.Size = c.Addr, c.Size
+	txn.Data = append(txn.Data[:0], u.sendData[c.Addr-u.sendBase:][:c.Size]...)
 	if b.TryIssue(txn) {
 		u.inflight++
 		u.sending = u.sending[1:]
 		u.stats.Transactions++
+	} else {
+		u.txnFree = append(u.txnFree, txn)
 	}
+}
+
+// newStoreTxn returns a write transaction from the free list (or a fresh
+// one). Done is pre-wired to recycle the transaction, so steady-state
+// store traffic reuses a handful of Txns instead of allocating one per
+// chunk.
+func (u *Buffer) newStoreTxn() *bus.Txn {
+	if n := len(u.txnFree); n > 0 {
+		t := u.txnFree[n-1]
+		u.txnFree = u.txnFree[:n-1]
+		t.Start, t.End = 0, 0
+		return t
+	}
+	return &bus.Txn{Write: true, Ordered: true, IO: true, Done: u.onStoreDone}
 }

@@ -31,12 +31,21 @@ func dword(v byte) []byte {
 	return d
 }
 
-// drive runs the buffer against the bus until both drain, returning the
-// observed transactions.
+// snapshot copies a completed transaction's value and payload so it can be
+// inspected after the observer returns.
+func snapshot(txn *bus.Txn) *bus.Txn {
+	tc := *txn
+	tc.Data = append([]byte(nil), txn.Data...)
+	return &tc
+}
+
+// drive runs the buffer against the bus until both drain, returning
+// snapshots of the observed transactions (the buffer recycles completed
+// Txns, so retaining the pointers would alias later transactions).
 func drive(t *testing.T, u *Buffer, b *bus.Bus, maxCycles int) []*bus.Txn {
 	t.Helper()
 	var seen []*bus.Txn
-	b.AttachObserver(func(txn *bus.Txn) { seen = append(seen, txn) })
+	b.AttachObserver(func(txn *bus.Txn) { seen = append(seen, snapshot(txn)) })
 	for i := 0; i < maxCycles; i++ {
 		b.Tick()
 		u.TickBus(b)
@@ -193,7 +202,7 @@ func TestIdleBusLimitsCombining(t *testing.T) {
 	u := newBuf(t, Config{Entries: 8, BlockSize: 64, MaxBurst: 64})
 	b := newBus(t)
 	var seen []*bus.Txn
-	b.AttachObserver(func(txn *bus.Txn) { seen = append(seen, txn) })
+	b.AttachObserver(func(txn *bus.Txn) { seen = append(seen, snapshot(txn)) })
 
 	// Interleave: one store per bus cycle (CPU faster than bus would be
 	// multiple per cycle; one is enough to show the effect).
