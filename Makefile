@@ -4,7 +4,7 @@ GO ?= go
 # Parallel workers for figure sweeps (cmd/csbfig -j); defaults to all cores.
 J ?= 0
 
-.PHONY: all build vet test race bench-smoke obsbench figures bench-simspeed zero-alloc ci
+.PHONY: all build vet lint test race bench-smoke obsbench figures bench-simspeed zero-alloc ci
 
 all: build
 
@@ -13,6 +13,13 @@ build:
 
 vet:
 	$(GO) vet ./...
+	$(GO) run ./cmd/csbvet ./...
+
+# Project invariants: csbvet (pooling/determinism/hot-path contracts over
+# the Go sources) and csblint (SV9L protocol checks over the example
+# programs). CI runs these plus a pinned staticcheck in a separate job.
+lint: vet
+	$(GO) run ./cmd/csblint examples/asm/*.s
 
 test:
 	$(GO) test ./...
@@ -44,4 +51,4 @@ bench-simspeed:
 zero-alloc:
 	$(GO) test -run TestTickSteadyStateZeroAlloc ./internal/bench/
 
-ci: vet build race zero-alloc bench-smoke
+ci: lint build race zero-alloc bench-smoke

@@ -3,10 +3,12 @@
 //
 // Usage:
 //
-//	csbasm [-sym] [-hex] file.s
+//	csbasm [-sym] [-hex] [-lint] file.s
 //
 // By default it prints a disassembly listing of the assembled program;
-// -sym adds the symbol table and -hex dumps the raw little-endian image.
+// -sym adds the symbol table, -hex dumps the raw little-endian image,
+// and -lint runs the static checks (see cmd/csblint) and exits nonzero
+// on findings.
 package main
 
 import (
@@ -22,8 +24,9 @@ import (
 func main() {
 	syms := flag.Bool("sym", false, "print the symbol table")
 	hex := flag.Bool("hex", false, "dump the raw image as hex")
+	lint := flag.Bool("lint", false, "run the lint checks and exit nonzero on findings")
 	flag.Usage = func() {
-		fmt.Fprintf(os.Stderr, "usage: csbasm [-sym] [-hex] file.s\n")
+		fmt.Fprintf(os.Stderr, "usage: csbasm [-sym] [-hex] [-lint] file.s\n")
 		flag.PrintDefaults()
 	}
 	flag.Parse()
@@ -39,6 +42,18 @@ func main() {
 	prog, err := asm.Assemble(file, string(src))
 	if err != nil {
 		fatal(err)
+	}
+	if *lint {
+		diags, err := asm.Lint(file, string(src), asm.LintConfig{})
+		if err != nil {
+			fatal(err)
+		}
+		for _, d := range diags {
+			fmt.Fprintln(os.Stderr, d)
+		}
+		if len(diags) > 0 {
+			os.Exit(1)
+		}
 	}
 	base, data, err := prog.Bytes()
 	if err != nil {

@@ -1,0 +1,78 @@
+// Command csblint runs the SV9L static checks over assembly sources.
+//
+// Usage:
+//
+//	csblint [-iobase addr] file.s ...
+//
+// It reports label hygiene problems (duplicate/undefined/unused labels),
+// registers read before any write, unreachable code, branches into data,
+// and violations of the conditional-store-buffer protocol: uncached
+// loads or halt ordered after device stores without a membar (or
+// conditional-flush swap), stale expected-value registers on flush retry
+// paths, and flush results that are never checked.
+//
+// -iobase sets the first uncached/combining device address (accepts
+// 0x-prefixed hex); the default is 0x40000000, matching the examples.
+//
+// A finding can be suppressed with a comment pragma on the same line or
+// on a standalone comment line directly above:
+//
+//	ld [%o1], %g3   ! lint:ignore missing-membar polling a status register
+//
+// Exit status: 0 clean, 1 findings, 2 usage or assembly errors.
+package main
+
+import (
+	"flag"
+	"fmt"
+	"os"
+	"strconv"
+
+	"csbsim/internal/asm"
+)
+
+func main() {
+	iobase := flag.String("iobase", "", "first device-space address (default 0x40000000)")
+	flag.Usage = func() {
+		fmt.Fprintf(os.Stderr, "usage: csblint [-iobase addr] file.s ...\n")
+		flag.PrintDefaults()
+	}
+	flag.Parse()
+	if flag.NArg() == 0 {
+		flag.Usage()
+		os.Exit(2)
+	}
+
+	var cfg asm.LintConfig
+	if *iobase != "" {
+		v, err := strconv.ParseUint(*iobase, 0, 64)
+		if err != nil {
+			fmt.Fprintf(os.Stderr, "csblint: bad -iobase %q: %v\n", *iobase, err)
+			os.Exit(2)
+		}
+		cfg.IOBase = v
+	}
+
+	exit := 0
+	for _, file := range flag.Args() {
+		src, err := os.ReadFile(file)
+		if err != nil {
+			fmt.Fprintln(os.Stderr, "csblint:", err)
+			exit = 2
+			continue
+		}
+		diags, err := asm.Lint(file, string(src), cfg)
+		if err != nil {
+			fmt.Fprintln(os.Stderr, "csblint:", err)
+			exit = 2
+			continue
+		}
+		for _, d := range diags {
+			fmt.Println(d)
+		}
+		if len(diags) > 0 && exit == 0 {
+			exit = 1
+		}
+	}
+	os.Exit(exit)
+}

@@ -1,0 +1,99 @@
+// Command csbvet runs the repository's invariant analyzers (see
+// internal/analysis) over Go packages:
+//
+//	noretain     pooled bus.Txn / uop / rename-snapshot pointers must not
+//	             be retained past the delivering call
+//	determinism  no wall-clock time, math/rand or unsorted map iteration
+//	             in the deterministic simulation packages
+//	hotalloc     no heap-allocating constructs in //csb:hotpath functions
+//
+// Usage:
+//
+//	csbvet [-analyzers noretain,determinism,hotalloc] [packages]
+//
+// Packages default to ./... of the module containing the current
+// directory. Exits 1 when any diagnostic is reported, 2 on usage or load
+// errors.
+package main
+
+import (
+	"flag"
+	"fmt"
+	"os"
+	"strings"
+
+	"csbsim/internal/analysis"
+	"csbsim/internal/analysis/determinism"
+	"csbsim/internal/analysis/hotalloc"
+	"csbsim/internal/analysis/noretain"
+)
+
+var all = []*analysis.Analyzer{
+	noretain.Analyzer,
+	determinism.Analyzer,
+	hotalloc.Analyzer,
+}
+
+func main() {
+	names := flag.String("analyzers", "", "comma-separated analyzer subset (default: all)")
+	flag.Usage = func() {
+		fmt.Fprintf(os.Stderr, "usage: csbvet [-analyzers list] [packages]\n\nanalyzers:\n")
+		for _, a := range all {
+			fmt.Fprintf(os.Stderr, "  %-12s %s\n", a.Name, a.Doc)
+		}
+	}
+	flag.Parse()
+
+	analyzers := all
+	if *names != "" {
+		byName := map[string]*analysis.Analyzer{}
+		for _, a := range all {
+			byName[a.Name] = a
+		}
+		analyzers = nil
+		for _, n := range strings.Split(*names, ",") {
+			a, ok := byName[strings.TrimSpace(n)]
+			if !ok {
+				fmt.Fprintf(os.Stderr, "csbvet: unknown analyzer %q\n", n)
+				os.Exit(2)
+			}
+			analyzers = append(analyzers, a)
+		}
+	}
+
+	patterns := flag.Args()
+	if len(patterns) == 0 {
+		patterns = []string{"./..."}
+	}
+	root, err := analysis.ModuleRoot(".")
+	if err != nil {
+		fatal(err)
+	}
+	l, err := analysis.NewLoader(root, patterns...)
+	if err != nil {
+		fatal(err)
+	}
+	found := false
+	for _, path := range l.Targets() {
+		pkg, err := l.LoadTarget(path)
+		if err != nil {
+			fatal(err)
+		}
+		diags, err := analysis.RunAnalyzers(pkg, analyzers)
+		if err != nil {
+			fatal(err)
+		}
+		for _, d := range diags {
+			found = true
+			fmt.Println(d)
+		}
+	}
+	if found {
+		os.Exit(1)
+	}
+}
+
+func fatal(err error) {
+	fmt.Fprintln(os.Stderr, "csbvet:", err)
+	os.Exit(2)
+}

@@ -1,0 +1,126 @@
+// Package antest runs analyzers over source fixtures, in the style of
+// golang.org/x/tools/go/analysis/analysistest: fixture files mark the
+// diagnostics they expect with trailing comments of the form
+//
+//	x.f = t // want `cannot retain`
+//
+// where the backquoted string is a regular expression that must match an
+// analyzer diagnostic reported on that line. A line may carry several
+// `want` patterns. The test fails on any unmatched expectation and on any
+// unexpected diagnostic.
+package antest
+
+import (
+	"go/token"
+	"path/filepath"
+	"regexp"
+	"strings"
+	"sync"
+	"testing"
+
+	"csbsim/internal/analysis"
+)
+
+var (
+	loaderMu sync.Mutex
+	loaders  = map[string]*analysis.Loader{}
+)
+
+// loader returns a cached Loader for the enclosing module, listing ./...
+// plus any extra packages the fixtures import.
+func loader(t *testing.T, extra []string) *analysis.Loader {
+	t.Helper()
+	root, err := analysis.ModuleRoot(".")
+	if err != nil {
+		t.Fatal(err)
+	}
+	key := root + "\x00" + strings.Join(extra, "\x00")
+	loaderMu.Lock()
+	defer loaderMu.Unlock()
+	if l, ok := loaders[key]; ok {
+		return l
+	}
+	l, err := analysis.NewLoader(root, append([]string{"./..."}, extra...)...)
+	if err != nil {
+		t.Fatalf("loading module packages: %v", err)
+	}
+	loaders[key] = l
+	return l
+}
+
+var wantRE = regexp.MustCompile("// want (`[^`]*`( `[^`]*`)*)$")
+
+// expectation is one `want` pattern with its source location.
+type expectation struct {
+	file string // base name
+	line int
+	re   *regexp.Regexp
+	hit  bool
+}
+
+// Run type-checks the fixture directory as import path asPath, applies a,
+// and compares the diagnostics against the fixture's want comments.
+// extraPkgs names packages outside the module's dependency closure that
+// the fixtures import (e.g. "math/rand").
+func Run(t *testing.T, a *analysis.Analyzer, fixtureDir, asPath string, extraPkgs ...string) {
+	t.Helper()
+	l := loader(t, extraPkgs)
+	abs, err := filepath.Abs(fixtureDir)
+	if err != nil {
+		t.Fatal(err)
+	}
+	pkg, err := l.LoadDir(abs, asPath)
+	if err != nil {
+		t.Fatalf("loading fixture %s: %v", fixtureDir, err)
+	}
+	diags, err := analysis.RunAnalyzers(pkg, []*analysis.Analyzer{a})
+	if err != nil {
+		t.Fatal(err)
+	}
+
+	var wants []*expectation
+	for _, f := range pkg.Files {
+		for _, cg := range f.Comments {
+			for _, c := range cg.List {
+				m := wantRE.FindStringSubmatch(c.Text)
+				if m == nil {
+					continue
+				}
+				pos := pkg.Fset.Position(c.Pos())
+				for _, q := range strings.Split(m[1], "` `") {
+					q = strings.Trim(q, "`")
+					re, err := regexp.Compile(q)
+					if err != nil {
+						t.Fatalf("%s: bad want pattern %q: %v", pos, q, err)
+					}
+					wants = append(wants, &expectation{
+						file: filepath.Base(pos.Filename),
+						line: pos.Line,
+						re:   re,
+					})
+				}
+			}
+		}
+	}
+
+	for _, d := range diags {
+		if !match(wants, d.Pos, d.Message) {
+			t.Errorf("unexpected diagnostic %s", d)
+		}
+	}
+	for _, w := range wants {
+		if !w.hit {
+			t.Errorf("%s:%d: expected diagnostic matching %q, got none", w.file, w.line, w.re)
+		}
+	}
+}
+
+func match(wants []*expectation, pos token.Position, msg string) bool {
+	for _, w := range wants {
+		if !w.hit && w.file == filepath.Base(pos.Filename) && w.line == pos.Line && w.re.MatchString(msg) {
+			w.hit = true
+			return true
+		}
+	}
+	return false
+}

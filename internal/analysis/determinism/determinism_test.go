@@ -1,0 +1,41 @@
+package determinism_test
+
+import (
+	"testing"
+
+	"csbsim/internal/analysis/antest"
+	"csbsim/internal/analysis/determinism"
+)
+
+func TestDeterminism(t *testing.T) {
+	antest.Run(t, determinism.Analyzer, "testdata/sim",
+		"csbsim/internal/sim/fixture", "time", "math/rand")
+}
+
+// TestOutOfScope loads a wall-clock-reading fixture under an import path
+// outside the deterministic set: no diagnostics expected.
+func TestOutOfScope(t *testing.T) {
+	antest.Run(t, determinism.Analyzer, "testdata/outscope",
+		"csbsim/internal/obs/fixture", "time", "math/rand")
+}
+
+func TestInScope(t *testing.T) {
+	for _, path := range []string{
+		"csbsim/internal/sim",
+		"csbsim/internal/sim/fixture",
+		"csbsim/internal/cpu",
+	} {
+		if !determinism.InScope(path) {
+			t.Errorf("InScope(%q) = false, want true", path)
+		}
+	}
+	for _, path := range []string{
+		"csbsim/internal/simulator", // prefix of a scoped path, different package
+		"csbsim/internal/obs",
+		"csbsim/internal/asm",
+	} {
+		if determinism.InScope(path) {
+			t.Errorf("InScope(%q) = true, want false", path)
+		}
+	}
+}

@@ -1,0 +1,15 @@
+// Package out is loaded under an import path outside the deterministic
+// package set; the analyzer must stay silent even though it reads the
+// wall clock and iterates a map.
+package out
+
+import "time"
+
+func Stamp() time.Time { return time.Now() }
+
+func First(m map[string]int) string {
+	for k := range m {
+		return k
+	}
+	return ""
+}

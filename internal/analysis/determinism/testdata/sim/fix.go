@@ -1,0 +1,64 @@
+// Package fix seeds determinism violations. The test loads it under the
+// import path csbsim/internal/sim/fixture, which is inside the
+// deterministic package set.
+package fix
+
+import (
+	"math/rand" // want `import of math/rand in deterministic package`
+	"time"
+)
+
+func wallClock() int64 {
+	t := time.Now() // want `time\.Now in deterministic package`
+	return t.Unix()
+}
+
+func elapsed(since time.Time) time.Duration {
+	return time.Since(since) // want `time\.Since in deterministic package`
+}
+
+func random() int { return rand.Int() }
+
+// firstBad's result depends on which key the runtime yields first.
+func firstBad(m map[string]int) string {
+	for k := range m { // want `map iteration order is nondeterministic`
+		if m[k] > 0 {
+			return k
+		}
+	}
+	return ""
+}
+
+// keysOK is the collect-then-sort idiom: order-independent without
+// annotation.
+func keysOK(m map[string]int) []string {
+	var keys []string
+	for k := range m {
+		keys = append(keys, k)
+	}
+	return keys
+}
+
+// copyOK is the map-copy idiom: the result is the same in any order.
+func copyOK(dst, src map[string]int) {
+	for k, v := range src {
+		dst[k] = v
+	}
+}
+
+// annotatedOK is order-sensitive in form but commutative in fact.
+func annotatedOK(m map[string]int) int {
+	n := 0
+	for _, v := range m { //csb:orderless
+		n += v
+	}
+	return n
+}
+
+func sliceOK(xs []int) int {
+	n := 0
+	for _, v := range xs {
+		n += v
+	}
+	return n
+}

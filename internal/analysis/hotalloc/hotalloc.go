@@ -1,0 +1,217 @@
+// Package hotalloc flags heap-allocating constructs inside functions
+// annotated //csb:hotpath — the per-tick entry points whose zero-alloc
+// steady state PR 2 established and TestTickSteadyStateZeroAlloc guards
+// dynamically. The analyzer catches regressions at vet time, per call
+// site, instead of as an aggregate allocation count.
+//
+// Flagged constructs: new(T), make(...), &composite-literal, function
+// literals (closure allocation), string concatenation and string<->[]byte
+// conversions, append with a nil or literal first argument (a freshly
+// allocated slice), calls to variadic functions (the argument slice
+// allocates), and interface boxing — passing, assigning or returning a
+// concrete non-pointer value where an interface is expected.
+//
+// Escape hatches: arguments of panic(...) are skipped (the panic path is
+// off the steady state by definition), and a deliberate slow-path
+// allocation line can be annotated //csb:alloc-ok.
+package hotalloc
+
+import (
+	"go/ast"
+	"go/token"
+	"go/types"
+
+	"csbsim/internal/analysis"
+)
+
+// Analyzer is the hotalloc checker.
+var Analyzer = &analysis.Analyzer{
+	Name: "hotalloc",
+	Doc:  "reports heap-allocating constructs in functions annotated //csb:hotpath",
+	Run:  run,
+}
+
+func run(pass *analysis.Pass) error {
+	for _, f := range pass.Files {
+		for _, decl := range f.Decls {
+			fn, ok := decl.(*ast.FuncDecl)
+			if !ok || fn.Body == nil || !analysis.FuncPragma(fn, "hotpath") {
+				continue
+			}
+			c := &checker{pass: pass, results: fn.Type.Results}
+			c.walk(fn.Body)
+		}
+	}
+	return nil
+}
+
+type checker struct {
+	pass    *analysis.Pass
+	results *ast.FieldList // enclosing function's results, for return boxing
+}
+
+func (c *checker) report(n ast.Node, format string, args ...any) {
+	if c.pass.Pragma(n.Pos(), "alloc-ok") {
+		return
+	}
+	c.pass.Reportf(n.Pos(), format, args...)
+}
+
+// walk visits the hot function body, pruning panic arguments and handled
+// subtrees.
+func (c *checker) walk(body ast.Node) {
+	ast.Inspect(body, func(n ast.Node) bool {
+		switch n := n.(type) {
+		case *ast.FuncLit:
+			c.report(n, "closure allocates on the hot path; hoist it to a field wired up at construction time")
+			return false // its body runs outside the hot path's budget
+		case *ast.CallExpr:
+			return c.checkCall(n)
+		case *ast.UnaryExpr:
+			if n.Op == token.AND {
+				if _, ok := unparen(n.X).(*ast.CompositeLit); ok {
+					c.report(n, "&composite literal escapes to the heap on the hot path; use a pooled object")
+				}
+			}
+		case *ast.BinaryExpr:
+			if n.Op == token.ADD {
+				if t := c.pass.Info.TypeOf(n); t != nil && isString(t) {
+					c.report(n, "string concatenation allocates on the hot path")
+				}
+			}
+		case *ast.AssignStmt:
+			for i, rhs := range n.Rhs {
+				if len(n.Lhs) != len(n.Rhs) {
+					break
+				}
+				c.checkBoxing(rhs, c.pass.Info.TypeOf(n.Lhs[i]), "assignment")
+			}
+		case *ast.ReturnStmt:
+			if c.results != nil && len(n.Results) == c.results.NumFields() {
+				i := 0
+				for _, field := range c.results.List {
+					nNames := len(field.Names)
+					if nNames == 0 {
+						nNames = 1
+					}
+					for k := 0; k < nNames && i < len(n.Results); k++ {
+						c.checkBoxing(n.Results[i], c.pass.Info.TypeOf(field.Type), "return")
+						i++
+					}
+				}
+			}
+		}
+		return true
+	})
+}
+
+// checkCall handles builtin allocators, conversions, variadic calls and
+// argument boxing. It returns false when the subtree must not be
+// descended into (panic arguments).
+func (c *checker) checkCall(call *ast.CallExpr) bool {
+	// Builtins and panic.
+	if id, ok := unparen(call.Fun).(*ast.Ident); ok {
+		if b, isBuiltin := c.pass.Info.Uses[id].(*types.Builtin); isBuiltin {
+			switch b.Name() {
+			case "panic":
+				return false // the panic path is off the steady state
+			case "new":
+				c.report(call, "new allocates on the hot path; use a pooled object")
+			case "make":
+				c.report(call, "make allocates on the hot path; preallocate at construction time")
+			case "append":
+				if len(call.Args) > 0 && freshSlice(call.Args[0]) {
+					c.report(call, "append to a fresh slice allocates on the hot path; append to a preallocated backing slice")
+				}
+			}
+			return true
+		}
+	}
+	// Conversions.
+	if tv, ok := c.pass.Info.Types[call.Fun]; ok && tv.IsType() && len(call.Args) == 1 {
+		to := c.pass.Info.TypeOf(call)
+		from := c.pass.Info.TypeOf(call.Args[0])
+		if to != nil && from != nil {
+			if (isString(to) && !isString(from)) || (!isString(to) && isString(from)) {
+				c.report(call, "string conversion allocates on the hot path")
+			}
+			c.checkBoxing(call.Args[0], to, "conversion")
+		}
+		return true
+	}
+	// Ordinary calls: variadic slice + parameter boxing.
+	sig, ok := c.pass.Info.TypeOf(call.Fun).(*types.Signature)
+	if !ok {
+		return true
+	}
+	params := sig.Params()
+	for i, arg := range call.Args {
+		var pt types.Type
+		switch {
+		case sig.Variadic() && i >= params.Len()-1:
+			if call.Ellipsis == token.NoPos {
+				pt = params.At(params.Len() - 1).Type().(*types.Slice).Elem()
+			}
+		case i < params.Len():
+			pt = params.At(i).Type()
+		}
+		if pt != nil {
+			c.checkBoxing(arg, pt, "argument")
+		}
+	}
+	if sig.Variadic() && call.Ellipsis == token.NoPos && len(call.Args) >= params.Len() {
+		c.report(call, "call to variadic function allocates its argument slice on the hot path")
+	}
+	return true
+}
+
+// checkBoxing reports storing a concrete non-pointer value into an
+// interface-typed destination, which heap-allocates the boxed copy.
+func (c *checker) checkBoxing(e ast.Expr, dst types.Type, what string) {
+	if dst == nil || e == nil {
+		return
+	}
+	if _, isIface := dst.Underlying().(*types.Interface); !isIface {
+		return
+	}
+	src := c.pass.Info.TypeOf(e)
+	if src == nil {
+		return
+	}
+	switch src.Underlying().(type) {
+	case *types.Interface, *types.Pointer, *types.Signature, *types.Chan, *types.Map:
+		return // stored directly in the interface word, no boxing
+	}
+	if src == types.Typ[types.UntypedNil] {
+		return
+	}
+	c.report(e, "%s boxes a %s into an interface, allocating on the hot path",
+		what, types.TypeString(src, func(p *types.Package) string { return p.Name() }))
+}
+
+// freshSlice reports whether e is clearly a newly allocated slice: nil or
+// a composite literal.
+func freshSlice(e ast.Expr) bool {
+	switch e := unparen(e).(type) {
+	case *ast.Ident:
+		return e.Name == "nil"
+	case *ast.CompositeLit:
+		return true
+	}
+	return false
+}
+
+func isString(t types.Type) bool {
+	b, ok := t.Underlying().(*types.Basic)
+	return ok && b.Info()&types.IsString != 0
+}
+
+func unparen(e ast.Expr) ast.Expr {
+	for {
+		p, ok := e.(*ast.ParenExpr)
+		if !ok {
+			return e
+		}
+		e = p.X
+	}
+}

@@ -1,0 +1,13 @@
+package hotalloc_test
+
+import (
+	"testing"
+
+	"csbsim/internal/analysis/antest"
+	"csbsim/internal/analysis/hotalloc"
+)
+
+func TestHotAlloc(t *testing.T) {
+	antest.Run(t, hotalloc.Analyzer, "testdata/hot",
+		"csbsim/internal/analysis/hotalloc/fixture")
+}

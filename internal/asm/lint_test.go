@@ -1,0 +1,407 @@
+package asm
+
+import (
+	"os"
+	"path/filepath"
+	"strings"
+	"testing"
+)
+
+// lintText runs the linter over an inline program with default config.
+func lintText(t *testing.T, text string) []Diag {
+	t.Helper()
+	diags, err := Lint("test.s", text, LintConfig{})
+	if err != nil {
+		t.Fatalf("Lint: %v", err)
+	}
+	return diags
+}
+
+// wantChecks asserts the diagnostics are exactly the given check names,
+// in order.
+func wantChecks(t *testing.T, diags []Diag, checks ...string) {
+	t.Helper()
+	var got []string
+	for _, d := range diags {
+		got = append(got, d.Check)
+	}
+	if len(got) != len(checks) {
+		t.Fatalf("got %d diagnostics %v, want %v\n%s", len(got), got, checks, diagDump(diags))
+	}
+	for i := range checks {
+		if got[i] != checks[i] {
+			t.Fatalf("diag %d: got check %q, want %q\n%s", i, got[i], checks[i], diagDump(diags))
+		}
+	}
+}
+
+func diagDump(diags []Diag) string {
+	var sb strings.Builder
+	for _, d := range diags {
+		sb.WriteString("  " + d.String() + "\n")
+	}
+	return sb.String()
+}
+
+func findCheck(diags []Diag, check string) *Diag {
+	for i := range diags {
+		if diags[i].Check == check {
+			return &diags[i]
+		}
+	}
+	return nil
+}
+
+// TestLintExamplesClean pins the shipped example programs to a clean
+// lint: they follow the CSB protocol (reload expected value, check the
+// flush result, membar before halt) and must stay that way.
+func TestLintExamplesClean(t *testing.T) {
+	dir := filepath.Join("..", "..", "examples", "asm")
+	entries, err := os.ReadDir(dir)
+	if err != nil {
+		t.Fatal(err)
+	}
+	n := 0
+	for _, e := range entries {
+		if filepath.Ext(e.Name()) != ".s" {
+			continue
+		}
+		n++
+		b, err := os.ReadFile(filepath.Join(dir, e.Name()))
+		if err != nil {
+			t.Fatal(err)
+		}
+		diags, err := Lint(e.Name(), string(b), LintConfig{})
+		if err != nil {
+			t.Errorf("%s: %v", e.Name(), err)
+			continue
+		}
+		for _, d := range diags {
+			t.Errorf("%s: unexpected diagnostic: %s", e.Name(), d)
+		}
+	}
+	if n == 0 {
+		t.Fatal("no example programs found")
+	}
+}
+
+func TestLintUseBeforeDef(t *testing.T) {
+	diags := lintText(t, `
+_start:
+	add %g1, %g2, %g3   ! %g1 and %g2 never written
+	halt
+`)
+	wantChecks(t, diags, "uninit-reg", "uninit-reg")
+	if d := diags[0]; !strings.Contains(d.Msg, "%g1") || d.Line != 3 {
+		t.Errorf("unexpected diag: %s", d)
+	}
+}
+
+func TestLintUseBeforeDefOnOnePathOnly(t *testing.T) {
+	// %g2 is written on the taken path but not the fallthrough: the meet
+	// at the join point must drop it from the must-defined set.
+	diags := lintText(t, `
+_start:
+	mov 1, %g1
+	tst %g1
+	bz skip
+	mov 7, %g2
+skip:
+	add %g2, %g1, %g3
+	halt
+`)
+	wantChecks(t, diags, "uninit-reg")
+	if d := diags[0]; !strings.Contains(d.Msg, "%g2") || d.Line != 8 {
+		t.Errorf("unexpected diag: %s", d)
+	}
+}
+
+func TestLintFPAndCCReads(t *testing.T) {
+	diags := lintText(t, `
+_start:
+	bz out              ! cc never set
+	fadd %f1, %f2, %f3  ! %f1, %f2 never written
+out:
+	halt
+`)
+	wantChecks(t, diags, "uninit-reg", "uninit-reg", "uninit-reg")
+	if !strings.Contains(diags[0].Msg, "condition codes") {
+		t.Errorf("want cc diag first, got: %s", diags[0])
+	}
+}
+
+// TestLintCallHavoc: registers are unknown-but-defined after a call
+// returns, so reads after a jal must not be flagged.
+func TestLintCallHavoc(t *testing.T) {
+	diags := lintText(t, `
+_start:
+	call fill
+	add %g1, %g2, %g3
+	halt
+fill:
+	mov 1, %g1
+	mov 2, %g2
+	ret
+`)
+	wantChecks(t, diags)
+}
+
+func TestLintMissingMembarBeforeHalt(t *testing.T) {
+	diags := lintText(t, `
+_start:
+	set 0x40000000, %o1
+	mov 42, %g1
+	st %g1, [%o1]
+	halt                ! stores may still be buffered
+`)
+	wantChecks(t, diags, "missing-membar")
+	if diags[0].Line != 6 {
+		t.Errorf("want diag on halt line 6, got: %s", diags[0])
+	}
+}
+
+func TestLintMembarClearsPending(t *testing.T) {
+	diags := lintText(t, `
+_start:
+	set 0x40000000, %o1
+	mov 42, %g1
+	st %g1, [%o1]
+	membar
+	halt
+`)
+	wantChecks(t, diags)
+}
+
+// TestLintUncachedLoadAfterCombiningStore: a dependent uncached load
+// issued while combining data may still sit in the CSB needs a membar or
+// a conditional-flush swap in between.
+func TestLintUncachedLoadAfterCombiningStore(t *testing.T) {
+	diags := lintText(t, `
+_start:
+	set 0x40000000, %o1
+	mov 42, %g1
+	st %g1, [%o1]
+	ld [%o1+8], %g2    ! may pass the buffered store
+	membar
+	halt
+`)
+	wantChecks(t, diags, "missing-membar")
+	if diags[0].Line != 6 {
+		t.Errorf("want diag on the load at line 6, got: %s", diags[0])
+	}
+}
+
+func TestLintSwapFlushSatisfiesLoad(t *testing.T) {
+	// The conditional flush collects the combining line, so a subsequent
+	// uncached load is not flagged; the swap result is checked and the
+	// program ends with membar+halt per the protocol.
+	diags := lintText(t, `
+_start:
+	set 0x40000000, %o1
+	mov 42, %g1
+	st %g1, [%o1]
+	set 1, %l4
+	swap [%o1], %l4
+	cmp %l4, 1
+	ld [%o1+8], %g2
+	membar
+	halt
+`)
+	wantChecks(t, diags)
+}
+
+// TestLintFlushRetryWithoutReload seeds the retry-loop bug the protocol
+// comment in the examples warns about: branching back to the swap
+// without reloading the expected-value register hands the previous flush
+// result in as the expected hit count.
+func TestLintFlushRetryWithoutReload(t *testing.T) {
+	diags := lintText(t, `
+_start:
+	set 0x40000000, %o1
+	set 8, %l4
+retry:
+	swap [%o1], %l4
+	cmp %l4, 8
+	bnz retry           ! %l4 not reloaded on the retry path
+	membar
+	halt
+`)
+	wantChecks(t, diags, "flush-protocol")
+	if d := diags[0]; d.Line != 6 || !strings.Contains(d.Msg, "previous flush result") {
+		t.Errorf("unexpected diag: %s", d)
+	}
+}
+
+func TestLintFlushResultNeverChecked(t *testing.T) {
+	diags := lintText(t, `
+_start:
+	set 0x40000000, %o1
+	set 8, %l4
+	swap [%o1], %l4
+	mov 0, %l4          ! clobbers the result before any compare
+	membar
+	halt
+`)
+	wantChecks(t, diags, "flush-protocol")
+	if !strings.Contains(diags[0].Msg, "never checked") {
+		t.Errorf("unexpected diag: %s", diags[0])
+	}
+}
+
+func TestLintFlushResultDiscarded(t *testing.T) {
+	diags := lintText(t, `
+_start:
+	set 0x40000000, %o1
+	swap [%o1], %g0
+	membar
+	halt
+`)
+	wantChecks(t, diags, "flush-protocol")
+	if !strings.Contains(diags[0].Msg, "discarded") {
+		t.Errorf("unexpected diag: %s", diags[0])
+	}
+}
+
+func TestLintLabelChecks(t *testing.T) {
+	diags := lintText(t, `
+_start:
+	ba done
+orphan:
+	nop
+done:
+	halt
+`)
+	// The orphan label's code is also unreachable.
+	wantChecks(t, diags, "unused-label", "unreachable")
+	if diags[0].Line != 4 {
+		t.Errorf("want orphan label at line 4, got: %s", diags[0])
+	}
+
+	diags = lintText(t, `
+_start:
+	ba missing
+	halt
+`)
+	wantChecks(t, diags, "undef-label")
+
+	diags = lintText(t, `
+_start:
+	nop
+_start:
+	halt
+`)
+	if findCheck(diags, "dup-label") == nil {
+		t.Fatalf("want dup-label, got:\n%s", diagDump(diags))
+	}
+}
+
+func TestLintUnreachableAndFallthrough(t *testing.T) {
+	diags := lintText(t, `
+_start:
+	ba end
+	mov 1, %g1          ! skipped by the unconditional branch
+	mov 2, %g2
+end:
+	nop                 ! last instruction, no halt
+`)
+	wantChecks(t, diags, "unreachable", "fallthrough")
+	if diags[0].Line != 4 {
+		t.Errorf("want unreachable run to start at line 4, got: %s", diags[0])
+	}
+	if diags[1].Line != 7 {
+		t.Errorf("want fallthrough on line 7, got: %s", diags[1])
+	}
+}
+
+func TestLintBadBranchTarget(t *testing.T) {
+	diags := lintText(t, `
+_start:
+	bnz 100             ! literal offset way past the program
+	halt
+`)
+	// cc is also unset at the branch.
+	if findCheck(diags, "bad-target") == nil {
+		t.Fatalf("want bad-target, got:\n%s", diagDump(diags))
+	}
+}
+
+// TestLintIgnorePragma: a same-line pragma and a standalone pragma line
+// both suppress the named check, and only that check.
+func TestLintIgnorePragma(t *testing.T) {
+	diags := lintText(t, `
+_start:
+	set 0x40000000, %o1
+	ld [%o1], %g1       ! lint:ignore uninit-reg bogus name to prove check matching
+	halt                ! lint:ignore missing-membar device has no buffered state here
+`)
+	wantChecks(t, diags)
+
+	diags = lintText(t, `
+_start:
+	set 0x40000000, %o1
+	mov 1, %g1
+	st %g1, [%o1]
+	! lint:ignore missing-membar status register read is self-ordering
+	ld [%o1+8], %g2
+	membar
+	halt
+`)
+	wantChecks(t, diags)
+
+	// The pragma names a different check: the diagnostic survives.
+	diags = lintText(t, `
+_start:
+	set 0x40000000, %o1
+	mov 1, %g1
+	st %g1, [%o1]
+	halt                ! lint:ignore unreachable wrong check name
+`)
+	wantChecks(t, diags, "missing-membar")
+}
+
+// TestLintIOBaseConfig: a custom device-space base moves the protocol
+// checks with it.
+func TestLintIOBaseConfig(t *testing.T) {
+	prog := `
+_start:
+	set 0x1000, %o1
+	mov 1, %g1
+	st %g1, [%o1]
+	halt
+`
+	wantChecks(t, lintText(t, prog)) // 0x1000 is cacheable by default
+	diags, err := Lint("test.s", prog, LintConfig{IOBase: 0x1000})
+	if err != nil {
+		t.Fatal(err)
+	}
+	wantChecks(t, diags, "missing-membar")
+}
+
+// TestLintLoopCarriedDeviceAddress: an address register advanced inside
+// a loop degrades from "known constant" to "device space", keeping the
+// membar checks effective across the back edge (the csb_stores.s shape).
+func TestLintLoopCarriedDeviceAddress(t *testing.T) {
+	diags := lintText(t, `
+_start:
+	set 0x40000000, %o1
+	mov 4, %g2
+loop:
+	mov 1, %g1
+	st %g1, [%o1]
+	add %o1, 64, %o1
+	subcc %g2, 1, %g2
+	bnz loop
+	halt                ! still flagged: the stores came from a loop
+`)
+	wantChecks(t, diags, "missing-membar")
+}
+
+func TestLintAssemblerErrorPassthrough(t *testing.T) {
+	_, err := Lint("test.s", "_start:\n\tfrobnicate %g1\n", LintConfig{})
+	if err == nil {
+		t.Fatal("want assembler error for unknown mnemonic")
+	}
+	if !strings.Contains(err.Error(), "test.s:2") {
+		t.Errorf("error not positioned: %v", err)
+	}
+}

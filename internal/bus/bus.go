@@ -231,7 +231,7 @@ func (b *Bus) TryIssue(t *Txn) bool {
 	d := uint64(b.Duration(t.Size, t.Write, t.IO))
 	t.Start = b.cycle
 	t.End = b.cycle + d - 1
-	b.cur = t
+	b.cur = t //csb:pool — the bus owns t until complete() hands it back via Done
 	b.freeAt = t.End + 1 + uint64(b.cfg.Turnaround)
 	if t.Ordered && b.cfg.AckDelay > 0 {
 		ack := t.Start + uint64(b.cfg.AckDelay)
@@ -258,6 +258,8 @@ func (b *Bus) checkTxn(t *Txn) error {
 
 // Tick advances the bus by one cycle, completing the in-flight transaction
 // when its last beat has passed.
+//
+//csb:hotpath
 func (b *Bus) Tick() {
 	if b.cur != nil {
 		b.stats.BusyCycles++
@@ -269,6 +271,7 @@ func (b *Bus) Tick() {
 	}
 }
 
+//csb:hotpath
 func (b *Bus) complete(t *Txn) {
 	b.stats.Transactions++
 	b.stats.Bytes += uint64(t.Size)
@@ -286,7 +289,7 @@ func (b *Bus) complete(t *Txn) {
 		if b.router != nil && !t.Silent {
 			t.Data = b.router.Read(t.Addr, t.Size)
 		} else if t.Data == nil {
-			t.Data = make([]byte, t.Size)
+			t.Data = make([]byte, t.Size) //csb:alloc-ok — router-less test configurations only
 		}
 	}
 	for _, fn := range b.observers {

@@ -109,7 +109,7 @@ func New(cfg Config) (*CSB, error) {
 		c.pending[i].data = make([]byte, cfg.LineSize)
 	}
 	c.onBurstDone = func(t *bus.Txn) {
-		c.txnFree = append(c.txnFree, t)
+		c.txnFree = append(c.txnFree, t) //csb:pool — Done handler returning t to the free list
 	}
 	return c, nil
 }
@@ -255,6 +255,8 @@ func (c *CSB) ConditionalFlush(pid uint8, addr uint64, expected int64, old uint6
 
 // TickBus hands at most one pending line to the bus as a single ordered
 // burst transaction. The machine calls this once per bus cycle.
+//
+//csb:hotpath
 func (c *CSB) TickBus(b *bus.Bus) {
 	if c.pendCount == 0 {
 		return
@@ -268,7 +270,7 @@ func (c *CSB) TickBus(b *bus.Bus) {
 		c.txnFree = c.txnFree[:n-1]
 		txn.Start, txn.End = 0, 0
 	} else {
-		txn = &bus.Txn{Write: true, Ordered: true, IO: true, Done: c.onBurstDone}
+		txn = &bus.Txn{Write: true, Ordered: true, IO: true, Done: c.onBurstDone} //csb:alloc-ok — cold start: the pool grows until steady state
 	}
 	txn.Addr, txn.Size = p.addr, len(p.data)
 	txn.Data = append(txn.Data[:0], p.data...)

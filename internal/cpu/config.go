@@ -84,17 +84,20 @@ func DefaultConfig() Config {
 
 // Validate reports configuration errors.
 func (c Config) Validate() error {
-	pos := map[string]int{
-		"FetchWidth": c.FetchWidth, "DispatchWidth": c.DispatchWidth,
-		"RetireWidth": c.RetireWidth, "ROBSize": c.ROBSize,
-		"FetchQueue": c.FetchQueue, "IntALUs": c.IntALUs, "FPUs": c.FPUs,
-		"IntLatency": c.IntLatency, "MemPorts": c.MemPorts, "AGUs": c.AGUs,
-		"LSQSize": c.LSQSize, "MaxBranches": c.MaxBranches,
-		"TLBEntries": c.TLBEntries, "CSBLatency": c.CSBLatency,
+	pos := []struct {
+		name string
+		v    int
+	}{
+		{"FetchWidth", c.FetchWidth}, {"DispatchWidth", c.DispatchWidth},
+		{"RetireWidth", c.RetireWidth}, {"ROBSize", c.ROBSize},
+		{"FetchQueue", c.FetchQueue}, {"IntALUs", c.IntALUs}, {"FPUs", c.FPUs},
+		{"IntLatency", c.IntLatency}, {"MemPorts", c.MemPorts}, {"AGUs", c.AGUs},
+		{"LSQSize", c.LSQSize}, {"MaxBranches", c.MaxBranches},
+		{"TLBEntries", c.TLBEntries}, {"CSBLatency", c.CSBLatency},
 	}
-	for name, v := range pos {
-		if v <= 0 {
-			return fmt.Errorf("cpu: %s must be positive, got %d", name, v)
+	for _, f := range pos {
+		if f.v <= 0 {
+			return fmt.Errorf("cpu: %s must be positive, got %d", f.name, f.v)
 		}
 	}
 	if c.PredictorSize <= 0 || c.PredictorSize&(c.PredictorSize-1) != 0 {

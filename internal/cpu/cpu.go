@@ -145,6 +145,14 @@ func New(cfg Config, hier *cache.Hierarchy, ub *uncbuf.Buffer, csb *core.CSB, ra
 }
 
 // newUop returns a zeroed uop from the free list (or a fresh one).
+//
+// Pool contract (the same no-retention rule bus.Txn documents): a *uop
+// handed to a callback or observer is only valid until that call returns —
+// recycleRetired reuses the slot as soon as no in-flight uop can reference
+// it. Code that must hold one across cycles pin-counts it via u.pins; the
+// noretain analyzer (cmd/csbvet) enforces this mechanically.
+//
+//csb:hotpath
 func (c *CPU) newUop() *uop {
 	if n := len(c.uopFree); n > 0 {
 		u := c.uopFree[n-1]
@@ -152,21 +160,30 @@ func (c *CPU) newUop() *uop {
 		*u = uop{}
 		return u
 	}
-	return &uop{}
+	return &uop{} //csb:alloc-ok — cold start: the pool grows until steady state
 }
 
 // newSnap returns a rename snapshot from the pool; its contents are
 // overwritten in full by the caller.
+//
+// Snapshots follow the uop pool contract above: released to snapFree when
+// the owning branch retires or is squashed, never to be retained past
+// that point by anything outside the pipeline.
+//
+//csb:hotpath
 func (c *CPU) newSnap() *renSnap {
 	if n := len(c.snapFree); n > 0 {
 		s := c.snapFree[n-1]
 		c.snapFree = c.snapFree[:n-1]
 		return s
 	}
-	return &renSnap{}
+	return &renSnap{} //csb:alloc-ok — cold start: the pool grows until steady state
 }
 
 // releaseSnap returns u's snapshot (if any) to the pool.
+//
+//csb:hotpath
+//csb:pool
 func (c *CPU) releaseSnap(u *uop) {
 	if u.snap != nil {
 		c.snapFree = append(c.snapFree, u.snap)
@@ -176,6 +193,9 @@ func (c *CPU) releaseSnap(u *uop) {
 
 // pushROB appends to the ROB window, compacting it to the front of its
 // backing array when the window has drifted to the end.
+//
+//csb:hotpath
+//csb:pool — the ROB is the pipeline's own storage for in-flight uops.
 func (c *CPU) pushROB(u *uop) {
 	if len(c.rob) == cap(c.rob) {
 		c.rob = append(c.robBack[:0], c.rob...)
@@ -183,6 +203,8 @@ func (c *CPU) pushROB(u *uop) {
 	c.rob = append(c.rob, u)
 }
 
+//csb:hotpath
+//csb:pool — the fetch queue is the pipeline's own storage for in-flight uops.
 func (c *CPU) pushFetchQ(u *uop) {
 	if len(c.fetchQ) == cap(c.fetchQ) {
 		c.fetchQ = append(c.fqBack[:0], c.fetchQ...)
@@ -196,6 +218,9 @@ func (c *CPU) pushFetchQ(u *uop) {
 // uops fetched no later than S; once the oldest in-flight uop is younger,
 // the slot is reusable. Pinned uops (outstanding fill/load callbacks) are
 // dropped to the GC instead.
+//
+//csb:hotpath
+//csb:pool
 func (c *CPU) recycleRetired() {
 	if len(c.retq) == 0 {
 		return
@@ -294,6 +319,8 @@ func (c *CPU) FlushPipeline() {
 // results become visible to younger stages one cycle later. Every cycle is
 // charged to exactly one CPI-stack bucket (see stall.go), so the stack's
 // buckets always sum to stats.Cycles.
+//
+//csb:hotpath
 func (c *CPU) Tick() {
 	c.stats.Cycles++
 	if c.halted {
@@ -430,6 +457,11 @@ func (c *CPU) dispatch() {
 	}
 }
 
+// rename captures u's sources from the rename maps and registers u as the
+// new producer for its destinations.
+//
+//csb:pool — the rename maps are pipeline-owned storage for in-flight uops;
+// recycleRetired proves references drain before a slot is reused.
 func (c *CPU) rename(u *uop) {
 	in := u.inst
 	// Source 1.
@@ -610,6 +642,10 @@ func (c *CPU) issueMem(u *uop, agus, ports *int) {
 	}
 }
 
+// startCachedLoad issues u's cache access.
+//
+//csb:pool — the fill callback's capture of u is pin-counted: u.pins keeps
+// the uop off the free list until the callback has run (see recycleRetired).
 func (c *CPU) startCachedLoad(u *uop) {
 	u.pins++ // the fill callback captures u; see recycleRetired
 	lat, hit, accepted := c.hier.Load(u.pa, false, func() {
@@ -826,6 +862,8 @@ func (c *CPU) recycleFetchQ() {
 // moment their ROB window is truncated (references only ever point from
 // younger to older, and everything younger dies with them), so the slot is
 // recycled immediately — unless an outstanding callback still pins it.
+//
+//csb:pool
 func (c *CPU) killUop(x *uop) {
 	x.dead = true
 	c.releaseSnap(x)

@@ -108,6 +108,13 @@ func (c *CPU) commitDest(u *uop) {
 	}
 }
 
+// popHead retires the ROB head: notifies observers, releases the rename
+// entries and snapshot, and parks u on the retired queue until
+// recycleRetired proves nothing in flight can still reference it. The
+// retired queue is the uop pool's quarantine stage, hence:
+//
+//csb:hotpath
+//csb:pool
 func (c *CPU) popHead(u *uop) {
 	c.retiredThisCycle = true
 	if len(c.retireObs) != 0 {
@@ -253,6 +260,7 @@ func (c *CPU) retireSwapCached(u *uop) int {
 	switch u.retPhase {
 	case 0:
 		u.pins++
+		//csb:pool — the fill callback's capture of u is pin-counted (u.pins).
 		lat, hit, accepted := c.hier.Load(u.pa, false, func() {
 			u.pins--
 			if !u.dead {
@@ -329,6 +337,7 @@ func (c *CPU) retireSwapUncached(u *uop) int {
 	switch u.retPhase {
 	case 0:
 		u.pins++
+		//csb:pool — the load callback's capture of u is pin-counted (u.pins).
 		ok := c.ub.AddLoad(u.pa, 8, func(data []byte) {
 			u.pins--
 			if !u.dead {
@@ -359,6 +368,7 @@ func (c *CPU) retireUncachedLoad(u *uop) int {
 	case 0:
 		size := u.inst.Op.MemBytes()
 		u.pins++
+		//csb:pool — the load callback's capture of u is pin-counted (u.pins).
 		ok := c.ub.AddLoad(u.pa, size, func(data []byte) {
 			u.pins--
 			if !u.dead {

@@ -281,6 +281,8 @@ func (m *Machine) Cycle() uint64 { return m.cycle }
 // cycles). Bus-agent priority per bus cycle: CSB line bursts first (the
 // low-latency I/O path), then the uncached buffer, then cache miss
 // traffic, then DMA devices.
+//
+//csb:hotpath
 func (m *Machine) Tick() {
 	// The uncached buffer's send stage drains at core rate, before this
 	// cycle's retiring stores arrive (so an idle system interface takes

@@ -126,7 +126,7 @@ func New(cfg Config) (*Buffer, error) {
 	}
 	u.onStoreDone = func(t *bus.Txn) {
 		u.inflight--
-		u.txnFree = append(u.txnFree, t)
+		u.txnFree = append(u.txnFree, t) //csb:pool — Done handler returning t to the free list
 	}
 	return u, nil
 }
@@ -287,6 +287,8 @@ func (u *Buffer) AddLoad(addr uint64, size int, done func([]byte)) bool {
 // the core retires new stores: the send stage drains at core rate, so with
 // an idle bus the first store of a stream always departs alone and only
 // the backlog behind it can combine (the warm-up effect of §4.3.1).
+//
+//csb:hotpath
 func (u *Buffer) TickCPU() {
 	if len(u.sending) != 0 || u.qlen == 0 {
 		return
@@ -307,6 +309,8 @@ func (u *Buffer) TickCPU() {
 
 // TickBus gives the buffer a chance to issue one transaction on the bus.
 // The machine calls this once per bus cycle, after bus.Tick.
+//
+//csb:hotpath
 func (u *Buffer) TickBus(b *bus.Bus) {
 	u.TickCPU() // the send stage also refills on bus cycles
 	if len(u.sending) == 0 && u.qlen > 0 {
@@ -318,11 +322,13 @@ func (u *Buffer) TickBus(b *bus.Bus) {
 			if u.inflight > 0 {
 				return
 			}
+			//csb:alloc-ok — uncached loads block the CPU; one Txn per load is off the zero-alloc budget
 			txn := &bus.Txn{
 				Addr: head.loadAddr, Size: head.loadSize,
 				Ordered: true, IO: true,
 			}
 			done := head.done
+			//csb:alloc-ok — per-load completion closure, same budget exemption as the Txn above
 			txn.Done = func(t *bus.Txn) {
 				u.inflight--
 				if done != nil {
@@ -357,6 +363,8 @@ func (u *Buffer) TickBus(b *bus.Bus) {
 // one). Done is pre-wired to recycle the transaction, so steady-state
 // store traffic reuses a handful of Txns instead of allocating one per
 // chunk.
+//
+//csb:hotpath
 func (u *Buffer) newStoreTxn() *bus.Txn {
 	if n := len(u.txnFree); n > 0 {
 		t := u.txnFree[n-1]
@@ -364,5 +372,5 @@ func (u *Buffer) newStoreTxn() *bus.Txn {
 		t.Start, t.End = 0, 0
 		return t
 	}
-	return &bus.Txn{Write: true, Ordered: true, IO: true, Done: u.onStoreDone}
+	return &bus.Txn{Write: true, Ordered: true, IO: true, Done: u.onStoreDone} //csb:alloc-ok — cold start: the pool grows until steady state
 }
