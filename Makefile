@@ -4,7 +4,7 @@ GO ?= go
 # Parallel workers for figure sweeps (cmd/csbfig -j); defaults to all cores.
 J ?= 0
 
-.PHONY: all build vet lint test race bench-smoke obsbench figures bench-simspeed zero-alloc ci
+.PHONY: all build vet lint test race bench-smoke obsbench figures bench-simspeed zero-alloc faults ci
 
 all: build
 
@@ -51,4 +51,11 @@ bench-simspeed:
 zero-alloc:
 	$(GO) test -run TestTickSteadyStateZeroAlloc ./internal/bench/
 
-ci: lint build race zero-alloc bench-smoke
+# Fault campaign: sweep injection seeds across the recovery guests and
+# assert every run converges to the fault-free architectural state, then
+# demonstrate the watchdog on a deliberately wedged guest.
+faults:
+	$(GO) run ./cmd/faultcampaign -seeds 25
+	$(GO) run ./cmd/faultcampaign -wedge -watchdog 10000 > /dev/null
+
+ci: lint build race zero-alloc bench-smoke faults

@@ -18,6 +18,13 @@
 // -metrics streams periodic machine samples (JSONL, or CSV for .csv
 // files), -json emits the full statistics object, and -pipeview N prints
 // an ASCII pipeline diagram of the last N instructions.
+//
+// Robustness flags: -faults attaches a deterministic fault injector
+// ("default", or a key=value list such as "busnack=64,seed=3"),
+// -fault-seed replays a specific fault schedule, and -watchdog N aborts
+// with a full diagnostic dump if no instruction retires for N cycles:
+//
+//	csbsim -faults default -fault-seed 7 -watchdog 100000 prog.s
 package main
 
 import (
@@ -50,6 +57,10 @@ func main() {
 		unc       = flag.String("uncached", "", "map uncached space: addr:size")
 		verbose   = flag.Bool("v", false, "print full statistics")
 		traceRun  = flag.Bool("trace", false, "stream the retired-instruction trace to stderr")
+
+		faults    = flag.String("faults", "", `inject deterministic faults: "default" or key=value list (keys: seed, `+strings.Join(csbsim.FaultSpecKeys(), ", ")+`)`)
+		faultSeed = flag.Uint64("fault-seed", 0, "override the fault spec's PRNG seed (0 = keep the spec's)")
+		watchdog  = flag.Uint64("watchdog", 0, "abort with a diagnostic dump after N cycles without a retired instruction (0 = off)")
 
 		perfetto    = flag.String("perfetto", "", "write a Chrome trace-event JSON file (load at ui.perfetto.dev)")
 		metrics     = flag.String("metrics", "", "write periodic machine metrics to FILE (JSONL, or CSV with a .csv extension)")
@@ -97,6 +108,25 @@ func main() {
 	}
 	if err := mapRange(m, *unc, mem.KindUncached); err != nil {
 		fatal(err)
+	}
+	if *faults != "" {
+		fcfg, err := csbsim.ParseFaultSpec(*faults)
+		if err != nil {
+			fatal(err)
+		}
+		if *faultSeed != 0 {
+			fcfg.Seed = *faultSeed
+		}
+		if _, err := m.AttachFaults(fcfg); err != nil {
+			fatal(err)
+		}
+	} else if *faultSeed != 0 {
+		fatal(fmt.Errorf("-fault-seed needs -faults (try -faults default)"))
+	}
+	if *watchdog > 0 {
+		if err := m.SetWatchdog(*watchdog); err != nil {
+			fatal(err)
+		}
 	}
 
 	file := flag.Arg(0)

@@ -1,0 +1,448 @@
+// Command faultcampaign proves the recovery paths of the CSB protocol by
+// sweeping deterministic fault-injection seeds across guest programs and
+// asserting that every faulted run converges to the same architectural
+// state as a fault-free reference run on the sequential emulator.
+//
+// The guests mirror the examples: the paper's §3.2 store/flush/retry
+// listing, a multi-line CSB writer with a backoff loop, and a NIC sender
+// that polls the status register and retries descriptor pushes the drop
+// counter reveals were refused. Under injected bus NACKs, device stalls,
+// FIFO backpressure, dropped and delayed flush acknowledgements and
+// buffer pressure, all of them must still reach the exact register,
+// flag, console, memory and packet state of the happy path — that is
+// what "software retries on failure" (§3.2) promises.
+//
+// A failing seed is reproduced exactly by replaying it:
+//
+//	faultcampaign -seeds 50                # sweep seeds 1..50
+//	faultcampaign -seed-base 37 -seeds 1   # replay seed 37
+//	faultcampaign -wedge                   # demo: watchdog catches a wedged guest
+package main
+
+import (
+	"bytes"
+	"errors"
+	"flag"
+	"fmt"
+	"os"
+
+	"csbsim"
+	"csbsim/internal/emu"
+	"csbsim/internal/isa"
+)
+
+const (
+	nicBase  = 0x4000_0000 // NIC region in the nicsend guest
+	combBase = 0x4100_0000 // plain combining space (no device behind it)
+	uncBase  = 0x4800_0000 // plain uncached space (wedge guest)
+)
+
+// quickstartSrc is the paper's §3.2 listing: stores complete in any
+// order, the swap is the conditional flush, software retries on failure.
+const quickstartSrc = `
+	set 0x41000000, %o1
+	set 12345, %g1
+	movr2f %g1, %f0
+	set 67890, %g1
+	movr2f %g1, %f10
+	movr2f %g1, %f12
+RETRY:
+	set 8, %l4              ! expected value
+	std %f0,  [%o1]
+	std %f10, [%o1+40]
+	std %f0,  [%o1+16]
+	std %f0,  [%o1+24]
+	std %f0,  [%o1+32]
+	std %f0,  [%o1+8]
+	std %f0,  [%o1+56]
+	std %f12, [%o1+48]
+	swap [%o1], %l4         ! conditional flush
+	cmp %l4, 8
+	bnz RETRY               ! retry on failure
+	membar
+	halt
+`
+
+// multilineSrc writes four consecutive CSB lines (dword j of line i
+// holds (i<<8)|j), retrying each flush after a short backoff spin — the
+// shape of a driver streaming a message through combining space.
+const multilineSrc = `
+	set 0x41000000, %o1     ! current line
+	mov 4, %g3              ! lines remaining
+	mov 0, %g4              ! line index
+	mov 0, %l5              ! backoff counter
+line:
+retry:
+	set 8, %l4
+	sll %g4, 8, %g6
+	or %g6, 0, %g7
+	stx %g7, [%o1]
+	or %g6, 1, %g7
+	stx %g7, [%o1+8]
+	or %g6, 2, %g7
+	stx %g7, [%o1+16]
+	or %g6, 3, %g7
+	stx %g7, [%o1+24]
+	or %g6, 4, %g7
+	stx %g7, [%o1+32]
+	or %g6, 5, %g7
+	stx %g7, [%o1+40]
+	or %g6, 6, %g7
+	stx %g7, [%o1+48]
+	or %g6, 7, %g7
+	stx %g7, [%o1+56]
+	swap [%o1], %l4         ! conditional flush
+	cmp %l4, 8
+	bz lineok
+	mov 16, %l5             ! failed: back off, then re-run the sequence
+spin:
+	subcc %l5, 1, %l5
+	bnz spin
+	ba retry
+lineok:
+	add %o1, 64, %o1
+	add %g4, 1, %g4
+	subcc %g3, 1, %g3
+	bnz line
+	membar
+	halt
+`
+
+// nicsendSrc sends three 64-byte packets through the NIC's packet buffer
+// (CSB line bursts) and descriptor FIFO, using the full recovery
+// protocol: poll the FIFO-full bit before pushing, detect a dropped push
+// by re-reading the drop counter, and wait for the packets-sent counter
+// before reusing the buffer. Timing-dependent registers are scrubbed
+// before halt so the final state is comparable with the emulator.
+const nicsendSrc = `
+	.equ NICREG, 0x40000000
+	.equ PKTBUF, 0x40001000
+	set PKTBUF, %o1
+	set NICREG, %o0
+	set 0xffff, %o2         ! drop-counter mask
+	mov 0, %o3              ! packets that must be on the wire
+	mov 3, %g3              ! messages to send
+	mov 0xA0, %g4           ! payload dword for this message
+msg:
+fill:
+	set 8, %l4
+	stx %g4, [%o1]
+	stx %g4, [%o1+8]
+	stx %g4, [%o1+16]
+	stx %g4, [%o1+24]
+	stx %g4, [%o1+32]
+	stx %g4, [%o1+40]
+	stx %g4, [%o1+48]
+	stx %g4, [%o1+56]
+	swap [%o1], %l4         ! atomic line burst into the packet buffer
+	cmp %l4, 8
+	bnz fill                ! flush failed: re-run the store sequence
+push:
+	ldx [%o0+16], %g5       ! status register
+	and %g5, 2, %g6
+	cmp %g6, 0
+	bnz push                ! FIFO full or backpressured: keep polling
+	srl %g5, 16, %l5
+	and %l5, %o2, %l5       ! drop counter before the push
+	set 64, %g7
+	sll %g7, 48, %g7        ! descriptor: offset 0, length 64
+	stx %g7, [%o0]          ! one store pushes it
+	membar                  ! push reaches the device before the re-read
+	ldx [%o0+16], %g5
+	srl %g5, 16, %l6
+	and %l6, %o2, %l6       ! drop counter after
+	cmp %l5, %l6
+	bnz push                ! counter advanced: push was dropped, retry
+	add %o3, 1, %o3
+sent:
+	ldx [%o0+16], %g5
+	srl %g5, 32, %g6        ! packets sent so far
+	cmp %g6, %o3
+	bl sent                 ! buffer is live until the packet is on the wire
+	add %g4, 1, %g4
+	subcc %g3, 1, %g3
+	bnz msg
+	membar
+	mov %g0, %g5            ! scrub timing-dependent status reads
+	mov %g0, %g6
+	mov %g0, %l5
+	mov %g0, %l6
+	halt
+`
+
+// wedgeSrc wedges deliberately: with every bus transaction NACKed, the
+// uncached store can never drain and the membar stalls retire forever —
+// the watchdog demo.
+const wedgeSrc = `
+	set 0x48000000, %o0
+	mov 1, %g1
+	stx %g1, [%o0]
+	membar
+	halt
+`
+
+// ramRegion is a memory span compared word-by-word against the oracle.
+type ramRegion struct{ base, size uint64 }
+
+type guest struct {
+	name string
+	src  string
+	// setup maps address space and adds devices; it returns the NIC when
+	// the guest drives one (its transmitted packets are then checked).
+	setup func(m *csbsim.Machine) (*csbsim.NIC, error)
+	// emuSetup prepares the oracle: mark combining ranges and seed the
+	// device registers the guest polls with their ideal-device values.
+	emuSetup func(e *emu.Emulator)
+	ram      []ramRegion
+	packets  [][]byte // expected NIC payloads (nil: no NIC)
+}
+
+func plainCombining(m *csbsim.Machine) (*csbsim.NIC, error) {
+	m.MapRange(combBase, 1<<16, csbsim.KindCombining)
+	return nil, nil
+}
+
+func nicPayloads() [][]byte {
+	out := make([][]byte, 3)
+	for i := range out {
+		b := make([]byte, 64)
+		for off := 0; off < 64; off += 8 {
+			b[off] = byte(0xA0 + i)
+		}
+		out[i] = b
+	}
+	return out
+}
+
+func guests() []guest {
+	return []guest{
+		{
+			name:     "quickstart",
+			src:      quickstartSrc,
+			setup:    plainCombining,
+			emuSetup: func(e *emu.Emulator) { e.MarkCombining(combBase, 1<<16) },
+			ram:      []ramRegion{{combBase, 64}},
+		},
+		{
+			name:     "multiline",
+			src:      multilineSrc,
+			setup:    plainCombining,
+			emuSetup: func(e *emu.Emulator) { e.MarkCombining(combBase, 1<<16) },
+			ram:      []ramRegion{{combBase, 256}},
+		},
+		{
+			name: "nicsend",
+			src:  nicsendSrc,
+			setup: func(m *csbsim.Machine) (*csbsim.NIC, error) {
+				nic := csbsim.NewNIC(csbsim.DefaultNICConfig(), nicBase)
+				if err := m.AddDevice(nicBase, csbsim.NICRegionSize, "nic", nic, nic); err != nil {
+					return nil, err
+				}
+				m.MapRange(nicBase, csbsim.NICPacketBufBase, csbsim.KindUncached)
+				m.MapRange(nicBase+csbsim.NICPacketBufBase, 0x1000, csbsim.KindCombining)
+				return nic, nil
+			},
+			emuSetup: func(e *emu.Emulator) {
+				e.MarkCombining(nicBase+csbsim.NICPacketBufBase, 0x1000)
+				// The oracle's NIC is ideal: never busy, never full, never
+				// drops, and has already sent more packets than any guest
+				// will wait for. The status register is never written by
+				// the guest, so this sentinel is what every poll reads.
+				e.Mem.WriteUint(nicBase+csbsim.NICRegStatus, 8, 0x7FFFFFFF<<32)
+			},
+			packets: nicPayloads(),
+		},
+	}
+}
+
+// runOracle executes the guest fault-free on the sequential emulator.
+func runOracle(g guest, prog *csbsim.Program) (*emu.Emulator, error) {
+	e, err := emu.New(prog)
+	if err != nil {
+		return nil, err
+	}
+	if g.emuSetup != nil {
+		g.emuSetup(e)
+	}
+	if err := e.Run(); err != nil {
+		return nil, fmt.Errorf("oracle: %w", err)
+	}
+	return e, nil
+}
+
+// runOne executes one faulted machine run, compares every piece of
+// architectural state against the oracle, and returns how many faults
+// the run injected.
+func runOne(g guest, prog *csbsim.Program, oracle *emu.Emulator,
+	fcfg csbsim.FaultConfig, watchdog, cycles uint64, verbose bool) (uint64, error) {
+	m, err := csbsim.NewMachine(csbsim.DefaultConfig())
+	if err != nil {
+		return 0, err
+	}
+	nic, err := g.setup(m)
+	if err != nil {
+		return 0, err
+	}
+	inj, err := m.AttachFaults(fcfg)
+	if err != nil {
+		return 0, err
+	}
+	if err := m.SetWatchdog(watchdog); err != nil {
+		return 0, err
+	}
+	if err := m.Load(prog); err != nil {
+		return 0, err
+	}
+	if err := m.Run(cycles); err != nil {
+		return 0, fmt.Errorf("machine: %w", err)
+	}
+	if err := m.Drain(cycles); err != nil {
+		return 0, fmt.Errorf("drain: %w", err)
+	}
+	total := inj.Stats().Total()
+
+	st := m.CPU.State()
+	for r := isa.Reg(1); r < isa.NumRegs; r++ {
+		if st.R[r] != oracle.R[r] {
+			return total, fmt.Errorf("%s = %#x, oracle %#x", isa.RegName(r), st.R[r], oracle.R[r])
+		}
+	}
+	for f := 0; f < isa.NumFRegs; f++ {
+		if st.F[f] != oracle.F[f] {
+			return total, fmt.Errorf("%%f%d = %#x, oracle %#x", f, st.F[f], oracle.F[f])
+		}
+	}
+	if st.CC != oracle.CC {
+		return total, fmt.Errorf("CC = %+v, oracle %+v", st.CC, oracle.CC)
+	}
+	if got, want := m.Console(), string(oracle.Console); got != want {
+		return total, fmt.Errorf("console = %q, oracle %q", got, want)
+	}
+	for _, reg := range g.ram {
+		for off := uint64(0); off < reg.size; off += 8 {
+			mv := m.RAM.ReadUint(reg.base+off, 8)
+			ev := oracle.Mem.ReadUint(reg.base+off, 8)
+			if mv != ev {
+				return total, fmt.Errorf("mem[%#x] = %#x, oracle %#x", reg.base+off, mv, ev)
+			}
+		}
+	}
+	if g.packets != nil {
+		got := nic.Packets()
+		if len(got) != len(g.packets) {
+			return total, fmt.Errorf("%d packets on the wire, want %d (dropped pushes: %d)",
+				len(got), len(g.packets), nic.Dropped())
+		}
+		for i, want := range g.packets {
+			if !bytes.Equal(got[i].Data, want) {
+				return total, fmt.Errorf("packet %d payload %x, want %x", i, got[i].Data, want)
+			}
+		}
+	}
+	if verbose {
+		fs := inj.Stats()
+		fmt.Printf("  %-10s seed %-4d %5d faults injected (%d nacks, %d stalls, %d bp, %d delays, %d drops, %d csb, %d ub), %d cycles\n",
+			g.name, fs.Seed, fs.Total(), fs.BusNacks, fs.DeviceStalls,
+			fs.BackpressureWindows, fs.FlushDelays, fs.FlushDrops,
+			fs.CSBPressureStalls, fs.UBPressureStalls, m.Cycle())
+	}
+	return total, nil
+}
+
+// runWedge demonstrates the watchdog: every bus transaction is NACKed,
+// so the guest's membar can never complete and the watchdog must abort
+// the run with a diagnostic dump.
+func runWedge(watchdog uint64) error {
+	m, err := csbsim.NewMachine(csbsim.DefaultConfig())
+	if err != nil {
+		return err
+	}
+	m.MapRange(uncBase, 0x1000, csbsim.KindUncached)
+	fcfg, err := csbsim.ParseFaultSpec("busnack=1024")
+	if err != nil {
+		return err
+	}
+	if _, err := m.AttachFaults(fcfg); err != nil {
+		return err
+	}
+	if err := m.SetWatchdog(watchdog); err != nil {
+		return err
+	}
+	prog, err := m.LoadSource("wedge.s", wedgeSrc)
+	if err != nil {
+		return err
+	}
+	// Warm the caches so the guest actually runs: fetch hits the I-cache,
+	// the uncached store enters the buffer, and the buffer's bus drain is
+	// the only transaction left — NACKed forever, wedging the membar at
+	// the head of the ROB.
+	m.WarmProgram(prog)
+	err = m.Run(100_000_000)
+	var wd *csbsim.WatchdogError
+	if !errors.As(err, &wd) {
+		return fmt.Errorf("run ended with %v, want a watchdog trip", err)
+	}
+	fmt.Printf("watchdog tripped as designed: no retire progress for %d cycles at pc %#x\n\n%s",
+		wd.Window, wd.PC, wd.Dump)
+	return nil
+}
+
+func main() {
+	var (
+		seeds    = flag.Int("seeds", 20, "number of fault seeds to sweep per guest")
+		seedBase = flag.Uint64("seed-base", 1, "first seed of the sweep")
+		spec     = flag.String("faults", "default", "fault specification applied at every seed")
+		watchdog = flag.Uint64("watchdog", 2_000_000, "watchdog window in cycles for every run")
+		cycles   = flag.Uint64("cycles", 100_000_000, "cycle limit per run")
+		verbose  = flag.Bool("v", false, "print per-run injection counters")
+		wedge    = flag.Bool("wedge", false, "instead of a sweep, wedge a guest and show the watchdog dump")
+	)
+	flag.Parse()
+
+	if *wedge {
+		if err := runWedge(*watchdog); err != nil {
+			fmt.Fprintln(os.Stderr, "faultcampaign:", err)
+			os.Exit(1)
+		}
+		return
+	}
+
+	base, err := csbsim.ParseFaultSpec(*spec)
+	if err != nil {
+		fmt.Fprintln(os.Stderr, "faultcampaign:", err)
+		os.Exit(1)
+	}
+
+	runs, failures := 0, 0
+	var injected uint64
+	for _, g := range guests() {
+		prog, err := csbsim.Assemble(g.name+".s", g.src)
+		if err != nil {
+			fmt.Fprintf(os.Stderr, "faultcampaign: %s: %v\n", g.name, err)
+			os.Exit(1)
+		}
+		oracle, err := runOracle(g, prog)
+		if err != nil {
+			fmt.Fprintf(os.Stderr, "faultcampaign: %s: %v\n", g.name, err)
+			os.Exit(1)
+		}
+		for s := 0; s < *seeds; s++ {
+			fcfg := base
+			fcfg.Seed = *seedBase + uint64(s)
+			runs++
+			n, err := runOne(g, prog, oracle, fcfg, *watchdog, *cycles, *verbose)
+			injected += n
+			if err != nil {
+				failures++
+				fmt.Fprintf(os.Stderr, "FAIL %s seed %d: %v\n", g.name, fcfg.Seed, err)
+			}
+		}
+	}
+	if failures > 0 {
+		fmt.Fprintf(os.Stderr, "faultcampaign: %d of %d runs diverged from the fault-free state\n",
+			failures, runs)
+		os.Exit(1)
+	}
+	fmt.Printf("faultcampaign: %d runs (%d guests × %d seeds), %d faults injected, every run recovered to the fault-free architectural state\n",
+		runs, len(guests()), *seeds, injected)
+}

@@ -22,6 +22,13 @@
 //     buckets sum to the cycle count; Machine.AttachPerfetto exports
 //     per-instruction lifecycle traces as Chrome trace-event JSON;
 //     Machine.AttachMetrics streams periodic machine samples.
+//   - Prove recovery paths: Machine.AttachFaults threads a deterministic
+//     seed-driven fault injector (bus NACKs, device stalls, FIFO
+//     backpressure, dropped/delayed conditional-flush acks, buffer
+//     pressure) through the whole machine, and Machine.SetWatchdog arms a
+//     retire-progress watchdog that aborts a livelocked run with a
+//     diagnostic dump. cmd/faultcampaign sweeps seeds and checks guests
+//     recover to the fault-free architectural state.
 //
 // See the examples directory for runnable walkthroughs and EXPERIMENTS.md
 // for the measured reproduction of every figure.
@@ -37,6 +44,7 @@ import (
 	"csbsim/internal/core"
 	"csbsim/internal/cpu"
 	"csbsim/internal/device"
+	"csbsim/internal/fault"
 	"csbsim/internal/kernel"
 	"csbsim/internal/mem"
 	"csbsim/internal/obs"
@@ -197,6 +205,50 @@ func NewMetricsWriter(w io.Writer, format obs.MetricsFormat) *MetricsWriter {
 // pipeline diagram — the plain-text fallback when no Perfetto UI is at
 // hand. Collect events with Machine.AttachInstEvents.
 func FormatPipeline(events []obs.InstEvent) string { return obs.FormatPipeline(events) }
+
+// FaultConfig enables and tunes the deterministic fault-injection
+// classes: bus transaction NACKs, device latency bursts, NIC FIFO
+// backpressure windows, delayed and dropped conditional-flush
+// acknowledgements, and CSB/uncached-buffer capacity pressure. All rates
+// are per-FaultRateScale probabilities. Attach with Machine.AttachFaults
+// before running.
+type FaultConfig = fault.Config
+
+// FaultInjector draws the seed-deterministic fault schedule: the same
+// seed, configuration and guest program reproduce a run bit-identically,
+// report included.
+type FaultInjector = fault.Injector
+
+// FaultStats counts what an attached injector actually did; it also
+// appears in Stats.Faults and the Report output.
+type FaultStats = fault.Stats
+
+// FaultRateScale is the denominator of all fault rates: a rate of r
+// means an r-in-FaultRateScale chance at each opportunity.
+const FaultRateScale = fault.RateScale
+
+// WatchdogError is returned by Machine.Run when the armed watchdog
+// (Machine.SetWatchdog) sees no instruction retire for a whole window;
+// its Dump field carries the full diagnostic state at the trip.
+type WatchdogError = sim.WatchdogError
+
+// DeviceAddrError is recorded by a device when a guest access (a
+// transmit descriptor or DMA transfer) points outside its valid region;
+// Machine.Run surfaces it as a typed failure reachable via errors.As.
+type DeviceAddrError = device.AddrError
+
+// DefaultFaultConfig returns the standard campaign mix: every fault
+// class enabled at a rate that exercises all recovery paths in a few
+// thousand cycles without livelocking the guest.
+func DefaultFaultConfig() FaultConfig { return fault.DefaultConfig() }
+
+// ParseFaultSpec parses a command-line fault specification: "default",
+// or a comma-separated key=value list such as "busnack=64,seed=3" (see
+// FaultSpecKeys for the recognized keys).
+func ParseFaultSpec(spec string) (FaultConfig, error) { return fault.ParseSpec(spec) }
+
+// FaultSpecKeys lists the keys ParseFaultSpec recognizes, sorted.
+func FaultSpecKeys() []string { return fault.SpecKeys() }
 
 // Compile-time checks that the re-exported constructors stay wired to
 // compatible types.

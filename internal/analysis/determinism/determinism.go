@@ -34,6 +34,8 @@ var Packages = []string{
 	"csbsim/internal/uncbuf",
 	"csbsim/internal/sim",
 	"csbsim/internal/bench",
+	"csbsim/internal/fault",
+	"csbsim/internal/device",
 }
 
 // bannedTimeFuncs are the time-package entry points that read the wall

@@ -111,6 +111,9 @@ type Stats struct {
 	Bytes        uint64
 	Reads        uint64
 	Writes       uint64
+	// Nacks counts transactions refused by the injected-fault hook (the
+	// agent re-arbitrates, exactly as after losing arbitration).
+	Nacks uint64
 	// BySize histograms transaction sizes (bytes → count).
 	BySize map[int]uint64
 }
@@ -134,6 +137,11 @@ type Bus struct {
 	// Register with AttachObserver; multiple observers coexist.
 	observers []func(*Txn)
 
+	// nackHook, when set, may refuse an otherwise-accepted transaction
+	// (fault injection): TryIssue returns false and the agent retries on
+	// a later bus cycle, the same recovery path as losing arbitration.
+	nackHook func(*Txn) bool
+
 	stats Stats
 }
 
@@ -146,6 +154,13 @@ type Bus struct {
 // anything they want to keep.
 func (b *Bus) AttachObserver(fn func(*Txn)) {
 	b.observers = append(b.observers, fn)
+}
+
+// SetNackHook installs (or, with nil, removes) the fault-injection hook
+// consulted after all legitimate issue checks pass. The hook must not
+// retain the *Txn: the issuing agent may recycle it.
+func (b *Bus) SetNackHook(fn func(*Txn) bool) {
+	b.nackHook = fn
 }
 
 // New creates a bus over the given physical-address router. The router may
@@ -228,6 +243,10 @@ func (b *Bus) TryIssue(t *Txn) bool {
 	if !b.CanIssue(t.Ordered) {
 		return false
 	}
+	if b.nackHook != nil && b.nackHook(t) {
+		b.stats.Nacks++
+		return false
+	}
 	d := uint64(b.Duration(t.Size, t.Write, t.IO))
 	t.Start = b.cycle
 	t.End = b.cycle + d - 1
@@ -298,6 +317,21 @@ func (b *Bus) complete(t *Txn) {
 	if t.Done != nil {
 		t.Done(t)
 	}
+}
+
+// DebugString describes the bus state for diagnostic dumps (the machine
+// watchdog's report). Not a hot path.
+func (b *Bus) DebugString() string {
+	if b.cur == nil {
+		return fmt.Sprintf("idle at cycle %d (free at %d, ordered free at %d)",
+			b.cycle, b.freeAt, b.ackFreeAt)
+	}
+	dir := "read"
+	if b.cur.Write {
+		dir = "write"
+	}
+	return fmt.Sprintf("cycle %d: %s %dB at %#x in flight (cycles %d..%d, free at %d)",
+		b.cycle, dir, b.cur.Size, b.cur.Addr, b.cur.Start, b.cur.End, b.freeAt)
 }
 
 // Drain advances the bus until it is idle (test helper and shutdown path).

@@ -1,0 +1,61 @@
+package bus
+
+import "testing"
+
+func TestNackHookRefusesAndCounts(t *testing.T) {
+	b := newBus(t, DefaultConfig())
+	nacks := 2
+	var seen []*Txn
+	b.SetNackHook(func(tx *Txn) bool {
+		if nacks > 0 {
+			nacks--
+			seen = append(seen, tx)
+			return true
+		}
+		return false
+	})
+	txn := &Txn{Addr: 0x1000, Size: 8, Write: true, Data: make([]byte, 8)}
+	done := false
+	txn.Done = func(*Txn) { done = true }
+
+	// The first two attempts are NACKed; the agent retries as it would
+	// after losing arbitration.
+	attempts := 0
+	for !b.TryIssue(txn) {
+		attempts++
+		if attempts > 10 {
+			t.Fatal("transaction never accepted")
+		}
+		b.Tick()
+	}
+	if attempts != 2 {
+		t.Errorf("attempts before accept = %d, want 2", attempts)
+	}
+	if len(seen) != 2 || seen[0] != txn {
+		t.Errorf("hook saw %d txns", len(seen))
+	}
+	b.Drain(100)
+	if !done {
+		t.Error("transaction never completed after NACKs")
+	}
+	s := b.Stats()
+	if s.Nacks != 2 {
+		t.Errorf("stats.Nacks = %d, want 2", s.Nacks)
+	}
+	if s.Transactions != 1 {
+		t.Errorf("stats.Transactions = %d, want 1", s.Transactions)
+	}
+}
+
+func TestNackHookRemoved(t *testing.T) {
+	b := newBus(t, DefaultConfig())
+	b.SetNackHook(func(*Txn) bool { return true })
+	txn := &Txn{Addr: 0x1000, Size: 8, Write: true, Data: make([]byte, 8)}
+	if b.TryIssue(txn) {
+		t.Fatal("always-NACK hook let a transaction through")
+	}
+	b.SetNackHook(nil)
+	if !b.TryIssue(txn) {
+		t.Fatal("transaction refused after hook removal")
+	}
+}

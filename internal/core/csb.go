@@ -87,6 +87,17 @@ type CSB struct {
 	txnFree     []*bus.Txn // recycled burst transactions
 	onBurstDone func(*bus.Txn)
 
+	// Fault-injection hooks (SetFaultHooks), all optional:
+	// storePressure refuses a combining store for one attempt (capacity
+	// pressure; the retire stage retries), flushDelay stalls the
+	// conditional-flush acknowledgement for extra attempts, and dropFlush
+	// turns a would-succeed flush into a reported failure (a dropped
+	// acknowledgement; software re-runs the store sequence).
+	storePressure func() bool
+	flushDelay    func() int
+	dropFlush     func() bool
+	delayLeft     int // remaining injected flush-ack delay, in attempts
+
 	stats Stats
 }
 
@@ -112,6 +123,16 @@ func New(cfg Config) (*CSB, error) {
 		c.txnFree = append(c.txnFree, t) //csb:pool — Done handler returning t to the free list
 	}
 	return c, nil
+}
+
+// SetFaultHooks installs the fault-injection hooks (any may be nil).
+// The hooks only ever force the stall/retry/failure paths that the real
+// protocol already has; they can never corrupt buffered data, so
+// architectural state stays recoverable by the §3.2 software retry loop.
+func (c *CSB) SetFaultHooks(storePressure func() bool, flushDelay func() int, dropFlush func() bool) {
+	c.storePressure = storePressure
+	c.flushDelay = flushDelay
+	c.dropFlush = dropFlush
 }
 
 // Config returns the CSB configuration.
@@ -182,6 +203,10 @@ func (c *CSB) Store(pid uint8, addr uint64, size int, data []byte) bool {
 		c.stats.StallBusy++
 		return false
 	}
+	if c.storePressure != nil && c.storePressure() {
+		c.stats.StallBusy++ // injected capacity pressure: same retry path as Busy
+		return false
+	}
 	line := addr &^ uint64(c.cfg.LineSize-1)
 	if int(addr-line)+size > c.cfg.LineSize {
 		panic(fmt.Sprintf("core: store at %#x size %d crosses line boundary", addr, size))
@@ -228,9 +253,29 @@ func (c *CSB) ConditionalFlush(pid uint8, addr uint64, expected int64, old uint6
 		c.stats.StallBusy++
 		return 0, false
 	}
+	// Injected acknowledgement delay: the flush instruction stalls at the
+	// head of the ROB for extra attempts before the CSB answers.
+	if c.delayLeft > 0 {
+		c.delayLeft--
+		c.stats.StallBusy++
+		return 0, false
+	}
+	if c.flushDelay != nil {
+		if d := c.flushDelay(); d > 0 {
+			c.delayLeft = d - 1 // this attempt is the first of d stalls
+			c.stats.StallBusy++
+			return 0, false
+		}
+	}
 	line := addr &^ uint64(c.cfg.LineSize-1)
 	ok := c.valid && c.pid == pid && c.hits == expected &&
 		(!c.cfg.CheckAddress || c.lineAddr == line)
+	if ok && c.dropFlush != nil && c.dropFlush() {
+		// Injected dropped acknowledgement: the line is not committed and
+		// software sees an ordinary flush failure, so the §3.2 retry loop
+		// re-runs the whole store sequence.
+		ok = false
+	}
 	if !ok {
 		c.clear()
 		c.stats.FlushFail++

@@ -1,0 +1,128 @@
+package core
+
+import "testing"
+
+// storeLine fills the CSB with count stores of one dword each, starting
+// at addr, and returns whether every store was accepted first try.
+func storeLine(c *CSB, pid uint8, addr uint64, count int) bool {
+	for i := 0; i < count; i++ {
+		if !c.Store(pid, addr+uint64(8*i), 8, dword(byte(i+1))) {
+			return false
+		}
+	}
+	return true
+}
+
+func TestStorePressureHookStalls(t *testing.T) {
+	c := newCSB(t, DefaultConfig())
+	squeeze := true
+	c.SetFaultHooks(func() bool { return squeeze }, nil, nil)
+
+	if c.Store(1, 0x1000, 8, dword(0xAA)) {
+		t.Fatal("store accepted under injected pressure")
+	}
+	if s := c.Stats(); s.StallBusy != 1 || s.Stores != 0 {
+		t.Fatalf("stats after refused store: %+v", s)
+	}
+	// The retire stage retries; once the pressure lifts the store lands
+	// and the sequence completes as if nothing happened.
+	squeeze = false
+	if !storeLine(c, 1, 0x1000, 8) {
+		t.Fatal("stores refused after pressure lifted")
+	}
+	if _, ready := c.ConditionalFlush(1, 0x1000, 8, 42); !ready {
+		t.Fatal("flush not ready")
+	}
+	if s := c.Stats(); s.FlushOK != 1 {
+		t.Fatalf("flush did not succeed: %+v", s)
+	}
+}
+
+func TestFlushDelayHookStallsThenAnswers(t *testing.T) {
+	c := newCSB(t, DefaultConfig())
+	delay := 3
+	calls := 0
+	c.SetFaultHooks(nil, func() int { calls++; d := delay; delay = 0; return d }, nil)
+
+	if !storeLine(c, 1, 0x1000, 8) {
+		t.Fatal("stores refused")
+	}
+	// The acknowledgement is delayed for exactly 3 attempts, then the
+	// flush proceeds normally.
+	stalls := 0
+	for {
+		res, ready := c.ConditionalFlush(1, 0x1000, 8, 42)
+		if ready {
+			if res != 42 {
+				t.Fatalf("flush result = %d, want 42", res)
+			}
+			break
+		}
+		stalls++
+		if stalls > 10 {
+			t.Fatal("flush never answered")
+		}
+	}
+	if stalls != 3 {
+		t.Errorf("stalled attempts = %d, want 3", stalls)
+	}
+	// Consulted once to open the delay (attempt 1) and once more on the
+	// first attempt after it expired (attempt 4) — never while pending.
+	if calls != 2 {
+		t.Errorf("delay hook consulted %d times, want 2", calls)
+	}
+	if s := c.Stats(); s.FlushOK != 1 || s.FlushFail != 0 {
+		t.Fatalf("stats: %+v", s)
+	}
+}
+
+func TestDropFlushHookForcesRetrySequence(t *testing.T) {
+	c := newCSB(t, DefaultConfig())
+	drop := true
+	c.SetFaultHooks(nil, nil, func() bool { d := drop; drop = false; return d })
+
+	if !storeLine(c, 1, 0x1000, 8) {
+		t.Fatal("stores refused")
+	}
+	// The would-succeed flush has its acknowledgement dropped: software
+	// sees a failure, nothing was committed, and the buffer is clear.
+	res, ready := c.ConditionalFlush(1, 0x1000, 8, 42)
+	if !ready || res != 0 {
+		t.Fatalf("dropped flush: res=%d ready=%v, want 0 true", res, ready)
+	}
+	if s := c.Stats(); s.FlushFail != 1 || s.FlushOK != 0 || s.Bursts != 0 {
+		t.Fatalf("stats after dropped ack: %+v", s)
+	}
+	if c.PendingLines() != 0 || c.HitCount() != 0 {
+		t.Fatal("dropped flush left state behind")
+	}
+	// The §3.2 retry loop re-runs the store sequence; this time the
+	// flush commits.
+	if !storeLine(c, 1, 0x1000, 8) {
+		t.Fatal("retry stores refused")
+	}
+	res, ready = c.ConditionalFlush(1, 0x1000, 8, 42)
+	if !ready || res != 42 {
+		t.Fatalf("retried flush: res=%d ready=%v, want 42 true", res, ready)
+	}
+	if s := c.Stats(); s.FlushOK != 1 || s.PaddedBytes != 0 {
+		t.Fatalf("stats after retry: %+v", s)
+	}
+}
+
+func TestFailedFlushNotCountedAsDrop(t *testing.T) {
+	c := newCSB(t, DefaultConfig())
+	dropCalls := 0
+	c.SetFaultHooks(nil, nil, func() bool { dropCalls++; return true })
+	// A flush that would fail anyway (wrong count) must not consult the
+	// drop hook: only would-succeed acknowledgements can be dropped.
+	if !storeLine(c, 1, 0x1000, 4) {
+		t.Fatal("stores refused")
+	}
+	if _, ready := c.ConditionalFlush(1, 0x1000, 8, 42); !ready {
+		t.Fatal("flush not ready")
+	}
+	if dropCalls != 0 {
+		t.Errorf("drop hook consulted %d times on a failing flush", dropCalls)
+	}
+}

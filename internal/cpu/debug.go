@@ -1,0 +1,59 @@
+package cpu
+
+import (
+	"fmt"
+	"strings"
+)
+
+// Retired returns the committed-instruction count without copying the
+// whole Stats struct — cheap enough for the machine watchdog to poll.
+func (c *CPU) Retired() uint64 { return c.stats.Retired }
+
+// PipelineDump renders the in-flight pipeline state for diagnostics (the
+// watchdog's livelock report): ROB and fetch-queue depth, and the ROB
+// head's execution state — the instruction whose stall is wedging the
+// machine. Not a hot path; called once when a run is aborted.
+func (c *CPU) PipelineDump() string {
+	var b strings.Builder
+	fmt.Fprintf(&b, "fetch pc %#x (blocked=%v), fetchq %d/%d, rob %d/%d\n",
+		c.pc, c.fetchBlocked, len(c.fetchQ), c.cfg.FetchQueue, len(c.rob), c.cfg.ROBSize)
+	if len(c.rob) == 0 {
+		b.WriteString("rob empty\n")
+		return b.String()
+	}
+	// The head plus a few entries behind it: the head is what everything
+	// else is waiting on.
+	for i := 0; i < len(c.rob) && i < 4; i++ {
+		u := c.rob[i]
+		fmt.Fprintf(&b, "rob[%d] seq %d pc %#x  %s\n        %s\n",
+			i, u.seq, u.pc, u.inst.String(), uopState(u))
+	}
+	return b.String()
+}
+
+// uopState summarizes a uop's progress flags.
+func uopState(u *uop) string {
+	var f []string
+	add := func(cond bool, s string) {
+		if cond {
+			f = append(f, s)
+		}
+	}
+	add(u.issued, "issued")
+	add(u.executing, fmt.Sprintf("executing(%d left)", u.remaining))
+	add(u.done, "done")
+	add(u.dead, "dead")
+	add(u.faulted, "faulted")
+	if u.isMem {
+		add(true, fmt.Sprintf("mem(va=%#x kind=%v)", u.va, u.kind))
+		add(u.translating > 0, fmt.Sprintf("translating(%d left)", u.translating))
+		add(u.addrReady, "addr-ready")
+		add(u.memIssued, "mem-issued")
+		add(u.memWait, "waiting-for-fill")
+	}
+	add(u.retPhase != 0, fmt.Sprintf("retire-phase %d", u.retPhase))
+	if len(f) == 0 {
+		return "waiting for operands/issue"
+	}
+	return strings.Join(f, ", ")
+}

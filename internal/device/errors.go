@@ -1,0 +1,23 @@
+package device
+
+import "fmt"
+
+// AddrError reports a guest access that fell outside a device's valid
+// range — a bogus transmit-descriptor offset, a DMA length larger than
+// the packet buffer. Real hardware would raise a bus error or silently
+// wedge; the simulator records the first such error on the device and
+// sim.Machine.Run surfaces it as a typed run failure instead of
+// panicking, so a buggy guest produces a diagnosis rather than a crash.
+type AddrError struct {
+	Dev  string // device description, e.g. "nic(base=0x40000000 ...)"
+	Op   string // operation that went out of range, e.g. "tx-descriptor"
+	Addr uint64 // offending device-relative address/offset
+	Size int    // access length in bytes
+	// Bound is the first address past the valid range.
+	Bound uint64
+}
+
+func (e *AddrError) Error() string {
+	return fmt.Sprintf("device: %s: %s at offset %#x size %d outside [0, %#x)",
+		e.Dev, e.Op, e.Addr, e.Size, e.Bound)
+}

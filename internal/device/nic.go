@@ -26,7 +26,11 @@ const (
 	// The NIC fetches the data over the system bus and then transmits.
 	RegDMA = 0x008
 	// RegStatus reads NIC state: bit 0 = TX busy, bit 1 = FIFO full,
-	// bits [63:32] = packets sent.
+	// bits [31:16] = dropped-descriptor count (mod 2^16), bits [63:32] =
+	// packets sent. The drop counter is how software detects that a push
+	// landed in a full (or backpressured) FIFO and must be retried: read
+	// the counter, push, re-read — if it advanced, the descriptor was
+	// dropped.
 	RegStatus = 0x010
 	// RegIntAck clears a pending completion interrupt.
 	RegIntAck = 0x018
@@ -118,6 +122,43 @@ type NIC struct {
 	lastCycle uint64 // most recent bus cycle seen in TickBus
 	packets   []Packet
 	dropped   uint64
+
+	// err is the first out-of-range guest access (nil if none); surfaced
+	// by sim.Machine.Run as a typed failure instead of a panic.
+	err      error
+	badDescs uint64
+
+	// Fault injection (SetFaultHooks): stallLeft freezes the whole device
+	// (DMA, transmission, interrupt delivery) for a latency burst; bpLeft
+	// is an open backpressure window during which descriptor pushes are
+	// refused and the status register advertises a full FIFO.
+	stallLeft int
+	bpLeft    int
+	stallHook func() int
+	bpHook    func() int
+}
+
+// SetFaultHooks installs the fault-injection hooks (either may be nil).
+// stall is consulted each bus tick while the device runs freely and
+// returns the length of a latency burst to inject (0 = none);
+// backpressure likewise returns the length of a FIFO backpressure window.
+func (n *NIC) SetFaultHooks(stall, backpressure func() int) {
+	n.stallHook = stall
+	n.bpHook = backpressure
+}
+
+// Err returns the first out-of-range access recorded on this device, or
+// nil. sim.Machine.Run polls this and fails the run with the typed error.
+func (n *NIC) Err() error { return n.err }
+
+// BadDescs returns the number of descriptors rejected for pointing
+// outside the packet buffer.
+func (n *NIC) BadDescs() uint64 { return n.badDescs }
+
+func (n *NIC) setErr(op string, addr uint64, size int, bound uint64) {
+	if n.err == nil {
+		n.err = &AddrError{Dev: n.String(), Op: op, Addr: addr, Size: size, Bound: bound}
+	}
 }
 
 // RxEmpty is returned by RegRxPop when the receive queue is empty.
@@ -164,9 +205,10 @@ func (n *NIC) ReadTarget(pa uint64, size int) []byte {
 		if n.sending {
 			v |= 1
 		}
-		if len(n.fifo) >= n.cfg.FIFODepth {
+		if len(n.fifo) >= n.cfg.FIFODepth || n.bpLeft > 0 {
 			v |= 2
 		}
+		v |= (n.dropped & 0xffff) << 16
 		v |= uint64(len(n.packets)) << 32
 		putLE(out, v)
 	case off == RegRxPop:
@@ -214,9 +256,13 @@ func (n *NIC) WriteTarget(pa uint64, data []byte) {
 		})
 	case off == RegDMA && len(data) == 8:
 		v := leUint(data)
-		if n.dma == dmaIdle {
+		if length := int(v >> 48); length > PacketBufSize {
+			// The transfer would overrun the packet buffer; refuse it
+			// rather than index past the slice.
+			n.setErr("dma-transfer", v&(1<<48-1), length, PacketBufSize)
+		} else if n.dma == dmaIdle {
 			n.dmaSrc = v & (1<<48 - 1)
-			n.dmaLen = int(v >> 48)
+			n.dmaLen = length
 			n.dmaOff = 0
 			n.dma = dmaReading
 			n.dmaPushed = n.now()
@@ -227,7 +273,15 @@ func (n *NIC) WriteTarget(pa uint64, data []byte) {
 }
 
 func (n *NIC) pushDescriptor(d txDesc) {
-	if len(n.fifo) >= n.cfg.FIFODepth {
+	if d.offset > PacketBufSize || d.offset+uint64(d.length) > PacketBufSize {
+		// The descriptor points outside the packet buffer: record the
+		// error (guests used to crash the whole simulator here) and drop
+		// the descriptor.
+		n.setErr("tx-descriptor", d.offset, d.length, PacketBufSize)
+		n.badDescs++
+		return
+	}
+	if n.bpLeft > 0 || len(n.fifo) >= n.cfg.FIFODepth {
 		n.dropped++
 		return
 	}
@@ -244,6 +298,28 @@ func (n *NIC) now() uint64 { return n.lastCycle }
 // TickBus advances transmission and DMA by one bus cycle.
 func (n *NIC) TickBus(b *bus.Bus) {
 	n.lastCycle = b.Cycle()
+	// Injected device latency burst: the whole device (DMA, transmit,
+	// interrupt delivery) freezes; register accesses still complete, so
+	// software can keep polling status while the device is slow.
+	if n.stallLeft > 0 {
+		n.stallLeft--
+		return
+	}
+	if n.stallHook != nil {
+		if d := n.stallHook(); d > 0 {
+			n.stallLeft = d - 1 // this frozen tick is the first of d
+			return
+		}
+	}
+	// Injected FIFO backpressure window: pushes are refused (counted as
+	// drops) while open, but the device otherwise runs.
+	if n.bpLeft > 0 {
+		n.bpLeft--
+	} else if n.bpHook != nil {
+		if w := n.bpHook(); w > 0 {
+			n.bpLeft = w
+		}
+	}
 	// DMA engine: stream bursts from main memory into the packet buffer.
 	if n.dma == dmaReading && !n.dmaInFly {
 		if n.dmaOff >= n.dmaLen {

@@ -5,7 +5,13 @@
 // implementations in identical architectural state.
 //
 // The emulator executes everything as if memory were flat and cached; it
-// does not model the uncached buffer, the CSB or devices.
+// does not model the uncached buffer, the CSB or devices. Address ranges
+// marked combining (MarkCombining) get the fault-free reference semantics
+// of a conditional flush: a swap there always "succeeds" — the source
+// register is returned unchanged and no memory is exchanged — so guest
+// retry loops written against the CSB protocol terminate immediately,
+// and the fault campaign can compare a faulted machine run against this
+// oracle's final architectural state.
 package emu
 
 import (
@@ -28,23 +34,84 @@ type Emulator struct {
 	halted bool
 	steps  uint64
 
+	maxSteps  uint64
+	combining []combRange
+
 	// Trap, if set, handles OpTRAP codes; returning false halts with an
 	// error. The default mimics the machine's console traps into Console.
 	Trap    func(code int64) bool
 	Console []byte
 }
 
+type combRange struct{ base, end uint64 }
+
+// DefaultMaxSteps is the Run budget when WithMaxSteps is not given:
+// generous enough for every difftest and example guest, small enough
+// that a livelocked guest fails in well under a second.
+const DefaultMaxSteps = 10_000_000
+
+// Option configures an Emulator at construction.
+type Option func(*Emulator)
+
+// WithMaxSteps sets the Run instruction budget. A run that exhausts it
+// fails with a *StepLimitError, letting callers distinguish "the guest
+// livelocked" from "my budget was too small" and raise the budget.
+func WithMaxSteps(n uint64) Option {
+	return func(e *Emulator) { e.maxSteps = n }
+}
+
+// WithCombining marks [base, base+size) as combining space at
+// construction (see MarkCombining).
+func WithCombining(base, size uint64) Option {
+	return func(e *Emulator) { e.MarkCombining(base, size) }
+}
+
 // New creates an emulator with the program loaded into fresh memory.
-func New(p *asm.Program) (*Emulator, error) {
+func New(p *asm.Program, opts ...Option) (*Emulator, error) {
 	m := mem.NewMemory()
 	base, data, err := p.Bytes()
 	if err != nil {
 		return nil, err
 	}
 	m.Write(base, data)
-	e := &Emulator{Mem: m, PC: p.Entry}
+	e := &Emulator{Mem: m, PC: p.Entry, maxSteps: DefaultMaxSteps}
 	e.Trap = e.defaultTrap
+	for _, o := range opts {
+		o(e)
+	}
 	return e, nil
+}
+
+// MarkCombining marks [base, base+size) as uncached-combining space: a
+// swap addressed there models an always-successful conditional flush
+// (the fault-free reference of §3.1) — the source register is returned
+// unchanged and memory is not exchanged. Plain stores still write the
+// flat memory, which is exactly where the machine's CSB line bursts
+// land, so final memory is comparable between the two.
+func (e *Emulator) MarkCombining(base, size uint64) {
+	e.combining = append(e.combining, combRange{base: base, end: base + size})
+}
+
+func (e *Emulator) isCombining(addr uint64) bool {
+	for _, r := range e.combining {
+		if addr >= r.base && addr < r.end {
+			return true
+		}
+	}
+	return false
+}
+
+// StepLimitError reports a Run that exhausted its instruction budget
+// (WithMaxSteps) without halting: either the guest livelocked, or the
+// budget was too small for the workload.
+type StepLimitError struct {
+	Limit uint64
+	PC    uint64
+}
+
+func (e *StepLimitError) Error() string {
+	return fmt.Sprintf("emu: step limit %d reached at pc %#x (guest livelock, or raise the budget with WithMaxSteps)",
+		e.Limit, e.PC)
 }
 
 func (e *Emulator) defaultTrap(code int64) bool {
@@ -68,9 +135,11 @@ func (e *Emulator) Halted() bool { return e.halted }
 // Steps returns the number of instructions executed.
 func (e *Emulator) Steps() uint64 { return e.steps }
 
-// Run executes until HALT or maxSteps instructions.
-func (e *Emulator) Run(maxSteps uint64) error {
-	for i := uint64(0); i < maxSteps; i++ {
+// Run executes until HALT or the configured step budget (WithMaxSteps,
+// DefaultMaxSteps otherwise) is exhausted, which fails with a typed
+// *StepLimitError.
+func (e *Emulator) Run() error {
+	for i := uint64(0); i < e.maxSteps; i++ {
 		if e.halted {
 			return nil
 		}
@@ -81,7 +150,7 @@ func (e *Emulator) Run(maxSteps uint64) error {
 	if e.halted {
 		return nil
 	}
-	return fmt.Errorf("emu: step limit %d reached at pc %#x", maxSteps, e.PC)
+	return &StepLimitError{Limit: e.maxSteps, PC: e.PC}
 }
 
 func (e *Emulator) reg(r isa.Reg) uint64 {
@@ -180,6 +249,12 @@ func (e *Emulator) Step() error {
 		e.Mem.WriteUint(addr, 8, e.F[in.Rd&31])
 	case isa.OpSWAP:
 		addr := a + uint64(in.Imm)
+		if e.isCombining(addr) {
+			// Conditional flush, fault-free reference semantics (§3.1):
+			// the flush always succeeds, the source register is returned
+			// unchanged, and combining space is not a memory exchange.
+			break
+		}
 		old := e.Mem.ReadUint(addr, 8)
 		e.Mem.WriteUint(addr, 8, e.reg(in.Rd))
 		e.setReg(in.Rd, old)

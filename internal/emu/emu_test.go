@@ -1,6 +1,7 @@
 package emu
 
 import (
+	"errors"
 	"strings"
 	"testing"
 
@@ -13,11 +14,11 @@ func run(t *testing.T, src string) *Emulator {
 	if err != nil {
 		t.Fatal(err)
 	}
-	e, err := New(p)
+	e, err := New(p, WithMaxSteps(1_000_000))
 	if err != nil {
 		t.Fatal(err)
 	}
-	if err := e.Run(1_000_000); err != nil {
+	if err := e.Run(); err != nil {
 		t.Fatal(err)
 	}
 	return e
@@ -137,9 +138,9 @@ func TestConsoleTraps(t *testing.T) {
 
 func TestIllegalInstructionErrors(t *testing.T) {
 	p, _ := asm.Assemble("t.s", "nop\n")
-	e, _ := New(p)
+	e, _ := New(p, WithMaxSteps(100))
 	// Run past the single nop into zeroed memory (decodes as invalid).
-	err := e.Run(100)
+	err := e.Run()
 	if err == nil || !strings.Contains(err.Error(), "illegal") {
 		t.Errorf("err = %v", err)
 	}
@@ -147,28 +148,79 @@ func TestIllegalInstructionErrors(t *testing.T) {
 
 func TestPrivilegedOpsRejected(t *testing.T) {
 	p, _ := asm.Assemble("t.s", "rdpr %pid, %g1\nhalt\n")
-	e, _ := New(p)
-	if err := e.Run(100); err == nil {
+	e, _ := New(p, WithMaxSteps(100))
+	if err := e.Run(); err == nil {
 		t.Error("privileged op should error in the emulator")
 	}
 }
 
 func TestUnhandledTrapErrors(t *testing.T) {
 	p, _ := asm.Assemble("t.s", "trap 99\nhalt\n")
-	e, _ := New(p)
-	if err := e.Run(100); err == nil {
+	e, _ := New(p, WithMaxSteps(100))
+	if err := e.Run(); err == nil {
 		t.Error("unhandled trap should error")
 	}
 }
 
 func TestStepLimit(t *testing.T) {
 	p, _ := asm.Assemble("t.s", "loop: ba loop\n")
-	e, _ := New(p)
-	if err := e.Run(1000); err == nil {
-		t.Error("infinite loop should hit the step limit")
+	e, _ := New(p, WithMaxSteps(1000))
+	err := e.Run()
+	if err == nil {
+		t.Fatal("infinite loop should hit the step limit")
+	}
+	var sl *StepLimitError
+	if !errors.As(err, &sl) {
+		t.Fatalf("err = %v, want *StepLimitError", err)
+	}
+	if sl.Limit != 1000 {
+		t.Errorf("limit = %d", sl.Limit)
 	}
 	if e.Steps() != 1000 {
 		t.Errorf("steps = %d", e.Steps())
+	}
+}
+
+func TestDefaultMaxSteps(t *testing.T) {
+	p, _ := asm.Assemble("t.s", "loop: ba loop\n")
+	e, _ := New(p)
+	if e.maxSteps != DefaultMaxSteps {
+		t.Errorf("default budget = %d, want %d", e.maxSteps, DefaultMaxSteps)
+	}
+}
+
+func TestCombiningSwapModelsSuccessfulFlush(t *testing.T) {
+	p, err := asm.Assemble("t.s", `
+	set 0x30000, %o1
+	mov 77, %g1
+	stx %g1, [%o1]          ! combining store: lands in flat memory
+	mov 8, %l4
+	swap [%o1], %l4         ! conditional flush: always succeeds here
+	ldx [%o1], %g2
+	halt
+`)
+	if err != nil {
+		t.Fatal(err)
+	}
+	e, _ := New(p, WithCombining(0x30000, 0x1000))
+	if err := e.Run(); err != nil {
+		t.Fatal(err)
+	}
+	// Success semantics (§3.1): the swap source keeps its value and the
+	// stored data is untouched by the flush.
+	if e.R[20] != 8 {
+		t.Errorf("flush result = %d, want 8 (register unchanged)", e.R[20])
+	}
+	if e.R[2] != 77 {
+		t.Errorf("memory after flush = %d, want 77", e.R[2])
+	}
+	// Outside the marked range, swap is still a real exchange.
+	e2, _ := New(p)
+	if err := e2.Run(); err != nil {
+		t.Fatal(err)
+	}
+	if e2.R[20] != 77 || e2.R[2] != 8 {
+		t.Errorf("plain swap: reg=%d mem=%d, want 77/8", e2.R[20], e2.R[2])
 	}
 }
 

@@ -1,0 +1,237 @@
+package fault
+
+import (
+	"strings"
+	"testing"
+)
+
+func TestPRNGDeterministic(t *testing.T) {
+	a := NewPRNG(42)
+	b := NewPRNG(42)
+	for i := 0; i < 1000; i++ {
+		if x, y := a.Uint64(), b.Uint64(); x != y {
+			t.Fatalf("draw %d: %#x != %#x", i, x, y)
+		}
+	}
+}
+
+func TestPRNGSeedsDiffer(t *testing.T) {
+	a := NewPRNG(1)
+	b := NewPRNG(2)
+	same := 0
+	for i := 0; i < 100; i++ {
+		if a.Uint64() == b.Uint64() {
+			same++
+		}
+	}
+	if same > 0 {
+		t.Fatalf("seeds 1 and 2 collided on %d of 100 draws", same)
+	}
+}
+
+func TestPRNGZeroSeed(t *testing.T) {
+	p := NewPRNG(0)
+	if p.Uint64() == 0 && p.Uint64() == 0 {
+		t.Fatal("zero seed produced a stuck generator")
+	}
+}
+
+func TestIntnRange(t *testing.T) {
+	p := NewPRNG(7)
+	for i := 0; i < 10000; i++ {
+		if v := p.Intn(24); v < 0 || v >= 24 {
+			t.Fatalf("Intn(24) = %d out of range", v)
+		}
+	}
+}
+
+func TestChanceBounds(t *testing.T) {
+	p := NewPRNG(9)
+	for i := 0; i < 1000; i++ {
+		if p.chance(0) {
+			t.Fatal("rate 0 fired")
+		}
+	}
+	for i := 0; i < 1000; i++ {
+		if !p.chance(RateScale) {
+			t.Fatal("rate 1024 missed")
+		}
+	}
+}
+
+func TestChanceRoughlyCalibrated(t *testing.T) {
+	p := NewPRNG(11)
+	hits := 0
+	const n = 100000
+	for i := 0; i < n; i++ {
+		if p.chance(256) { // expect ~25%
+			hits++
+		}
+	}
+	frac := float64(hits) / n
+	if frac < 0.22 || frac > 0.28 {
+		t.Fatalf("rate 256/1024 fired %.3f of the time, want ~0.25", frac)
+	}
+}
+
+func TestInjectorDeterministicSchedule(t *testing.T) {
+	run := func() Stats {
+		inj, err := New(DefaultConfig())
+		if err != nil {
+			t.Fatal(err)
+		}
+		// A fixed interleaving of decision calls must always yield the
+		// same schedule and counters.
+		for i := 0; i < 5000; i++ {
+			inj.NackBus()
+			if i%3 == 0 {
+				inj.DeviceStall()
+				inj.Backpressure()
+			}
+			if i%5 == 0 {
+				inj.FlushDelay()
+				inj.DropFlush()
+			}
+			inj.SqueezeCSB()
+			inj.SqueezeUB()
+		}
+		return inj.Stats()
+	}
+	a, b := run(), run()
+	if a != b {
+		t.Fatalf("same seed, different schedules:\n%+v\n%+v", a, b)
+	}
+	if a.Total() == 0 {
+		t.Fatal("default config injected nothing over 5000 opportunities")
+	}
+}
+
+func TestInjectorDisabledClassesDrawNothing(t *testing.T) {
+	inj, err := New(Config{Seed: 3})
+	if err != nil {
+		t.Fatal(err)
+	}
+	for i := 0; i < 100; i++ {
+		if inj.NackBus() || inj.DropFlush() || inj.SqueezeCSB() || inj.SqueezeUB() {
+			t.Fatal("disabled class fired")
+		}
+		if inj.DeviceStall() != 0 || inj.Backpressure() != 0 || inj.FlushDelay() != 0 {
+			t.Fatal("disabled window class fired")
+		}
+	}
+	if s := inj.Stats(); s.Draws != 0 {
+		t.Fatalf("disabled classes consumed %d draws", s.Draws)
+	}
+}
+
+func TestWindowLengthsBounded(t *testing.T) {
+	cfg := DefaultConfig()
+	cfg.DeviceStall = RateScale
+	cfg.NICBackpressure = RateScale
+	cfg.FlushDelay = RateScale
+	inj, err := New(cfg)
+	if err != nil {
+		t.Fatal(err)
+	}
+	for i := 0; i < 1000; i++ {
+		if n := inj.DeviceStall(); n < 1 || n > cfg.DeviceStallMax {
+			t.Fatalf("device stall %d outside [1, %d]", n, cfg.DeviceStallMax)
+		}
+		if n := inj.Backpressure(); n < 1 || n > cfg.NICBackpressureMax {
+			t.Fatalf("backpressure window %d outside [1, %d]", n, cfg.NICBackpressureMax)
+		}
+		if n := inj.FlushDelay(); n < 1 || n > cfg.FlushDelayMax {
+			t.Fatalf("flush delay %d outside [1, %d]", n, cfg.FlushDelayMax)
+		}
+	}
+}
+
+func TestValidate(t *testing.T) {
+	bad := []Config{
+		{BusNack: -1},
+		{BusNack: RateScale + 1},
+		{FlushDrop: 99999},
+		{DeviceStall: 8},     // enabled without a max
+		{NICBackpressure: 8}, // enabled without a max
+		{FlushDelay: 8},      // enabled without a max
+	}
+	for i, c := range bad {
+		if err := c.Validate(); err == nil {
+			t.Errorf("config %d validated: %+v", i, c)
+		}
+	}
+	if err := DefaultConfig().Validate(); err != nil {
+		t.Errorf("default config invalid: %v", err)
+	}
+	if err := (Config{}).Validate(); err != nil {
+		t.Errorf("zero config invalid: %v", err)
+	}
+}
+
+func TestParseSpec(t *testing.T) {
+	cfg, err := ParseSpec("default")
+	if err != nil {
+		t.Fatal(err)
+	}
+	if cfg != DefaultConfig() {
+		t.Fatalf("spec \"default\" = %+v, want DefaultConfig", cfg)
+	}
+
+	cfg, err = ParseSpec("default,seed=7")
+	if err != nil {
+		t.Fatal(err)
+	}
+	want := DefaultConfig()
+	want.Seed = 7
+	if cfg != want {
+		t.Fatalf("spec \"default,seed=7\" = %+v, want %+v", cfg, want)
+	}
+
+	// seed before "default" survives the mix-in.
+	cfg, err = ParseSpec("seed=9,default")
+	if err != nil {
+		t.Fatal(err)
+	}
+	if cfg.Seed != 9 {
+		t.Fatalf("seed=9,default lost the seed: %+v", cfg)
+	}
+
+	cfg, err = ParseSpec("busnack=1024")
+	if err != nil {
+		t.Fatal(err)
+	}
+	if cfg.BusNack != 1024 || cfg.Enabled() != true || cfg.FlushDrop != 0 {
+		t.Fatalf("single-class spec enabled extra classes: %+v", cfg)
+	}
+
+	// A window rate named without its max gets the default max.
+	cfg, err = ParseSpec("devstall=8,backpressure=4,flushdelay=2")
+	if err != nil {
+		t.Fatal(err)
+	}
+	def := DefaultConfig()
+	if cfg.DeviceStallMax != def.DeviceStallMax ||
+		cfg.NICBackpressureMax != def.NICBackpressureMax ||
+		cfg.FlushDelayMax != def.FlushDelayMax {
+		t.Fatalf("window maxima not defaulted: %+v", cfg)
+	}
+
+	for _, bad := range []string{"nope", "bogus=1", "busnack=abc", "seed=xyz", "busnack=2000"} {
+		if _, err := ParseSpec(bad); err == nil {
+			t.Errorf("spec %q parsed", bad)
+		}
+	}
+	if _, err := ParseSpec("bogus=1"); err == nil || !strings.Contains(err.Error(), "busnack") {
+		t.Errorf("unknown-key error should list known keys, got %v", err)
+	}
+}
+
+func TestStatsSeedCarried(t *testing.T) {
+	inj, err := New(Config{Seed: 1234, BusNack: 1})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if inj.Stats().Seed != 1234 {
+		t.Fatalf("stats seed = %d", inj.Stats().Seed)
+	}
+}

@@ -245,11 +245,11 @@ func runBoth(t *testing.T, seed int64, src string) {
 		t.Fatalf("seed %d: machine: %v\n%s", seed, err, src)
 	}
 
-	e, err := emu.New(prog)
+	e, err := emu.New(prog, emu.WithMaxSteps(5_000_000))
 	if err != nil {
 		t.Fatal(err)
 	}
-	if err := e.Run(5_000_000); err != nil {
+	if err := e.Run(); err != nil {
 		t.Fatalf("seed %d: emulator: %v\n%s", seed, err, src)
 	}
 
@@ -319,8 +319,8 @@ func TestDifferentialColdCaches(t *testing.T) {
 		if err := m.Run(20_000_000); err != nil {
 			t.Fatalf("seed %d: %v", seed, err)
 		}
-		e, _ := emu.New(prog)
-		if err := e.Run(5_000_000); err != nil {
+		e, _ := emu.New(prog, emu.WithMaxSteps(5_000_000))
+		if err := e.Run(); err != nil {
 			t.Fatalf("seed %d: emu: %v", seed, err)
 		}
 		st := m.CPU.State()

@@ -14,6 +14,7 @@ import (
 	"csbsim/internal/cache"
 	"csbsim/internal/core"
 	"csbsim/internal/cpu"
+	"csbsim/internal/fault"
 	"csbsim/internal/isa"
 	"csbsim/internal/mem"
 	"csbsim/internal/obs"
@@ -95,6 +96,9 @@ type Stats struct {
 	CSB       core.Stats
 	TLBHits   uint64
 	TLBMisses uint64
+	// Faults holds the injection counters when a fault injector is
+	// attached (nil otherwise, and omitted from JSON).
+	Faults *fault.Stats `json:",omitempty"`
 }
 
 // Machine is one simulated node.
@@ -115,6 +119,14 @@ type Machine struct {
 	// an uninstrumented machine pays one nil check per tick.
 	sampler  *metricsSampler
 	perfetto *obs.Perfetto
+
+	// Optional robustness hooks: the fault injector (fault.go), the
+	// retire-progress watchdog (watchdog.go), and the Err providers of
+	// registered devices, polled by Run so an out-of-range guest access
+	// fails the run with a typed error instead of festering.
+	faults     *fault.Injector
+	wd         *watchdogState
+	errDevices []func() error
 
 	console bytes.Buffer
 	cycle   uint64
@@ -214,6 +226,10 @@ func (m *Machine) AddDevice(base, size uint64, name string, t mem.Target, d Devi
 	}
 	if d != nil {
 		m.devices = append(m.devices, d)
+		m.wireDeviceFaults(d)
+		if es, ok := d.(deviceErrSource); ok {
+			m.errDevices = append(m.errDevices, es.Err)
+		}
 	}
 	return nil
 }
@@ -322,13 +338,39 @@ func (m *Machine) Tick() {
 }
 
 // Run executes until HALT or maxCycles elapse. It returns an error if the
-// CPU faulted or the cycle limit was hit.
+// CPU faulted, a device recorded an out-of-range guest access (a typed
+// *device.AddrError reachable via errors.As), the armed watchdog detected
+// retire-progress livelock (*WatchdogError with a diagnostic dump), or
+// the cycle limit was hit.
 func (m *Machine) Run(maxCycles uint64) error {
 	for i := uint64(0); i < maxCycles; i++ {
+		// Device errors are checked before the halt exit: a guest that
+		// provokes one and then halts must still fail the run.
+		if len(m.errDevices) != 0 {
+			if err := m.deviceErr(); err != nil {
+				return err
+			}
+		}
 		if m.CPU.Halted() {
 			return m.CPU.Err()
 		}
 		m.Tick()
+		if w := m.wd; w != nil {
+			w.countdown--
+			if w.countdown == 0 {
+				w.countdown = w.window
+				if r := m.CPU.Retired(); r == w.lastRetired && !m.CPU.Halted() {
+					return m.watchdogTrip()
+				} else {
+					w.lastRetired = r
+				}
+			}
+		}
+	}
+	if len(m.errDevices) != 0 {
+		if err := m.deviceErr(); err != nil {
+			return err
+		}
 	}
 	if m.CPU.Halted() {
 		return m.CPU.Err()
@@ -340,9 +382,17 @@ func (m *Machine) Run(maxCycles uint64) error {
 func (m *Machine) Drain(maxCycles uint64) error {
 	for i := uint64(0); i < maxCycles; i++ {
 		if m.UB.Empty() && m.CSB.Drained() && m.Bus.Idle() && m.Hier.Idle() && m.devicesIdle() {
+			if len(m.errDevices) != 0 {
+				return m.deviceErr()
+			}
 			return nil
 		}
 		m.Tick()
+	}
+	if m.wd != nil {
+		// The watchdog is armed: attach the diagnostic dump, so a drain
+		// that never settles is as debuggable as a retire livelock.
+		return fmt.Errorf("sim: drain did not complete in %d cycles\n%s", maxCycles, m.DiagnosticDump())
 	}
 	return fmt.Errorf("sim: drain did not complete in %d cycles", maxCycles)
 }
@@ -358,7 +408,7 @@ func (m *Machine) devicesIdle() bool {
 
 // Stats snapshots all counters.
 func (m *Machine) Stats() Stats {
-	return Stats{
+	s := Stats{
 		Cycles:    m.cycle,
 		BusCycles: m.Bus.Cycle(),
 		CPU:       m.CPU.Stats(),
@@ -369,6 +419,11 @@ func (m *Machine) Stats() Stats {
 		TLBHits:   m.CPU.TLB().Hits,
 		TLBMisses: m.CPU.TLB().Misses,
 	}
+	if m.faults != nil {
+		fs := m.faults.Stats()
+		s.Faults = &fs
+	}
+	return s
 }
 
 // Registers returns the committed integer register file (test helper).

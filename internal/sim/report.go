@@ -52,6 +52,12 @@ func (s Stats) Report() string {
 		fmt.Fprintf(&b, "events:        %d interrupts, %d traps, %d faults\n",
 			s.CPU.Interrupts, s.CPU.Traps, s.CPU.Faults)
 	}
+	if f := s.Faults; f != nil {
+		fmt.Fprintf(&b, "faults:        seed %d: %d injected (%d bus nacks, %d dev stalls/%d cyc, %d bp windows/%d cyc, %d flush delays, %d flush drops, %d csb squeezes, %d ub squeezes)\n",
+			f.Seed, f.Total(), f.BusNacks, f.DeviceStalls, f.DeviceStallCycles,
+			f.BackpressureWindows, f.BackpressureCycles, f.FlushDelays, f.FlushDrops,
+			f.CSBPressureStalls, f.UBPressureStalls)
+	}
 	return b.String()
 }
 

@@ -1,0 +1,58 @@
+package uncbuf
+
+import "testing"
+
+func TestPressureHookRefusesStoreAndLoad(t *testing.T) {
+	u := newBuf(t, DefaultConfig())
+	squeeze := true
+	u.SetFaultHook(func() bool { return squeeze })
+
+	if u.AddStore(0x1000, 8, make([]byte, 8)) {
+		t.Fatal("store accepted under injected pressure")
+	}
+	if u.AddLoad(0x1000, 8, nil) {
+		t.Fatal("load accepted under injected pressure")
+	}
+	if s := u.Stats(); s.StallFull != 2 || s.Stores != 0 || s.Loads != 0 {
+		t.Fatalf("stats: %+v", s)
+	}
+	if u.Len() != 0 {
+		t.Fatal("refused accesses left entries behind")
+	}
+
+	// Pressure lifts; the retried accesses land and drain normally.
+	squeeze = false
+	if !u.AddStore(0x1000, 8, make([]byte, 8)) {
+		t.Fatal("store refused after pressure lifted")
+	}
+	if !u.AddLoad(0x2000, 8, nil) {
+		t.Fatal("load refused after pressure lifted")
+	}
+	b := newBus(t)
+	for i := 0; i < 200 && !u.Empty(); i++ {
+		b.Tick()
+		u.TickBus(b)
+	}
+	if !u.Empty() {
+		t.Fatal("buffer did not drain")
+	}
+}
+
+func TestPressureHookBlocksCoalescingToo(t *testing.T) {
+	cfg := DefaultConfig()
+	cfg.BlockSize = 64
+	u := newBuf(t, cfg)
+	if !u.AddStore(0x1000, 8, make([]byte, 8)) {
+		t.Fatal("first store refused")
+	}
+	u.SetFaultHook(func() bool { return true })
+	// Even a store that would coalesce into the youngest entry is
+	// refused: injected pressure models the accept port being busy, not
+	// the queue being full.
+	if u.AddStore(0x1008, 8, make([]byte, 8)) {
+		t.Fatal("coalescing store accepted under pressure")
+	}
+	if s := u.Stats(); s.Coalesced != 0 || s.StallFull != 1 {
+		t.Fatalf("stats: %+v", s)
+	}
+}

@@ -106,7 +106,18 @@ type Buffer struct {
 	txnFree     []*bus.Txn // recycled store transactions
 	onStoreDone func(*bus.Txn)
 
+	// pressure, when set, makes an accept spuriously fail (fault
+	// injection): the retire stage sees an ordinary buffer-full stall and
+	// retries, exercising the same path as genuine capacity exhaustion.
+	pressure func() bool
+
 	stats Stats
+}
+
+// SetFaultHook installs (or, with nil, removes) the capacity-pressure
+// fault hook consulted on every AddStore/AddLoad attempt.
+func (u *Buffer) SetFaultHook(pressure func() bool) {
+	u.pressure = pressure
 }
 
 // New creates an uncached buffer.
@@ -161,6 +172,14 @@ func (u *Buffer) Stats() Stats { return u.stats }
 // Len returns the number of queued entries (excluding any entry currently
 // being transferred).
 func (u *Buffer) Len() int { return u.qlen }
+
+// InFlight returns the number of issued bus transactions not yet complete
+// (diagnostic dumps).
+func (u *Buffer) InFlight() int { return u.inflight }
+
+// SendingChunks returns the number of chunks of the popped head entry
+// still awaiting bus issue (diagnostic dumps).
+func (u *Buffer) SendingChunks() int { return len(u.sending) }
 
 // Empty reports whether the buffer holds nothing and no issued transaction
 // is still on the bus. MEMBAR retires only when this is true.
@@ -217,6 +236,10 @@ func (u *Buffer) AddStore(addr uint64, size int, data []byte) bool {
 	if len(data) != size {
 		panic(fmt.Sprintf("uncbuf: store data %d != size %d", len(data), size))
 	}
+	if u.pressure != nil && u.pressure() {
+		u.stats.StallFull++ // injected pressure: same retry path as a full queue
+		return false
+	}
 	if e := u.mergeTarget(addr, size); e != nil {
 		off := int(addr - e.blockAddr)
 		copy(e.data[off:], data)
@@ -268,6 +291,10 @@ func (u *Buffer) AddStore(addr uint64, size int, data []byte) bool {
 // AddLoad queues an uncached load. done receives the data when the bus
 // transaction completes. It returns false when the buffer is full.
 func (u *Buffer) AddLoad(addr uint64, size int, done func([]byte)) bool {
+	if u.pressure != nil && u.pressure() {
+		u.stats.StallFull++ // injected pressure: same retry path as a full queue
+		return false
+	}
 	if u.qlen >= u.cfg.Entries {
 		u.stats.StallFull++
 		return false
