@@ -4,7 +4,7 @@ GO ?= go
 # Parallel workers for figure sweeps (cmd/csbfig -j); defaults to all cores.
 J ?= 0
 
-.PHONY: all build vet lint test race bench-smoke obsbench figures bench-simspeed zero-alloc faults ci
+.PHONY: all build vet lint test race bench-smoke obsbench figures bench-simspeed zero-alloc faults journeys ci
 
 all: build
 
@@ -50,6 +50,21 @@ bench-simspeed:
 # build tag.
 zero-alloc:
 	$(GO) test -run TestTickSteadyStateZeroAlloc ./internal/bench/
+
+# Journey-traced runs of the paired store workloads: dump the per-hop
+# store journeys for the uncached and CSB paths, render both with
+# csbtrace (totals, per-layer latency histograms, slowest-journey table),
+# and write the CSB run's Perfetto trace with memory-system flow arrows.
+# Artifacts land in out/.
+journeys:
+	mkdir -p out
+	$(GO) run ./cmd/csbsim -uncached 0x40000000:64K \
+		-journeys out/journeys_uncached.json examples/asm/uncached_stores.s
+	$(GO) run ./cmd/csbsim -combining 0x40000000:64K \
+		-journeys out/journeys_csb.json -perfetto out/trace_csb.json \
+		examples/asm/csb_stores.s
+	$(GO) run ./cmd/csbtrace -top 5 out/journeys_uncached.json
+	$(GO) run ./cmd/csbtrace -top 5 out/journeys_csb.json
 
 # Fault campaign: sweep injection seeds across the recovery guests and
 # assert every run converges to the fault-free architectural state, then

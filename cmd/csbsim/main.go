@@ -17,7 +17,12 @@
 // -perfetto writes a Chrome trace-event JSON loadable at ui.perfetto.dev,
 // -metrics streams periodic machine samples (JSONL, or CSV for .csv
 // files), -json emits the full statistics object, and -pipeview N prints
-// an ASCII pipeline diagram of the last N instructions.
+// an ASCII pipeline diagram of the last N instructions. -journeys FILE
+// traces every uncached/CSB store and NIC descriptor through the memory
+// system (per-hop cycle stamps, per-layer latency histograms) and writes
+// a dump queryable with csbtrace; with -perfetto the journeys also land
+// in the trace as a "memory system" track with flow arrows. -counters
+// attaches the unified per-layer counter registry on its own.
 //
 // Robustness flags: -faults attaches a deterministic fault injector
 // ("default", or a key=value list such as "busnack=64,seed=3"),
@@ -40,6 +45,7 @@ import (
 	"csbsim/internal/bus"
 	"csbsim/internal/mem"
 	"csbsim/internal/obs"
+	"csbsim/internal/obs/journey"
 	"csbsim/internal/trace"
 )
 
@@ -61,6 +67,10 @@ func main() {
 		faults    = flag.String("faults", "", `inject deterministic faults: "default" or key=value list (keys: seed, `+strings.Join(csbsim.FaultSpecKeys(), ", ")+`)`)
 		faultSeed = flag.Uint64("fault-seed", 0, "override the fault spec's PRNG seed (0 = keep the spec's)")
 		watchdog  = flag.Uint64("watchdog", 0, "abort with a diagnostic dump after N cycles without a retired instruction (0 = off)")
+
+		journeys      = flag.String("journeys", "", "trace store journeys (UB/CSB/bus/device hops) and write the dump to FILE (query with csbtrace)")
+		journeyWindow = flag.Int("journey-window", 0, "per-kind count of recent journeys retained in the dump (0 = default 4096)")
+		countersOn    = flag.Bool("counters", false, "attach the unified counter registry (implied by -journeys); counters land in -v and -json output")
 
 		perfetto    = flag.String("perfetto", "", "write a Chrome trace-event JSON file (load at ui.perfetto.dev)")
 		metrics     = flag.String("metrics", "", "write periodic machine metrics to FILE (JSONL, or CSV with a .csv extension)")
@@ -128,6 +138,20 @@ func main() {
 			fatal(err)
 		}
 	}
+	if *countersOn {
+		m.AttachCounters()
+	}
+	if *journeys != "" {
+		jcfg := journey.DefaultConfig()
+		if *journeyWindow > 0 {
+			jcfg.Window = *journeyWindow
+		}
+		if _, err := m.AttachJourneys(jcfg); err != nil {
+			fatal(err)
+		}
+	} else if *journeyWindow > 0 {
+		fatal(fmt.Errorf("-journey-window needs -journeys"))
+	}
 
 	file := flag.Arg(0)
 	src, err := os.ReadFile(file)
@@ -192,11 +216,27 @@ func main() {
 		}
 	}
 	if exporter != nil {
+		m.ExportJourneys() // no-op unless -journeys is also on
 		f, err := os.Create(*perfetto)
 		if err != nil {
 			fatal(err)
 		}
 		if _, err := exporter.WriteTo(f); err != nil {
+			fatal(err)
+		}
+		if err := f.Close(); err != nil {
+			fatal(err)
+		}
+	}
+	// The journey dump is written even when the run aborted (watchdog,
+	// device error): the partial journeys are exactly what a post-mortem
+	// wants to query.
+	if *journeys != "" {
+		f, err := os.Create(*journeys)
+		if err != nil {
+			fatal(err)
+		}
+		if _, err := m.Journeys().WriteTo(f); err != nil {
 			fatal(err)
 		}
 		if err := f.Close(); err != nil {

@@ -1,0 +1,250 @@
+// Command csbtrace queries a store-journey dump written by
+// `csbsim -journeys FILE`: run totals, the per-layer latency histograms,
+// a top-N table of the slowest journeys with a per-hop breakdown, and
+// the retained recent journeys, with filtering by kind and address.
+//
+// Usage:
+//
+//	csbtrace [flags] journeys.json
+//
+// Examples:
+//
+//	csbtrace journeys.json                     # summary + slowest table
+//	csbtrace -top 10 journeys.json             # 10 slowest journeys
+//	csbtrace -kind csb_store journeys.json     # one journey kind only
+//	csbtrace -addr 0x40000040 journeys.json    # journeys touching an address
+//	csbtrace -range 0x40000000:0x40001000 journeys.json
+//	csbtrace -recent 20 journeys.json          # also list recent journeys
+package main
+
+import (
+	"encoding/json"
+	"flag"
+	"fmt"
+	"os"
+	"sort"
+	"strconv"
+	"strings"
+	"text/tabwriter"
+
+	"csbsim/internal/obs/journey"
+)
+
+func main() {
+	var (
+		top      = flag.Int("top", 10, "show the N slowest journeys (0 = none)")
+		recent   = flag.Int("recent", 0, "also list the N most recent journeys (0 = none)")
+		kindFlag = flag.String("kind", "", "filter by kind: uncached_store, csb_store or nic_descriptor")
+		addr     = flag.String("addr", "", "filter: journeys whose span contains this address (hex ok)")
+		rng      = flag.String("range", "", "filter: journeys starting inside lo:hi (hex ok)")
+		hops     = flag.Bool("hops", true, "show the per-hop breakdown columns")
+	)
+	flag.Usage = func() {
+		fmt.Fprintf(os.Stderr, "usage: csbtrace [flags] journeys.json\n")
+		flag.PrintDefaults()
+	}
+	flag.Parse()
+	if flag.NArg() != 1 {
+		flag.Usage()
+		os.Exit(2)
+	}
+
+	data, err := os.ReadFile(flag.Arg(0))
+	if err != nil {
+		fatal(err)
+	}
+	var d journey.Dump
+	if err := json.Unmarshal(data, &d); err != nil {
+		fatal(fmt.Errorf("parsing %s: %w", flag.Arg(0), err))
+	}
+
+	filter, err := buildFilter(*kindFlag, *addr, *rng)
+	if err != nil {
+		fatal(err)
+	}
+
+	printTotals(&d)
+	printHistograms(&d)
+	if *top > 0 {
+		slowest := applyFilter(d.Slowest, filter)
+		if len(slowest) > *top {
+			slowest = slowest[:*top]
+		}
+		fmt.Printf("\nslowest %d journeys:\n", len(slowest))
+		printTable(slowest, *hops)
+	}
+	if *recent > 0 {
+		rec := applyFilter(d.Recent, filter)
+		if len(rec) > *recent {
+			rec = rec[len(rec)-*recent:]
+		}
+		fmt.Printf("\nmost recent %d journeys:\n", len(rec))
+		printTable(rec, *hops)
+	}
+}
+
+func buildFilter(kind, addr, rng string) (func(journey.Journey) bool, error) {
+	var kindOK func(journey.Kind) bool
+	if kind != "" {
+		var want journey.Kind
+		if err := want.UnmarshalJSON([]byte(strconv.Quote(kind))); err != nil {
+			return nil, err
+		}
+		kindOK = func(k journey.Kind) bool { return k == want }
+	}
+	var addrOK func(journey.Journey) bool
+	switch {
+	case addr != "" && rng != "":
+		return nil, fmt.Errorf("-addr and -range are mutually exclusive")
+	case addr != "":
+		a, err := parseNum(addr)
+		if err != nil {
+			return nil, err
+		}
+		addrOK = func(j journey.Journey) bool {
+			return j.Addr <= a && a < j.Addr+uint64(j.Size)
+		}
+	case rng != "":
+		parts := strings.SplitN(rng, ":", 2)
+		if len(parts) != 2 {
+			return nil, fmt.Errorf("bad range %q (want lo:hi)", rng)
+		}
+		lo, err := parseNum(parts[0])
+		if err != nil {
+			return nil, err
+		}
+		hi, err := parseNum(parts[1])
+		if err != nil {
+			return nil, err
+		}
+		addrOK = func(j journey.Journey) bool { return lo <= j.Addr && j.Addr < hi }
+	}
+	return func(j journey.Journey) bool {
+		if kindOK != nil && !kindOK(j.Kind) {
+			return false
+		}
+		if addrOK != nil && !addrOK(j) {
+			return false
+		}
+		return true
+	}, nil
+}
+
+func applyFilter(js []journey.Journey, keep func(journey.Journey) bool) []journey.Journey {
+	out := make([]journey.Journey, 0, len(js))
+	for _, j := range js {
+		if keep(j) {
+			out = append(out, j)
+		}
+	}
+	return out
+}
+
+func printTotals(d *journey.Dump) {
+	kinds := make([]string, 0, len(d.Started))
+	for k := range d.Started {
+		kinds = append(kinds, k)
+	}
+	sort.Strings(kinds)
+	w := tabwriter.NewWriter(os.Stdout, 2, 4, 2, ' ', 0)
+	fmt.Fprintln(w, "kind\tstarted\tcompleted\taborted")
+	for _, k := range kinds {
+		fmt.Fprintf(w, "%s\t%d\t%d\t%d\n", k, d.Started[k], d.Completed[k], d.Aborted[k])
+	}
+	w.Flush()
+	if d.StaleDrops > 0 {
+		fmt.Printf("stale stamp drops: %d (journeys evicted from the retention window mid-flight)\n", d.StaleDrops)
+	}
+}
+
+func printHistograms(d *journey.Dump) {
+	names := make([]string, 0, len(d.Histograms))
+	for n := range d.Histograms {
+		if d.Histograms[n].Count > 0 {
+			names = append(names, n)
+		}
+	}
+	sort.Strings(names)
+	if len(names) == 0 {
+		return
+	}
+	fmt.Println("\nper-layer latency (CPU cycles):")
+	w := tabwriter.NewWriter(os.Stdout, 2, 4, 2, ' ', 0)
+	fmt.Fprintln(w, "histogram\tcount\tmin\tp50\tp95\tp99\tmax\tmean")
+	for _, n := range names {
+		h := d.Histograms[n]
+		fmt.Fprintf(w, "%s\t%d\t%d\t%d\t%d\t%d\t%d\t%.1f\n",
+			n, h.Count, h.Min, h.P50, h.P95, h.P99, h.Max, h.Mean)
+	}
+	w.Flush()
+}
+
+func printTable(js []journey.Journey, hops bool) {
+	w := tabwriter.NewWriter(os.Stdout, 2, 4, 2, ' ', 0)
+	if hops {
+		fmt.Fprintln(w, "kind\tid\taddr\tsize\tstart\thop1\thop2\thop3\te2e\tflags")
+	} else {
+		fmt.Fprintln(w, "kind\tid\taddr\tsize\tstart\te2e\tflags")
+	}
+	for _, j := range js {
+		flags := make([]string, 0, 2)
+		if j.Coalesced {
+			flags = append(flags, "coalesced")
+		}
+		if j.Aborted {
+			flags = append(flags, "aborted")
+		}
+		if !j.Done && !j.Aborted {
+			flags = append(flags, "in-flight")
+		}
+		e2e := "-"
+		if j.Done {
+			e2e = strconv.FormatUint(j.E2E(), 10)
+		}
+		if hops {
+			names := journey.HopNames(j.Kind)
+			cols := make([]string, 0, 3)
+			prev := j.T[journey.HopStart]
+			for h := journey.HopStart + 1; h < journey.NumHops; h++ {
+				if names[h] == "" {
+					continue
+				}
+				if j.T[h] == 0 {
+					cols = append(cols, names[h]+":-")
+					continue
+				}
+				cols = append(cols, fmt.Sprintf("%s:+%d", names[h], j.T[h]-prev))
+				prev = j.T[h]
+			}
+			for len(cols) < 3 {
+				cols = append(cols, "")
+			}
+			fmt.Fprintf(w, "%s\t%d\t%#x\t%d\t%d\t%s\t%s\t%s\t%s\t%s\n",
+				j.Kind, j.ID, j.Addr, j.Size, j.T[journey.HopStart],
+				cols[0], cols[1], cols[2], e2e, strings.Join(flags, ","))
+		} else {
+			fmt.Fprintf(w, "%s\t%d\t%#x\t%d\t%d\t%s\t%s\n",
+				j.Kind, j.ID, j.Addr, j.Size, j.T[journey.HopStart],
+				e2e, strings.Join(flags, ","))
+		}
+	}
+	w.Flush()
+}
+
+func parseNum(s string) (uint64, error) {
+	base := 10
+	if strings.HasPrefix(s, "0x") {
+		base = 16
+		s = s[2:]
+	}
+	v, err := strconv.ParseUint(s, base, 64)
+	if err != nil {
+		return 0, fmt.Errorf("bad number %q", s)
+	}
+	return v, nil
+}
+
+func fatal(err error) {
+	fmt.Fprintln(os.Stderr, "csbtrace:", err)
+	os.Exit(1)
+}

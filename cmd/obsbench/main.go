@@ -1,8 +1,9 @@
 // Command obsbench measures the runtime cost of the observability layer:
-// it runs the example workloads with hooks disabled and with the Perfetto
-// exporter plus metrics sampler attached, and reports simulated cycles and
-// wall-clock time for both as JSON (see BENCH_observability.json for a
-// recorded baseline).
+// it runs the example workloads with hooks disabled, with the Perfetto
+// exporter plus metrics sampler attached, and with the store-journey
+// tracer plus unified counter registry attached, and reports simulated
+// cycles and wall-clock time for each as JSON (see
+// BENCH_observability.json for a recorded baseline).
 //
 // Usage:
 //
@@ -22,17 +23,20 @@ import (
 	"csbsim/internal/device"
 	"csbsim/internal/mem"
 	"csbsim/internal/obs"
+	"csbsim/internal/obs/journey"
 	"csbsim/internal/sim"
 )
 
-// result records one workload's cost with hooks off and on.
+// result records one workload's cost per instrumentation mode.
 type result struct {
-	Workload    string  `json:"workload"`
-	Cycles      uint64  `json:"cycles"`
-	WallOffNs   int64   `json:"wall_ns_hooks_off"`
-	WallOnNs    int64   `json:"wall_ns_hooks_on"`
-	OverheadPct float64 `json:"hooks_on_overhead_pct"`
-	Insts       uint64  `json:"instructions"`
+	Workload            string  `json:"workload"`
+	Cycles              uint64  `json:"cycles"`
+	WallOffNs           int64   `json:"wall_ns_hooks_off"`
+	WallOnNs            int64   `json:"wall_ns_hooks_on"`
+	WallJourneysNs      int64   `json:"wall_ns_journeys_on"`
+	OverheadPct         float64 `json:"hooks_on_overhead_pct"`
+	JourneysOverheadPct float64 `json:"journeys_overhead_pct"`
+	Insts               uint64  `json:"instructions"`
 }
 
 type report struct {
@@ -41,12 +45,21 @@ type report struct {
 	Results     []result `json:"results"`
 }
 
+// mode selects the instrumentation attached to a workload's machines.
+type mode int
+
+const (
+	modeOff      mode = iota // no hooks
+	modeHooks                // Perfetto exporter + metrics sampler
+	modeJourneys             // journey tracer + unified counter registry
+)
+
 // workload builds a fresh machine-or-cluster, optionally instruments it,
 // runs it to completion, and returns (cycles, retired instructions,
 // wall time of the run itself — construction and assembly excluded).
 type workload struct {
 	name string
-	run  func(hooks bool) (uint64, uint64, time.Duration, error)
+	run  func(md mode) (uint64, uint64, time.Duration, error)
 }
 
 func main() {
@@ -54,31 +67,31 @@ func main() {
 	flag.Parse()
 
 	workloads := []workload{
-		{"csb_stores", func(hooks bool) (uint64, uint64, time.Duration, error) {
-			return runStores(true, hooks)
+		{"csb_stores", func(md mode) (uint64, uint64, time.Duration, error) {
+			return runStores(true, md)
 		}},
-		{"uncached_stores", func(hooks bool) (uint64, uint64, time.Duration, error) {
-			return runStores(false, hooks)
+		{"uncached_stores", func(md mode) (uint64, uint64, time.Duration, error) {
+			return runStores(false, md)
 		}},
-		{"pingpong_csb", func(hooks bool) (uint64, uint64, time.Duration, error) {
-			return runPingPong(hooks)
+		{"pingpong_csb", func(md mode) (uint64, uint64, time.Duration, error) {
+			return runPingPong(md)
 		}},
-		{"piodma_dma_send", func(hooks bool) (uint64, uint64, time.Duration, error) {
-			return runMessageSend(hooks)
+		{"piodma_dma_send", func(md mode) (uint64, uint64, time.Duration, error) {
+			return runMessageSend(md)
 		}},
 	}
 
 	rep := report{
-		Description: "observability overhead: example workloads with hooks off vs Perfetto+metrics attached",
+		Description: "observability overhead: example workloads with hooks off vs Perfetto+metrics attached vs journey tracer+counter registry attached",
 		Reps:        *reps,
 	}
 	for _, w := range workloads {
 		var r result
 		r.Workload = w.name
-		for _, hooks := range []bool{false, true} {
+		for _, md := range []mode{modeOff, modeHooks, modeJourneys} {
 			best := time.Duration(1<<63 - 1)
 			for i := 0; i < *reps; i++ {
-				cycles, insts, elapsed, err := w.run(hooks)
+				cycles, insts, elapsed, err := w.run(md)
 				if err != nil {
 					fmt.Fprintf(os.Stderr, "obsbench: %s: %v\n", w.name, err)
 					os.Exit(1)
@@ -88,14 +101,18 @@ func main() {
 				}
 				r.Cycles, r.Insts = cycles, insts
 			}
-			if hooks {
-				r.WallOnNs = best.Nanoseconds()
-			} else {
+			switch md {
+			case modeOff:
 				r.WallOffNs = best.Nanoseconds()
+			case modeHooks:
+				r.WallOnNs = best.Nanoseconds()
+			case modeJourneys:
+				r.WallJourneysNs = best.Nanoseconds()
 			}
 		}
 		if r.WallOffNs > 0 {
 			r.OverheadPct = 100 * float64(r.WallOnNs-r.WallOffNs) / float64(r.WallOffNs)
+			r.JourneysOverheadPct = 100 * float64(r.WallJourneysNs-r.WallOffNs) / float64(r.WallOffNs)
 		}
 		rep.Results = append(rep.Results, r)
 	}
@@ -108,13 +125,21 @@ func main() {
 	}
 }
 
-// attach instruments a machine with the full optional hook set.
-func attach(m *sim.Machine) {
-	m.AttachPerfetto(obs.NewPerfetto())
-	m.AttachMetrics(obs.NewMetricsWriter(io.Discard, obs.FormatJSONL), 1000)
+// attach instruments a machine for the given mode.
+func attach(m *sim.Machine, md mode) {
+	switch md {
+	case modeHooks:
+		m.AttachPerfetto(obs.NewPerfetto())
+		m.AttachMetrics(obs.NewMetricsWriter(io.Discard, obs.FormatJSONL), 1000)
+	case modeJourneys:
+		if _, err := m.AttachJourneys(journey.DefaultConfig()); err != nil {
+			fmt.Fprintln(os.Stderr, "obsbench:", err)
+			os.Exit(1)
+		}
+	}
 }
 
-func runStores(csb, hooks bool) (uint64, uint64, time.Duration, error) {
+func runStores(csb bool, md mode) (uint64, uint64, time.Duration, error) {
 	m, err := sim.New(sim.DefaultConfig())
 	if err != nil {
 		return 0, 0, 0, err
@@ -124,9 +149,7 @@ func runStores(csb, hooks bool) (uint64, uint64, time.Duration, error) {
 		kind = mem.KindCombining
 	}
 	m.MapRange(bench.IOBase, 1<<20, kind)
-	if hooks {
-		attach(m)
-	}
+	attach(m, md)
 	prog, err := m.LoadSource("bw.s", bench.StoreBandwidthProgram(1<<16, 64, csb))
 	if err != nil {
 		return 0, 0, 0, err
@@ -144,7 +167,7 @@ func runStores(csb, hooks bool) (uint64, uint64, time.Duration, error) {
 	return s.Cycles, s.CPU.Retired, elapsed, nil
 }
 
-func runPingPong(hooks bool) (uint64, uint64, time.Duration, error) {
+func runPingPong(md mode) (uint64, uint64, time.Duration, error) {
 	cfg := cluster.DefaultConfig()
 	cfg.WireLatency = 60
 	c, err := cluster.New(cfg)
@@ -154,9 +177,7 @@ func runPingPong(hooks bool) (uint64, uint64, time.Duration, error) {
 	for _, n := range []*cluster.Node{c.A, c.B} {
 		n.MapIO(true)
 		n.M.MapRange(0x200000, 1<<16, mem.KindCached)
-		if hooks {
-			attach(n.M)
-		}
+		attach(n.M, md)
 	}
 	ping, pong := bench.PingPongPrograms(bench.SendCSB, 200)
 	pa, err := c.A.M.LoadSource("ping.s", ping)
@@ -178,7 +199,7 @@ func runPingPong(hooks bool) (uint64, uint64, time.Duration, error) {
 	return c.Cycle(), sa.CPU.Retired + sb.CPU.Retired, elapsed, nil
 }
 
-func runMessageSend(hooks bool) (uint64, uint64, time.Duration, error) {
+func runMessageSend(md mode) (uint64, uint64, time.Duration, error) {
 	m, err := sim.New(sim.DefaultConfig())
 	if err != nil {
 		return 0, 0, 0, err
@@ -191,9 +212,7 @@ func runMessageSend(hooks bool) (uint64, uint64, time.Duration, error) {
 	m.MapRange(bench.NICBase+device.PacketBufBase, device.PacketBufSize, mem.KindUncached)
 	m.MapRange(0x200000, 1<<16, mem.KindCached)
 	m.WarmData(0x200000, 4096)
-	if hooks {
-		attach(m)
-	}
+	attach(m, md)
 	prog, err := m.LoadSource("send.s", bench.MessageSendProgram(bench.SendDMA, 4096, 64))
 	if err != nil {
 		return 0, 0, 0, err

@@ -48,6 +48,8 @@ import (
 	"csbsim/internal/kernel"
 	"csbsim/internal/mem"
 	"csbsim/internal/obs"
+	"csbsim/internal/obs/counters"
+	"csbsim/internal/obs/journey"
 	"csbsim/internal/sim"
 	"csbsim/internal/trace"
 	"csbsim/internal/uncbuf"
@@ -205,6 +207,32 @@ func NewMetricsWriter(w io.Writer, format obs.MetricsFormat) *MetricsWriter {
 // pipeline diagram — the plain-text fallback when no Perfetto UI is at
 // hand. Collect events with Machine.AttachInstEvents.
 func FormatPipeline(events []obs.InstEvent) string { return obs.FormatPipeline(events) }
+
+// JourneyTracer follows each uncached store, CSB store and NIC transmit
+// descriptor through the memory system after retire, stamping a cycle
+// timestamp at every hop and folding per-hop latencies into fixed-bucket
+// histograms. Attach with Machine.AttachJourneys before running; dump
+// with its WriteTo (readable by cmd/csbtrace).
+type JourneyTracer = journey.Tracer
+
+// JourneyConfig sizes the tracer's retention window and slowest-set.
+type JourneyConfig = journey.Config
+
+// Journey is one traced store or descriptor: per-hop cycle stamps plus
+// coalescing/abort flags.
+type Journey = journey.Journey
+
+// CounterRegistry is the unified named-counter registry every simulated
+// layer registers into (Machine.AttachCounters); its snapshot appears in
+// Stats.Counters and renders uniformly in the report.
+type CounterRegistry = counters.Registry
+
+// CounterSnapshot is a point-in-time reading of every registered counter
+// and latency-histogram summary.
+type CounterSnapshot = counters.Snapshot
+
+// DefaultJourneyConfig returns the default journey retention sizes.
+func DefaultJourneyConfig() JourneyConfig { return journey.DefaultConfig() }
 
 // FaultConfig enables and tunes the deterministic fault-injection
 // classes: bus transaction NACKs, device latency bursts, NIC FIFO

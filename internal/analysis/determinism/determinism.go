@@ -36,6 +36,8 @@ var Packages = []string{
 	"csbsim/internal/bench",
 	"csbsim/internal/fault",
 	"csbsim/internal/device",
+	"csbsim/internal/obs/counters",
+	"csbsim/internal/obs/journey",
 }
 
 // bannedTimeFuncs are the time-package entry points that read the wall

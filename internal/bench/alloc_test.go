@@ -10,18 +10,25 @@ import (
 	"testing"
 
 	"csbsim/internal/mem"
+	"csbsim/internal/obs/journey"
 )
 
 // The hot loop's contract: once a bandwidth workload reaches steady state,
 // Machine.Tick performs no heap allocations — uops, branch snapshots, bus
 // transactions, combining-buffer entries and store payloads all recycle.
+// The journey-traced variants extend that contract to the store-journey
+// tracer: ring slots, histogram buckets and the slowest-set all recycle
+// too, so tracing every store stays allocation-free in steady state.
 func TestTickSteadyStateZeroAlloc(t *testing.T) {
 	for _, tc := range []struct {
-		name string
-		csb  bool
+		name     string
+		csb      bool
+		journeys bool
 	}{
-		{"store-bandwidth-uncached", false},
-		{"store-bandwidth-csb", true},
+		{"store-bandwidth-uncached", false, false},
+		{"store-bandwidth-csb", true, false},
+		{"store-bandwidth-uncached-journeys", false, true},
+		{"store-bandwidth-csb-journeys", true, true},
 	} {
 		t.Run(tc.name, func(t *testing.T) {
 			p := DefaultParams()
@@ -33,6 +40,11 @@ func TestTickSteadyStateZeroAlloc(t *testing.T) {
 			m, err := p.Build()
 			if err != nil {
 				t.Fatal(err)
+			}
+			if tc.journeys {
+				if _, err := m.AttachJourneys(journey.DefaultConfig()); err != nil {
+					t.Fatal(err)
+				}
 			}
 			const span = 1 << 24 // far more stores than the measured window retires
 			m.MapRange(IOBase, span, kind)

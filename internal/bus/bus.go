@@ -14,6 +14,7 @@ import (
 	"fmt"
 
 	"csbsim/internal/mem"
+	"csbsim/internal/obs/counters"
 )
 
 // Model selects the bus organization.
@@ -188,6 +189,20 @@ func (b *Bus) Stats() Stats {
 	}
 	s.BySize = bySize
 	return s
+}
+
+// RegisterCounters registers the bus's counters with the unified
+// registry under prefix (e.g. "bus"), as read closures over the live
+// stats — registration never perturbs simulation state.
+func (b *Bus) RegisterCounters(prefix string, r *counters.Registry) {
+	r.Counter(prefix+"/cycles", func() uint64 { return b.cycle })
+	r.Counter(prefix+"/busy_cycles", func() uint64 { return b.stats.BusyCycles })
+	r.Counter(prefix+"/transactions", func() uint64 { return b.stats.Transactions })
+	r.Counter(prefix+"/bursts", func() uint64 { return b.stats.Bursts })
+	r.Counter(prefix+"/bytes", func() uint64 { return b.stats.Bytes })
+	r.Counter(prefix+"/reads", func() uint64 { return b.stats.Reads })
+	r.Counter(prefix+"/writes", func() uint64 { return b.stats.Writes })
+	r.Counter(prefix+"/nacks", func() uint64 { return b.stats.Nacks })
 }
 
 // Idle reports whether no transaction is in flight.

@@ -4,6 +4,7 @@ import (
 	"fmt"
 
 	"csbsim/internal/bus"
+	"csbsim/internal/obs/counters"
 )
 
 // HierConfig describes the whole cache hierarchy.
@@ -127,6 +128,24 @@ func (h *Hierarchy) Stats() HierStats {
 	s.L1D = h.l1d.Stats()
 	s.L2 = h.l2.Stats()
 	return s
+}
+
+// RegisterCounters registers the hierarchy's counters with the unified
+// registry under prefix (e.g. "cache"), as read closures over the live
+// stats — registration never perturbs simulation state.
+func (h *Hierarchy) RegisterCounters(prefix string, r *counters.Registry) {
+	for _, lvl := range []struct {
+		name string
+		c    *Cache
+	}{{"l1i", h.l1i}, {"l1d", h.l1d}, {"l2", h.l2}} {
+		c := lvl.c
+		r.Counter(prefix+"/"+lvl.name+"/hits", func() uint64 { return c.stats.Hits })
+		r.Counter(prefix+"/"+lvl.name+"/misses", func() uint64 { return c.stats.Misses })
+		r.Counter(prefix+"/"+lvl.name+"/evictions", func() uint64 { return c.stats.Evictions })
+	}
+	r.Counter(prefix+"/fills", func() uint64 { return h.stats.Fills })
+	r.Counter(prefix+"/writebacks", func() uint64 { return h.stats.Writebacks })
+	r.Counter(prefix+"/store_stalls", func() uint64 { return h.stats.StoreStalls })
 }
 
 // L1D exposes the data cache (used by tests and warmup helpers).

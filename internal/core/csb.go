@@ -20,7 +20,39 @@ import (
 	"fmt"
 
 	"csbsim/internal/bus"
+	"csbsim/internal/obs/counters"
 )
+
+// Tracer receives the CSB hops of a combining store's journey (the
+// journey tracer implements it). IDs are assigned by CSBStoreAccepted in
+// acceptance order; the CSB holds a single store sequence at a time, so
+// the IDs of one sequence are contiguous and the later hops pass
+// (first, count) ranges. Calls are on the tick hot path and must not
+// allocate.
+type Tracer interface {
+	// CSBStoreAccepted opens a journey for an accepted combining store
+	// (combined reports whether it merged into a live sequence rather
+	// than starting one) and returns its ID.
+	CSBStoreAccepted(addr uint64, size int, combined bool) uint64
+	// CSBSequenceAborted marks a buffered sequence lost — a conflicting
+	// store reset the buffer, or a conditional flush failed. Software
+	// re-runs the sequence (§3.2); the retry's stores are new journeys.
+	CSBSequenceAborted(first uint64, count int)
+	// CSBFlushCommitted marks a successful conditional flush: the
+	// sequence is acknowledged and its line queued for the bus.
+	CSBFlushCommitted(first uint64, count int)
+	// CSBBusGranted marks the bus accepting the line burst.
+	CSBBusGranted(first uint64, count int)
+	// CSBLineDone marks the burst's last beat: the line has landed.
+	CSBLineDone(first uint64, count int)
+}
+
+// jrange tracks one issued line burst's journeys until its transaction
+// completes (bursts complete in issue order).
+type jrange struct {
+	first uint64
+	count int
+}
 
 // Config parameterizes the conditional store buffer.
 type Config struct {
@@ -98,12 +130,25 @@ type CSB struct {
 	dropFlush     func() bool
 	delayLeft     int // remaining injected flush-ack delay, in attempts
 
+	// Journey tracing (AttachTracer), optional. jFirst/jCount follow the
+	// live store sequence in the data register; jq matches burst
+	// completions back to flushed sequences.
+	tracer Tracer
+	jFirst uint64
+	jCount int
+	jq     [4]jrange
+	jqHead int
+	jqLen  int
+
 	stats Stats
 }
 
 type pendingLine struct {
 	addr uint64
 	data []byte
+	// journey range of the flushed sequence this line carries
+	jFirst uint64
+	jCount int
 }
 
 // New creates a conditional store buffer.
@@ -120,6 +165,9 @@ func New(cfg Config) (*CSB, error) {
 		c.pending[i].data = make([]byte, cfg.LineSize)
 	}
 	c.onBurstDone = func(t *bus.Txn) {
+		if c.tracer != nil {
+			c.burstComplete()
+		}
 		c.txnFree = append(c.txnFree, t) //csb:pool — Done handler returning t to the free list
 	}
 	return c, nil
@@ -133,6 +181,24 @@ func (c *CSB) SetFaultHooks(storePressure func() bool, flushDelay func() int, dr
 	c.storePressure = storePressure
 	c.flushDelay = flushDelay
 	c.dropFlush = dropFlush
+}
+
+// AttachTracer installs the journey tracer. Attach before running:
+// sequences already buffered are not retroactively traced.
+func (c *CSB) AttachTracer(t Tracer) { c.tracer = t }
+
+// RegisterCounters registers the CSB's counters with the unified
+// registry under prefix (e.g. "csb"), as read closures over the live
+// stats — registration never perturbs simulation state.
+func (c *CSB) RegisterCounters(prefix string, r *counters.Registry) {
+	r.Counter(prefix+"/stores", func() uint64 { return c.stats.Stores })
+	r.Counter(prefix+"/conflicts", func() uint64 { return c.stats.Conflicts })
+	r.Counter(prefix+"/flush_ok", func() uint64 { return c.stats.FlushOK })
+	r.Counter(prefix+"/flush_fail", func() uint64 { return c.stats.FlushFail })
+	r.Counter(prefix+"/bursts", func() uint64 { return c.stats.Bursts })
+	r.Counter(prefix+"/stall_busy", func() uint64 { return c.stats.StallBusy })
+	r.Counter(prefix+"/padded_bytes", func() uint64 { return c.stats.PaddedBytes })
+	r.Counter(prefix+"/bytes_committed", func() uint64 { return c.stats.BytesCommitted })
 }
 
 // Config returns the CSB configuration.
@@ -215,6 +281,13 @@ func (c *CSB) Store(pid uint8, addr uint64, size int, data []byte) bool {
 	if !match {
 		if c.valid {
 			c.stats.Conflicts++
+			if c.tracer != nil && c.jCount > 0 {
+				c.tracer.CSBSequenceAborted(c.jFirst, c.jCount)
+			}
+		}
+		if c.tracer != nil {
+			c.jFirst = c.tracer.CSBStoreAccepted(addr, size, false)
+			c.jCount = 1
 		}
 		c.clear()
 		c.valid = true
@@ -222,6 +295,13 @@ func (c *CSB) Store(pid uint8, addr uint64, size int, data []byte) bool {
 		c.lineAddr = line
 		c.hits = 1
 	} else {
+		if c.tracer != nil {
+			id := c.tracer.CSBStoreAccepted(addr, size, true)
+			if c.jCount == 0 {
+				c.jFirst = id
+			}
+			c.jCount++
+		}
 		c.hits++
 		// Threads under one PID with address checking off may switch
 		// lines mid-sequence; the most recent store's line wins, as in
@@ -277,6 +357,10 @@ func (c *CSB) ConditionalFlush(pid uint8, addr uint64, expected int64, old uint6
 		ok = false
 	}
 	if !ok {
+		if c.tracer != nil && c.jCount > 0 {
+			c.tracer.CSBSequenceAborted(c.jFirst, c.jCount)
+			c.jFirst, c.jCount = 0, 0
+		}
 		c.clear()
 		c.stats.FlushFail++
 		return 0, true
@@ -291,6 +375,11 @@ func (c *CSB) ConditionalFlush(pid uint8, addr uint64, expected int64, old uint6
 	slot := &c.pending[(c.pendHead+c.pendCount)%len(c.pending)]
 	slot.addr = c.lineAddr
 	copy(slot.data, c.data)
+	if c.tracer != nil {
+		c.tracer.CSBFlushCommitted(c.jFirst, c.jCount)
+		slot.jFirst, slot.jCount = c.jFirst, c.jCount
+		c.jFirst, c.jCount = 0, 0
+	}
 	c.pendCount++
 	c.stats.BytesCommitted += uint64(c.cfg.LineSize)
 	c.stats.FlushOK++
@@ -320,10 +409,31 @@ func (c *CSB) TickBus(b *bus.Bus) {
 	txn.Addr, txn.Size = p.addr, len(p.data)
 	txn.Data = append(txn.Data[:0], p.data...)
 	if b.TryIssue(txn) {
+		if c.tracer != nil {
+			c.tracer.CSBBusGranted(p.jFirst, p.jCount)
+			if c.jqLen < len(c.jq) {
+				c.jq[(c.jqHead+c.jqLen)%len(c.jq)] = jrange{first: p.jFirst, count: p.jCount}
+				c.jqLen++
+			}
+		}
 		c.pendHead = (c.pendHead + 1) % len(c.pending)
 		c.pendCount--
 		c.stats.Bursts++
 	} else {
 		c.txnFree = append(c.txnFree, txn)
 	}
+}
+
+// burstComplete completes the journeys of the oldest in-flight line
+// (bursts complete in issue order on the single-channel bus).
+//
+//csb:hotpath
+func (c *CSB) burstComplete() {
+	if c.jqLen == 0 {
+		return // line issued before the tracer was attached
+	}
+	r := &c.jq[c.jqHead]
+	c.tracer.CSBLineDone(r.first, r.count)
+	c.jqHead = (c.jqHead + 1) % len(c.jq)
+	c.jqLen--
 }

@@ -6,6 +6,7 @@ import (
 	"csbsim/internal/isa"
 	"csbsim/internal/mem"
 	"csbsim/internal/obs"
+	"csbsim/internal/obs/counters"
 	"csbsim/internal/uncbuf"
 )
 
@@ -275,6 +276,30 @@ func (c *CPU) Err() error { return c.haltErr }
 
 // Stats returns a snapshot of the statistics.
 func (c *CPU) Stats() Stats { return c.stats }
+
+// RegisterCounters registers the core's counters with the unified
+// registry under prefix (e.g. "cpu"), as read closures over the live
+// stats — registration never perturbs simulation state.
+func (c *CPU) RegisterCounters(prefix string, r *counters.Registry) {
+	s := &c.stats
+	r.Counter(prefix+"/cycles", func() uint64 { return s.Cycles })
+	r.Counter(prefix+"/fetched", func() uint64 { return s.Fetched })
+	r.Counter(prefix+"/retired", func() uint64 { return s.Retired })
+	r.Counter(prefix+"/squashed", func() uint64 { return s.Squashed })
+	r.Counter(prefix+"/branches", func() uint64 { return s.Branches })
+	r.Counter(prefix+"/mispredicts", func() uint64 { return s.Mispredicts })
+	r.Counter(prefix+"/cached_loads", func() uint64 { return s.CachedLoads })
+	r.Counter(prefix+"/cached_stores", func() uint64 { return s.CachedStores })
+	r.Counter(prefix+"/uncached_loads", func() uint64 { return s.UncachedLoads })
+	r.Counter(prefix+"/uncached_stores", func() uint64 { return s.UncachedStores })
+	r.Counter(prefix+"/csb_stores", func() uint64 { return s.CSBStores })
+	r.Counter(prefix+"/csb_flushes", func() uint64 { return s.CSBFlushes })
+	r.Counter(prefix+"/csb_flush_fails", func() uint64 { return s.CSBFlushFails })
+	r.Counter(prefix+"/membars", func() uint64 { return s.Membars })
+	r.Counter(prefix+"/traps", func() uint64 { return s.Traps })
+	r.Counter(prefix+"/interrupts", func() uint64 { return s.Interrupts })
+	r.Counter(prefix+"/faults", func() uint64 { return s.Faults })
+}
 
 // State returns a pointer to the committed architectural state. The kernel
 // uses it (between Ticks, with the pipeline flushed) for context switches.

@@ -12,6 +12,7 @@ import (
 
 	"csbsim/internal/bus"
 	"csbsim/internal/mem"
+	"csbsim/internal/obs/counters"
 )
 
 // NIC register layout (offsets from the device base).
@@ -83,6 +84,7 @@ type txDesc struct {
 	pushed uint64
 	viaDMA bool
 	srcPA  uint64
+	jid    uint64 // journey ID, 0 when untraced
 }
 
 type dmaState int
@@ -136,6 +138,35 @@ type NIC struct {
 	bpLeft    int
 	stallHook func() int
 	bpHook    func() int
+
+	// Journey tracing (SetJourneyHooks), all optional — plain func hooks
+	// in the SetFaultHooks idiom, so the machine can wire the tracer
+	// without this package knowing about it. Calls must not allocate.
+	descQueued func(offset uint64, length int, viaDMA bool) uint64
+	txStarted  func(id uint64)
+	txDone     func(id uint64)
+}
+
+// SetJourneyHooks installs the descriptor-journey hooks (any may be
+// nil): descQueued fires when a descriptor is accepted into the FIFO and
+// returns its journey ID, txStarted when its transmission begins, txDone
+// when the packet has fully serialized onto the wire.
+func (n *NIC) SetJourneyHooks(descQueued func(offset uint64, length int, viaDMA bool) uint64,
+	txStarted, txDone func(id uint64)) {
+	n.descQueued = descQueued
+	n.txStarted = txStarted
+	n.txDone = txDone
+}
+
+// RegisterCounters registers the NIC's counters with the unified
+// registry under prefix (e.g. "dev0"), as read closures over the live
+// device state.
+func (n *NIC) RegisterCounters(prefix string, r *counters.Registry) {
+	r.Counter(prefix+"/packets_sent", func() uint64 { return uint64(len(n.packets)) })
+	r.Counter(prefix+"/dropped_descs", func() uint64 { return n.dropped })
+	r.Counter(prefix+"/bad_descs", func() uint64 { return n.badDescs })
+	r.Counter(prefix+"/rx_pops", func() uint64 { return n.rxPops })
+	r.Counter(prefix+"/rx_pending", func() uint64 { return uint64(len(n.rxQueue)) })
 }
 
 // SetFaultHooks installs the fault-injection hooks (either may be nil).
@@ -285,6 +316,9 @@ func (n *NIC) pushDescriptor(d txDesc) {
 		n.dropped++
 		return
 	}
+	if n.descQueued != nil {
+		d.jid = n.descQueued(d.offset, d.length, d.viaDMA)
+	}
 	n.fifo = append(n.fifo, d)
 }
 
@@ -362,6 +396,9 @@ func (n *NIC) TickBus(b *bus.Bus) {
 			})
 			n.sending = false
 			n.intPending = true
+			if n.txDone != nil && n.cur.jid != 0 {
+				n.txDone(n.cur.jid)
+			}
 			if n.Interrupt != nil {
 				n.Interrupt()
 			}
@@ -373,6 +410,9 @@ func (n *NIC) TickBus(b *bus.Bus) {
 		n.fifo = n.fifo[1:]
 		n.sending = true
 		n.sendDone = b.Cycle() + uint64(n.cfg.WireCyclesPerByte*n.cur.length)
+		if n.txStarted != nil && n.cur.jid != 0 {
+			n.txStarted(n.cur.jid)
+		}
 	}
 }
 

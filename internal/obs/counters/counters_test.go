@@ -1,0 +1,81 @@
+package counters
+
+import (
+	"strings"
+	"testing"
+)
+
+func TestHistogramBucketsAndQuantiles(t *testing.T) {
+	h := NewHistogram("h")
+	if s := h.Summary(); s.Count != 0 || s.P50 != 0 {
+		t.Errorf("empty summary = %+v, want zeros", s)
+	}
+	// 100 values 1..100: exact min/max, power-of-two-resolved quantiles.
+	for v := uint64(1); v <= 100; v++ {
+		h.Record(v)
+	}
+	s := h.Summary()
+	if s.Count != 100 || s.Min != 1 || s.Max != 100 {
+		t.Errorf("summary = %+v, want count 100, min 1, max 100", s)
+	}
+	if s.Mean != 50.5 {
+		t.Errorf("mean = %v, want 50.5", s.Mean)
+	}
+	// Rank 50 lands in bucket [32,64) → upper bound 63; rank 95 and 99
+	// land in [64,128) → upper bound 127, clamped to the exact max 100.
+	if s.P50 != 63 {
+		t.Errorf("p50 = %d, want 63", s.P50)
+	}
+	if s.P95 != 100 || s.P99 != 100 {
+		t.Errorf("p95/p99 = %d/%d, want 100/100 (clamped to max)", s.P95, s.P99)
+	}
+
+	z := NewHistogram("z")
+	z.Record(0)
+	if s := z.Summary(); s.Min != 0 || s.Max != 0 || s.P50 != 0 {
+		t.Errorf("all-zero summary = %+v, want zeros with count 1", s)
+	}
+}
+
+func TestRegistryDuplicatePanics(t *testing.T) {
+	r := NewRegistry()
+	r.Counter("a/b", func() uint64 { return 1 })
+	for _, dup := range []func(){
+		func() { r.Counter("a/b", func() uint64 { return 2 }) },
+		func() { r.Histogram("a/b") },
+		func() { r.Counter("", func() uint64 { return 0 }) },
+	} {
+		func() {
+			defer func() {
+				if recover() == nil {
+					t.Error("bad registration did not panic")
+				}
+			}()
+			dup()
+		}()
+	}
+}
+
+func TestSnapshotReadsLiveState(t *testing.T) {
+	r := NewRegistry()
+	var v uint64
+	r.Counter("layer/events", func() uint64 { return v })
+	h := r.Histogram("layer/lat")
+	v = 7
+	h.Record(3)
+	s := r.Snapshot()
+	if s.Counters["layer/events"] != 7 {
+		t.Errorf("counter read %d, want 7 (snapshot must read live state)", s.Counters["layer/events"])
+	}
+	if s.Histograms["layer/lat"].Count != 1 {
+		t.Errorf("histogram summary missing: %+v", s.Histograms)
+	}
+
+	text := s.Format()
+	if !strings.Contains(text, "layer/events 7") {
+		t.Errorf("format misses the counter:\n%s", text)
+	}
+	if s.Format() != text {
+		t.Error("Format is not deterministic across calls")
+	}
+}

@@ -1,0 +1,154 @@
+// Journey rendering for the Perfetto exporter: store journeys become a
+// third process ("memory system") with one thread per journey kind, a
+// parent slice spanning each journey end-to-end, nested per-hop segment
+// slices, and Chrome trace flow events ("s"/"t"/"f" arrows) stitching
+// the story across processes — from the retiring store's pipeline slice,
+// through the journey slice, to the bus transaction that carried it.
+package obs
+
+import (
+	"fmt"
+
+	"csbsim/internal/obs/journey"
+)
+
+const perfettoPIDMem = 3
+
+// AddJourneys records journeys (typically Tracer.Retained() after a run)
+// for rendering. Ratio is the CPU-to-bus clock ratio, used to bind flow
+// arrows to bus-track slices, whose timestamps are bus cycles scaled to
+// the shared CPU-cycle timeline.
+func (p *Perfetto) AddJourneys(js []journey.Journey, ratio int) {
+	p.journeys = append(p.journeys, js...)
+	if ratio > 0 {
+		p.ratio = ratio
+	}
+}
+
+// instRef locates one instruction slice so a flow arrow can bind to it.
+type instRef struct {
+	retire uint64
+	tid    int
+	ts     uint64
+}
+
+// journeyEvents renders all recorded journeys and their flow arrows.
+func (p *Perfetto) journeyEvents(events []traceEvent) []traceEvent {
+	if len(p.journeys) == 0 {
+		return events
+	}
+	events = append(events,
+		traceEvent{Name: "process_name", Ph: "M", PID: perfettoPIDMem,
+			Args: map[string]any{"name": "memory system"}})
+	kindThreads := []string{"uncached stores", "csb stores", "nic descriptors"}
+	for i, name := range kindThreads {
+		events = append(events, traceEvent{Name: "thread_name", Ph: "M",
+			PID: perfettoPIDMem, TID: 1 + i,
+			Args: map[string]any{"name": name}})
+	}
+
+	// Index memory-instruction slices by virtual address so each journey
+	// can find the pipeline slice of the store that started it: the
+	// journey's first stamp is taken the cycle the store retires.
+	lanes := p.Lanes
+	if lanes <= 0 {
+		lanes = 1
+	}
+	byAddr := make(map[uint64][]instRef)
+	for _, e := range p.insts {
+		if !e.IsMem {
+			continue
+		}
+		start, _ := e.Span()
+		byAddr[e.Addr] = append(byAddr[e.Addr],
+			instRef{retire: e.Retire, tid: 1 + int(e.Seq%uint64(lanes)), ts: start})
+	}
+
+	flowID := 0
+	for _, j := range p.journeys {
+		flowID++
+		tid := 1 + int(j.Kind)
+		start := j.T[journey.HopStart]
+		end := j.T[journey.HopComplete]
+		if end == 0 { // journey still in flight (or aborted mid-way)
+			for h := journey.Hop(0); h < journey.NumHops; h++ {
+				if j.T[h] > end {
+					end = j.T[h]
+				}
+			}
+		}
+		dur := end - start
+		if dur == 0 {
+			dur = 1
+		}
+		name := fmt.Sprintf("%s @%#x", j.Kind, j.Addr)
+		args := map[string]any{
+			"id": j.ID, "size": j.Size,
+			"coalesced": j.Coalesced, "aborted": j.Aborted,
+		}
+		names := journey.HopNames(j.Kind)
+		for h := journey.Hop(0); h < journey.NumHops; h++ {
+			if names[h] != "" && j.T[h] != 0 {
+				args[names[h]] = j.T[h]
+			}
+		}
+		events = append(events, traceEvent{
+			Name: name, Ph: "X", Ts: start, Dur: dur,
+			PID: perfettoPIDMem, TID: tid, Args: args,
+		})
+		// Nested per-hop segments: one child slice per pair of
+		// consecutive stamped hops.
+		prev := journey.HopStart
+		for h := prev + 1; h < journey.NumHops; h++ {
+			if names[h] == "" || j.T[h] == 0 {
+				continue
+			}
+			segDur := j.T[h] - j.T[prev]
+			if segDur == 0 {
+				segDur = 1
+			}
+			events = append(events, traceEvent{
+				Name: names[prev] + "→" + names[h],
+				Ph:   "X", Ts: j.T[prev], Dur: segDur,
+				PID: perfettoPIDMem, TID: tid,
+			})
+			prev = h
+		}
+		// Flow arrow: pipeline slice → journey slice → bus slice. The
+		// retiring store's slice is matched by (address, retire cycle);
+		// the bus slice by the grant stamp, which lands exactly on the
+		// transaction's first occupied cycle on the shared timeline.
+		steps := make([]traceEvent, 0, 3)
+		if refs := byAddr[j.Addr]; refs != nil {
+			for _, r := range refs {
+				// The CPU's cycle counter leads the machine clock by one
+				// (it increments at the top of its Tick), so the retiring
+				// store is stamped one cycle after the journey opens.
+				if r.retire == start || r.retire == start+1 {
+					steps = append(steps, traceEvent{
+						Ph: "s", Ts: r.ts, PID: perfettoPIDCPU, TID: r.tid})
+					break
+				}
+			}
+		}
+		steps = append(steps, traceEvent{
+			Ph: "t", Ts: start, PID: perfettoPIDMem, TID: tid})
+		if g := j.T[journey.HopBusGrant]; g != 0 && p.ratio > 0 {
+			steps = append(steps, traceEvent{
+				Ph: "f", Ts: g, PID: perfettoPIDBus, TID: 1})
+		}
+		if len(steps) < 2 {
+			continue // an arrow needs two ends
+		}
+		steps[0].Ph = "s"
+		steps[len(steps)-1].Ph = "f"
+		steps[len(steps)-1].BP = "e" // bind the end to the enclosing slice
+		for i := range steps {
+			steps[i].Name = "store journey"
+			steps[i].Cat = "journey"
+			steps[i].FlowID = flowID
+			events = append(events, steps[i])
+		}
+	}
+	return events
+}

@@ -4,6 +4,8 @@ import (
 	"encoding/json"
 	"fmt"
 	"io"
+
+	"csbsim/internal/obs/journey"
 )
 
 // Perfetto collects instruction lifecycles, bus transactions and counter
@@ -27,20 +29,27 @@ type Perfetto struct {
 	// defaults to 32 (half the ROB) and must be set before WriteTo.
 	Lanes int
 
-	insts   []InstEvent
-	bus     []BusEvent
-	samples []Sample
+	insts    []InstEvent
+	bus      []BusEvent
+	samples  []Sample
+	journeys []journey.Journey
+	ratio    int // CPU-to-bus clock ratio (flow binding to bus slices)
 }
 
 // traceEvent is one Chrome trace-event JSON object (the subset we emit).
+// Cat/FlowID/BP are used only by flow events ("s"/"t"/"f" arrows, which
+// must share a name, category and id across their steps).
 type traceEvent struct {
-	Name string         `json:"name"`
-	Ph   string         `json:"ph"`
-	Ts   uint64         `json:"ts"`
-	Dur  uint64         `json:"dur,omitempty"`
-	PID  int            `json:"pid"`
-	TID  int            `json:"tid"`
-	Args map[string]any `json:"args,omitempty"`
+	Name   string         `json:"name"`
+	Cat    string         `json:"cat,omitempty"`
+	Ph     string         `json:"ph"`
+	Ts     uint64         `json:"ts"`
+	Dur    uint64         `json:"dur,omitempty"`
+	PID    int            `json:"pid"`
+	TID    int            `json:"tid"`
+	FlowID int            `json:"id,omitempty"`
+	BP     string         `json:"bp,omitempty"`
+	Args   map[string]any `json:"args,omitempty"`
 }
 
 const (
@@ -133,6 +142,7 @@ func (p *Perfetto) WriteTo(w io.Writer) (int64, error) {
 	for _, e := range p.bus {
 		events = append(events, busEvent(e))
 	}
+	events = p.journeyEvents(events)
 	for _, s := range p.samples {
 		for _, c := range []struct {
 			name  string

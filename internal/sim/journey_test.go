@@ -1,0 +1,248 @@
+package sim
+
+import (
+	"bytes"
+	"encoding/json"
+	"os"
+	"path/filepath"
+	"testing"
+
+	"csbsim/internal/device"
+	"csbsim/internal/fault"
+	"csbsim/internal/mem"
+	"csbsim/internal/obs"
+	"csbsim/internal/obs/journey"
+)
+
+// uncachedStoreLoop mirrors obs_test.go's storeLoop but through plain
+// uncached stores — the paper's baseline path.
+const uncachedStoreLoop = `
+	set 0x40000000, %o1
+	mov 8, %g2
+loop:
+	stx %g1, [%o1]
+	stx %g1, [%o1+8]
+	stx %g1, [%o1+16]
+	stx %g1, [%o1+24]
+	stx %g1, [%o1+32]
+	stx %g1, [%o1+40]
+	stx %g1, [%o1+48]
+	stx %g1, [%o1+56]
+	subcc %g2, 1, %g2
+	bnz loop
+	membar
+	halt
+`
+
+// TestJourneyTracingEndToEnd runs the CSB and uncached store loops with
+// the tracer attached and checks the journeys complete, the per-layer
+// histograms fill, the counters land in Stats, and — the paper's point —
+// the CSB path's mean end-to-end store latency beats the uncached path's.
+func TestJourneyTracingEndToEnd(t *testing.T) {
+	mCSB := runStoreLoop(t)
+	trCSB, err := mCSB.AttachJourneys(journey.DefaultConfig())
+	if err != nil {
+		t.Fatal(err)
+	}
+	if err := mCSB.Run(1_000_000); err != nil {
+		t.Fatal(err)
+	}
+	if err := mCSB.Drain(1_000_000); err != nil {
+		t.Fatal(err)
+	}
+
+	mUnc, err := New(DefaultConfig())
+	if err != nil {
+		t.Fatal(err)
+	}
+	mUnc.MapRange(0x4000_0000, 1<<16, mem.KindUncached)
+	if _, err := mUnc.LoadSource("unc.s", uncachedStoreLoop); err != nil {
+		t.Fatal(err)
+	}
+	trUnc, err := mUnc.AttachJourneys(journey.DefaultConfig())
+	if err != nil {
+		t.Fatal(err)
+	}
+	if err := mUnc.Run(1_000_000); err != nil {
+		t.Fatal(err)
+	}
+	if err := mUnc.Drain(1_000_000); err != nil {
+		t.Fatal(err)
+	}
+
+	csb := trCSB.E2EHistogram(journey.KindCSBStore).Summary()
+	unc := trUnc.E2EHistogram(journey.KindUncachedStore).Summary()
+	if csb.Count == 0 || unc.Count == 0 {
+		t.Fatalf("empty e2e histograms: csb %d samples, uncached %d samples", csb.Count, unc.Count)
+	}
+	if got := trCSB.Started(journey.KindCSBStore); got != trCSB.Completed(journey.KindCSBStore)+trCSB.Aborted(journey.KindCSBStore) {
+		t.Errorf("csb journeys leak: started %d, completed %d, aborted %d",
+			got, trCSB.Completed(journey.KindCSBStore), trCSB.Aborted(journey.KindCSBStore))
+	}
+	if got := trUnc.Started(journey.KindUncachedStore); got != trUnc.Completed(journey.KindUncachedStore) {
+		t.Errorf("uncached journeys leak: started %d, completed %d",
+			got, trUnc.Completed(journey.KindUncachedStore))
+	}
+	if csb.Mean >= unc.Mean {
+		t.Errorf("CSB mean e2e latency %.1f not below uncached %.1f", csb.Mean, unc.Mean)
+	}
+
+	// The tracer's histograms and run counters surface through Stats.
+	s := mCSB.Stats()
+	if s.Counters == nil {
+		t.Fatal("Stats.Counters nil with journeys attached")
+	}
+	if _, ok := s.Counters.Counters["journey/csb_store/started"]; !ok {
+		t.Error("journey counters missing from the registry snapshot")
+	}
+	if h, ok := s.Counters.Histograms["journey/e2e/csb_store"]; !ok || h.Count == 0 {
+		t.Error("journey e2e histogram missing or empty in the registry snapshot")
+	}
+}
+
+// TestJourneyTracingPerturbsNothing is the bit-identity acceptance
+// criterion: attaching the tracer and the counter registry must leave
+// every pre-existing statistic byte-for-byte unchanged.
+func TestJourneyTracingPerturbsNothing(t *testing.T) {
+	run := func(attach bool) []byte {
+		m := runStoreLoop(t)
+		if attach {
+			if _, err := m.AttachJourneys(journey.DefaultConfig()); err != nil {
+				t.Fatal(err)
+			}
+		}
+		if err := m.Run(1_000_000); err != nil {
+			t.Fatal(err)
+		}
+		s := m.Stats()
+		s.Counters = nil // the only field tracing is allowed to add
+		data, err := json.Marshal(s)
+		if err != nil {
+			t.Fatal(err)
+		}
+		return data
+	}
+	off, on := run(false), run(true)
+	if !bytes.Equal(off, on) {
+		t.Errorf("tracing changed the statistics:\noff: %s\non:  %s", off, on)
+	}
+}
+
+// TestJourneyFlowsGolden pins the Perfetto rendering of the journeys:
+// the "memory system" track slices, the per-hop segments, and the
+// s/t/f flow arrows binding pipeline → journey → bus.
+// Refresh with: go test ./internal/sim -run TestJourneyFlowsGolden -update
+func TestJourneyFlowsGolden(t *testing.T) {
+	m := runStoreLoop(t)
+	if _, err := m.AttachJourneys(journey.DefaultConfig()); err != nil {
+		t.Fatal(err)
+	}
+	exp := obs.NewPerfetto()
+	m.AttachPerfetto(exp)
+	if err := m.Run(1_000_000); err != nil {
+		t.Fatal(err)
+	}
+	if err := m.Drain(1_000_000); err != nil {
+		t.Fatal(err)
+	}
+	m.ExportJourneys()
+	var buf bytes.Buffer
+	if _, err := exp.WriteTo(&buf); err != nil {
+		t.Fatal(err)
+	}
+
+	// Keep only the journey-related events: everything on the memory
+	// system track plus the flow arrows (which span all three tracks).
+	var doc struct {
+		TraceEvents []json.RawMessage `json:"traceEvents"`
+	}
+	if err := json.Unmarshal(buf.Bytes(), &doc); err != nil {
+		t.Fatal(err)
+	}
+	var kept []json.RawMessage
+	for _, raw := range doc.TraceEvents {
+		var e struct {
+			Cat string `json:"cat"`
+			PID int    `json:"pid"`
+		}
+		if err := json.Unmarshal(raw, &e); err != nil {
+			t.Fatal(err)
+		}
+		if e.PID == 3 || e.Cat == "journey" {
+			kept = append(kept, raw)
+		}
+	}
+	if len(kept) == 0 {
+		t.Fatal("no journey events in the trace")
+	}
+	got, err := json.MarshalIndent(kept, "", "  ")
+	if err != nil {
+		t.Fatal(err)
+	}
+	got = append(got, '\n')
+
+	golden := filepath.Join("testdata", "journey_flows.golden.json")
+	if *update {
+		if err := os.WriteFile(golden, got, 0o644); err != nil {
+			t.Fatal(err)
+		}
+	}
+	want, err := os.ReadFile(golden)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !bytes.Equal(got, want) {
+		t.Errorf("journey flow events drifted from %s (refresh with -update)\ngot %d bytes, want %d",
+			golden, len(got), len(want))
+	}
+}
+
+// TestJourneyDumpDeterministicUnderFaults extends the per-seed
+// bit-identity criterion to the journey layer: two runs with the same
+// fault seed produce byte-identical journey dumps — totals, histogram
+// summaries, slowest set and retained journeys all agree.
+func TestJourneyDumpDeterministicUnderFaults(t *testing.T) {
+	dump := func(seed uint64) []byte {
+		cfg := fault.DefaultConfig()
+		cfg.Seed = seed
+		m, err := New(DefaultConfig())
+		if err != nil {
+			t.Fatal(err)
+		}
+		nic := device.NewNIC(device.DefaultConfig(), robustNICBase)
+		if err := m.AddDevice(robustNICBase, device.RegionSize, "nic", nic, nic); err != nil {
+			t.Fatal(err)
+		}
+		m.MapRange(robustNICBase, device.PacketBufBase, mem.KindUncached)
+		m.MapRange(robustNICBase+device.PacketBufBase, 0x1000, mem.KindCombining)
+		if _, err := m.AttachFaults(cfg); err != nil {
+			t.Fatal(err)
+		}
+		if _, err := m.AttachJourneys(journey.DefaultConfig()); err != nil {
+			t.Fatal(err)
+		}
+		if _, err := m.LoadSource("nic.s", robustNICGuest); err != nil {
+			t.Fatal(err)
+		}
+		if err := m.Run(50_000_000); err != nil {
+			t.Fatalf("run: %v", err)
+		}
+		if err := m.Drain(1_000_000); err != nil {
+			t.Fatalf("drain: %v", err)
+		}
+		var buf bytes.Buffer
+		if _, err := m.Journeys().WriteTo(&buf); err != nil {
+			t.Fatal(err)
+		}
+		return buf.Bytes()
+	}
+
+	a, b := dump(3), dump(3)
+	if !bytes.Equal(a, b) {
+		t.Error("same fault seed, different journey dumps")
+	}
+	c := dump(4)
+	if bytes.Equal(a, c) {
+		t.Error("seeds 3 and 4 produced identical journey dumps; the seed is not reaching the schedule")
+	}
+}

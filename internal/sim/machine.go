@@ -18,6 +18,8 @@ import (
 	"csbsim/internal/isa"
 	"csbsim/internal/mem"
 	"csbsim/internal/obs"
+	"csbsim/internal/obs/counters"
+	"csbsim/internal/obs/journey"
 	"csbsim/internal/uncbuf"
 )
 
@@ -99,6 +101,10 @@ type Stats struct {
 	// Faults holds the injection counters when a fault injector is
 	// attached (nil otherwise, and omitted from JSON).
 	Faults *fault.Stats `json:",omitempty"`
+	// Counters holds the unified-registry snapshot — every layer's named
+	// counters plus the journey tracer's latency histograms — when a
+	// registry is attached (nil otherwise, and omitted from JSON).
+	Counters *counters.Snapshot `json:",omitempty"`
 }
 
 // Machine is one simulated node.
@@ -127,6 +133,12 @@ type Machine struct {
 	faults     *fault.Injector
 	wd         *watchdogState
 	errDevices []func() error
+
+	// Optional unified counter registry and store-journey tracer
+	// (journey.go); nil when unattached.
+	counters    *counters.Registry
+	journeys    *journey.Tracer
+	devCounters int // next device counter-prefix index
 
 	console bytes.Buffer
 	cycle   uint64
@@ -229,6 +241,12 @@ func (m *Machine) AddDevice(base, size uint64, name string, t mem.Target, d Devi
 		m.wireDeviceFaults(d)
 		if es, ok := d.(deviceErrSource); ok {
 			m.errDevices = append(m.errDevices, es.Err)
+		}
+		if m.counters != nil {
+			m.registerDeviceCounters(d)
+		}
+		if m.journeys != nil {
+			wireDeviceJourneys(d, m.journeys)
 		}
 	}
 	return nil
@@ -348,6 +366,10 @@ func (m *Machine) Run(maxCycles uint64) error {
 		// provokes one and then halts must still fail the run.
 		if len(m.errDevices) != 0 {
 			if err := m.deviceErr(); err != nil {
+				// Abort paths flush buffered observability state (the
+				// final partial metrics window) before surfacing the
+				// error, so post-mortems see everything up to the abort.
+				m.flushObs()
 				return err
 			}
 		}
@@ -360,6 +382,7 @@ func (m *Machine) Run(maxCycles uint64) error {
 			if w.countdown == 0 {
 				w.countdown = w.window
 				if r := m.CPU.Retired(); r == w.lastRetired && !m.CPU.Halted() {
+					m.flushObs()
 					return m.watchdogTrip()
 				} else {
 					w.lastRetired = r
@@ -369,6 +392,7 @@ func (m *Machine) Run(maxCycles uint64) error {
 	}
 	if len(m.errDevices) != 0 {
 		if err := m.deviceErr(); err != nil {
+			m.flushObs()
 			return err
 		}
 	}
@@ -422,6 +446,9 @@ func (m *Machine) Stats() Stats {
 	if m.faults != nil {
 		fs := m.faults.Stats()
 		s.Faults = &fs
+	}
+	if m.counters != nil {
+		s.Counters = m.counters.Snapshot()
 	}
 	return s
 }

@@ -58,6 +58,10 @@ func (s Stats) Report() string {
 			f.BackpressureWindows, f.BackpressureCycles, f.FlushDelays, f.FlushDrops,
 			f.CSBPressureStalls, f.UBPressureStalls)
 	}
+	if s.Counters != nil {
+		b.WriteString("--- counters ---\n")
+		b.WriteString(s.Counters.Format())
+	}
 	return b.String()
 }
 

@@ -17,7 +17,36 @@ import (
 	"fmt"
 
 	"csbsim/internal/bus"
+	"csbsim/internal/obs/counters"
 )
+
+// Tracer receives the uncached-buffer hops of a store journey (the
+// journey tracer implements it). Per-store journey IDs are assigned by
+// UBStoreAccepted in acceptance order; because stores only ever coalesce
+// into the youngest entry, the IDs inside one entry are contiguous and
+// the later hops pass (first, count) ranges. Calls are on the tick hot
+// path and must not allocate.
+type Tracer interface {
+	// UBStoreAccepted opens a journey for an accepted store (coalesced
+	// reports whether it merged into an existing entry) and returns its ID.
+	UBStoreAccepted(addr uint64, size int, coalesced bool) uint64
+	// UBEntryDeparted marks an entry's stores popped into the send stage.
+	UBEntryDeparted(first uint64, count int)
+	// UBBusGranted marks the bus accepting the entry's first transaction.
+	UBBusGranted(first uint64, count int)
+	// UBEntryDone marks the entry's last transaction complete (the write
+	// has landed at the target).
+	UBEntryDone(first uint64, count int)
+}
+
+// jrange tracks one departed entry's journeys until its transactions
+// complete. The bus completes transactions in issue order, so a FIFO
+// ring of these matches completions to entries.
+type jrange struct {
+	first uint64
+	count int
+	left  int // transactions still in flight
+}
 
 // Config parameterizes the uncached buffer.
 type Config struct {
@@ -82,6 +111,9 @@ type entry struct {
 	loadAddr uint64
 	loadSize int
 	done     func([]byte)
+	// journey IDs of the stores merged into this entry (contiguous).
+	jFirst uint64
+	jCount int
 }
 
 // Buffer is the uncached buffer. It is not safe for concurrent use; the
@@ -106,6 +138,17 @@ type Buffer struct {
 	txnFree     []*bus.Txn // recycled store transactions
 	onStoreDone func(*bus.Txn)
 
+	// Journey tracing (AttachTracer), all optional. The send stage
+	// remembers the journey range of the entry it carries; jq matches
+	// store-transaction completions back to departed entries.
+	tracer      Tracer
+	sendJFirst  uint64
+	sendJCount  int
+	sendGranted bool
+	jq          []jrange
+	jqHead      int
+	jqLen       int
+
 	// pressure, when set, makes an accept spuriously fail (fault
 	// injection): the retire stage sees an ordinary buffer-full stall and
 	// retries, exercising the same path as genuine capacity exhaustion.
@@ -118,6 +161,29 @@ type Buffer struct {
 // fault hook consulted on every AddStore/AddLoad attempt.
 func (u *Buffer) SetFaultHook(pressure func() bool) {
 	u.pressure = pressure
+}
+
+// AttachTracer installs the journey tracer. Attach before running:
+// entries already in flight are not retroactively traced.
+func (u *Buffer) AttachTracer(t Tracer) {
+	u.tracer = t
+	if u.jq == nil {
+		// At most one departed entry awaits completions while the next
+		// occupies the send stage; a few spare slots cost nothing.
+		u.jq = make([]jrange, u.cfg.Entries+2)
+	}
+}
+
+// RegisterCounters registers the buffer's counters with the unified
+// registry under prefix (e.g. "ub"), as read closures over the live
+// stats — registration never perturbs simulation state.
+func (u *Buffer) RegisterCounters(prefix string, r *counters.Registry) {
+	r.Counter(prefix+"/stores", func() uint64 { return u.stats.Stores })
+	r.Counter(prefix+"/loads", func() uint64 { return u.stats.Loads })
+	r.Counter(prefix+"/coalesced", func() uint64 { return u.stats.Coalesced })
+	r.Counter(prefix+"/entries", func() uint64 { return u.stats.Entries })
+	r.Counter(prefix+"/transactions", func() uint64 { return u.stats.Transactions })
+	r.Counter(prefix+"/stall_full", func() uint64 { return u.stats.StallFull })
 }
 
 // New creates an uncached buffer.
@@ -137,6 +203,9 @@ func New(cfg Config) (*Buffer, error) {
 	}
 	u.onStoreDone = func(t *bus.Txn) {
 		u.inflight--
+		if u.tracer != nil {
+			u.storeTxnComplete()
+		}
 		u.txnFree = append(u.txnFree, t) //csb:pool — Done handler returning t to the free list
 	}
 	return u, nil
@@ -249,6 +318,13 @@ func (u *Buffer) AddStore(addr uint64, size int, data []byte) bool {
 		e.seqNext = off + size
 		u.stats.Stores++
 		u.stats.Coalesced++
+		if u.tracer != nil {
+			id := u.tracer.UBStoreAccepted(addr, size, true)
+			if e.jCount == 0 {
+				e.jFirst = id
+			}
+			e.jCount++
+		}
 		return true
 	}
 	if u.qlen >= u.cfg.Entries {
@@ -285,6 +361,10 @@ func (u *Buffer) AddStore(addr uint64, size int, data []byte) bool {
 	}
 	u.stats.Stores++
 	u.stats.Entries++
+	if u.tracer != nil {
+		e.jFirst = u.tracer.UBStoreAccepted(addr, size, false)
+		e.jCount = 1
+	}
 	return true
 }
 
@@ -331,6 +411,16 @@ func (u *Buffer) TickCPU() {
 	copy(u.sendData, head.data)
 	u.sending = bus.AppendAlignedChunks(u.sendChunks[:0], head.blockAddr, head.mask, u.cfg.MaxBurst)
 	u.sendChunks = u.sending
+	if u.tracer != nil {
+		u.tracer.UBEntryDeparted(head.jFirst, head.jCount)
+		u.sendJFirst, u.sendJCount = head.jFirst, head.jCount
+		u.sendGranted = false
+		if u.jqLen < len(u.jq) {
+			u.jq[(u.jqHead+u.jqLen)%len(u.jq)] = jrange{
+				first: head.jFirst, count: head.jCount, left: len(u.sending)}
+			u.jqLen++
+		}
+	}
 	u.popHead()
 }
 
@@ -381,8 +471,30 @@ func (u *Buffer) TickBus(b *bus.Bus) {
 		u.inflight++
 		u.sending = u.sending[1:]
 		u.stats.Transactions++
+		if u.tracer != nil && !u.sendGranted {
+			u.sendGranted = true
+			u.tracer.UBBusGranted(u.sendJFirst, u.sendJCount)
+		}
 	} else {
 		u.txnFree = append(u.txnFree, txn)
+	}
+}
+
+// storeTxnComplete matches a completed store transaction to the oldest
+// departed entry still in flight and, on its last one, completes the
+// entry's journeys.
+//
+//csb:hotpath
+func (u *Buffer) storeTxnComplete() {
+	if u.jqLen == 0 {
+		return // entry departed before the tracer was attached
+	}
+	r := &u.jq[u.jqHead]
+	r.left--
+	if r.left == 0 {
+		u.tracer.UBEntryDone(r.first, r.count)
+		u.jqHead = (u.jqHead + 1) % len(u.jq)
+		u.jqLen--
 	}
 }
 
