@@ -4,7 +4,7 @@ GO ?= go
 # Parallel workers for figure sweeps (cmd/csbfig -j); defaults to all cores.
 J ?= 0
 
-.PHONY: all build vet lint test race bench-smoke obsbench figures bench-simspeed zero-alloc faults journeys ci
+.PHONY: all build vet lint test race bench-smoke obsbench figures bench-simspeed zero-alloc faults journeys cluster-trace ci
 
 all: build
 
@@ -65,6 +65,17 @@ journeys:
 		examples/asm/csb_stores.s
 	$(GO) run ./cmd/csbtrace -top 5 out/journeys_uncached.json
 	$(GO) run ./cmd/csbtrace -top 5 out/journeys_csb.json
+
+# Cross-node tracing: run a traced two-node ping-pong, write the merged
+# distributed-trace dump plus the two-timeline Perfetto export to out/,
+# then re-measure the observability overheads and gate the cluster-trace
+# mode at 10%. CI uploads out/ as an artifact.
+cluster-trace:
+	mkdir -p out
+	$(GO) run ./cmd/csbcluster -send csb -rounds 50 -wire 120 \
+		-trace out/cluster_trace.json -perfetto out/cluster_trace_perfetto.json -v
+	$(GO) run ./cmd/obsbench -reps 5 > out/BENCH_observability.json
+	$(GO) run ./cmd/obsbench -gate out/BENCH_observability.json -max-cluster-overhead 10
 
 # Fault campaign: sweep injection seeds across the recovery guests and
 # assert every run converges to the fault-free architectural state, then

@@ -1,0 +1,215 @@
+// Command csbcluster runs a traced two-node cluster: either the built-in
+// ping-pong workload (the paper's §7 "realistic application" step,
+// extension X8) or two caller-supplied SV9L programs, one per node.
+//
+// Usage:
+//
+//	csbcluster [flags]                  # built-in ping-pong
+//	csbcluster [flags] a.s b.s          # custom guests (a.s on node a)
+//
+// Observability flags wire up the PR 6 cross-node layer: -trace FILE
+// writes the merged distributed-trace dump (per-packet spans with
+// fifo_push → tx_start → wire_depart → wire_arrive → rx_enqueue →
+// rx_drain stamps aligned onto the shared cluster timeline, plus per-hop
+// latency histograms), -perfetto FILE writes the two-timeline Chrome
+// trace (one process per node, flow arrows across the wire; load at
+// ui.perfetto.dev), and -telemetry ADDR serves live counter frames over
+// HTTP/SSE for csbtop while the cluster runs.
+//
+// Example:
+//
+//	csbcluster -send csb -rounds 50 -wire 120 -trace wire.json -v
+package main
+
+import (
+	"encoding/json"
+	"flag"
+	"fmt"
+	"os"
+
+	"csbsim/internal/bench"
+	"csbsim/internal/cluster"
+	"csbsim/internal/cluster/ctrace"
+	"csbsim/internal/mem"
+	"csbsim/internal/obs/counters"
+	"csbsim/internal/obs/journey"
+	"csbsim/internal/obs/telemetry"
+)
+
+func main() {
+	var (
+		rounds    = flag.Int("rounds", 30, "ping-pong rounds (built-in workload)")
+		send      = flag.String("send", "csb", "send method for the built-in workload: pio, csb or dma")
+		wire      = flag.Uint64("wire", 120, "wire latency in CPU cycles each way")
+		enqDelay  = flag.Uint64("rx-delay", 0, "extra RX staging delay in CPU cycles (wire_arrive to rx_enqueue)")
+		maxCycles = flag.Uint64("cycles", 100_000_000, "cluster cycle limit")
+
+		traceOut  = flag.String("trace", "", "write the merged distributed-trace dump to FILE")
+		perfetto  = flag.String("perfetto", "", "write the two-timeline Chrome trace to FILE (load at ui.perfetto.dev)")
+		window    = flag.Int("trace-window", 0, "count of recent wire spans retained in the dump (0 = default 4096)")
+		telemAddr = flag.String("telemetry", "", "serve live cluster telemetry on ADDR (/snapshot, /stream; watch with csbtop)")
+		telemEach = flag.Uint64("telemetry-every", 10_000, "telemetry frame interval in cluster cycles")
+
+		verbose = flag.Bool("v", false, "print the wire-hop histograms")
+		jsonOut = flag.Bool("json", false, "print the run summary as JSON")
+	)
+	flag.Usage = func() {
+		fmt.Fprintf(os.Stderr, "usage: csbcluster [flags] [a.s b.s]\n")
+		flag.PrintDefaults()
+	}
+	flag.Parse()
+	if flag.NArg() != 0 && flag.NArg() != 2 {
+		flag.Usage()
+		os.Exit(2)
+	}
+
+	method, csb, err := parseSend(*send)
+	if err != nil {
+		fatal(err)
+	}
+
+	cfg := cluster.DefaultConfig()
+	cfg.WireLatency = *wire
+	cfg.RxEnqueueDelay = *enqDelay
+	c, err := cluster.New(cfg)
+	if err != nil {
+		fatal(err)
+	}
+	for _, n := range c.Nodes() {
+		n.MapIO(csb)
+		n.M.MapRange(0x200000, 1<<16, mem.KindCached)
+	}
+
+	// Telemetry implies tracing: csbtop's latency panel reads the ctrace
+	// histograms out of the cluster frames.
+	traced := *traceOut != "" || *perfetto != "" || *verbose || *jsonOut || *telemAddr != ""
+	if traced {
+		tcfg := ctrace.DefaultConfig()
+		if *window > 0 {
+			tcfg.Window = *window
+		}
+		if _, err := c.AttachTrace(journey.DefaultConfig(), tcfg); err != nil {
+			fatal(err)
+		}
+	}
+	if *telemAddr != "" {
+		streamer := telemetry.New()
+		if err := c.AttachTelemetry(streamer, *telemEach); err != nil {
+			fatal(err)
+		}
+		addr, stopTelem, err := streamer.Serve(*telemAddr)
+		if err != nil {
+			fatal(err)
+		}
+		defer stopTelem()
+		fmt.Fprintf(os.Stderr, "csbcluster: telemetry on http://%s (snapshot: /snapshot, live: /stream)\n", addr)
+	}
+
+	var srcA, srcB, nameA, nameB string
+	if flag.NArg() == 2 {
+		nameA, nameB = flag.Arg(0), flag.Arg(1)
+		a, err := os.ReadFile(nameA)
+		if err != nil {
+			fatal(err)
+		}
+		b, err := os.ReadFile(nameB)
+		if err != nil {
+			fatal(err)
+		}
+		srcA, srcB = string(a), string(b)
+	} else {
+		nameA, nameB = "ping.s", "pong.s"
+		srcA, srcB = bench.PingPongPrograms(method, *rounds)
+	}
+	pa, err := c.A.M.LoadSource(nameA, srcA)
+	if err != nil {
+		fatal(err)
+	}
+	pb, err := c.B.M.LoadSource(nameB, srcB)
+	if err != nil {
+		fatal(err)
+	}
+	c.A.M.WarmProgram(pa)
+	c.B.M.WarmProgram(pb)
+
+	runErr := c.Run(*maxCycles)
+	// Dumps are written even on an aborted run: the partial spans are
+	// exactly what a post-mortem wants (cluster.Run has already flushed
+	// the observability state).
+	if *traceOut != "" {
+		writeFile(*traceOut, func(f *os.File) error {
+			_, err := c.Trace().WriteTo(f)
+			return err
+		})
+	}
+	if *perfetto != "" {
+		writeFile(*perfetto, func(f *os.File) error {
+			_, err := c.Trace().WritePerfetto(f)
+			return err
+		})
+	}
+	if runErr != nil {
+		fatal(runErr)
+	}
+
+	switch {
+	case *jsonOut:
+		out := struct {
+			Cycles    uint64                      `json:"cycles"`
+			Rounds    int                         `json:"rounds,omitempty"`
+			Started   uint64                      `json:"packets_started"`
+			Completed uint64                      `json:"packets_completed"`
+			Hops      map[string]counters.Summary `json:"hops"`
+		}{Cycles: c.Cycle(), Started: c.Trace().Started(), Completed: c.Trace().Completed()}
+		if flag.NArg() == 0 {
+			out.Rounds = *rounds
+		}
+		out.Hops = c.Trace().BuildDump().Histograms
+		data, err := json.MarshalIndent(out, "", "  ")
+		if err != nil {
+			fatal(err)
+		}
+		fmt.Println(string(data))
+	case *verbose:
+		fmt.Printf("cluster halted after %d cycles; %d packets crossed the wire (%d completed)\n",
+			c.Cycle(), c.Trace().Started(), c.Trace().Completed())
+		fmt.Print(c.Registry().Snapshot().Format())
+	default:
+		if traced {
+			fmt.Printf("cluster halted after %d cycles; %d packets crossed the wire\n",
+				c.Cycle(), c.Trace().Started())
+		} else {
+			fmt.Printf("cluster halted after %d cycles\n", c.Cycle())
+		}
+	}
+}
+
+func parseSend(s string) (bench.SendMethod, bool, error) {
+	switch s {
+	case "pio":
+		return bench.SendPIO, false, nil
+	case "csb":
+		return bench.SendCSB, true, nil
+	case "dma":
+		return bench.SendDMA, false, nil
+	}
+	return 0, false, fmt.Errorf("unknown send method %q (want pio, csb or dma)", s)
+}
+
+func writeFile(path string, write func(*os.File) error) {
+	f, err := os.Create(path)
+	if err != nil {
+		fatal(err)
+	}
+	if err := write(f); err != nil {
+		fatal(err)
+	}
+	if err := f.Close(); err != nil {
+		fatal(err)
+	}
+}
+
+func fatal(err error) {
+	fmt.Fprintln(os.Stderr, "csbcluster:", err)
+	os.Exit(1)
+}

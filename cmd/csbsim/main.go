@@ -22,7 +22,9 @@
 // system (per-hop cycle stamps, per-layer latency histograms) and writes
 // a dump queryable with csbtrace; with -perfetto the journeys also land
 // in the trace as a "memory system" track with flow arrows. -counters
-// attaches the unified per-layer counter registry on its own.
+// attaches the unified per-layer counter registry on its own. -telemetry
+// ADDR serves live counter snapshots over HTTP while the run is going
+// (/snapshot for the latest frame, /stream for SSE; watch with csbtop).
 //
 // Robustness flags: -faults attaches a deterministic fault injector
 // ("default", or a key=value list such as "busnack=64,seed=3"),
@@ -46,6 +48,7 @@ import (
 	"csbsim/internal/mem"
 	"csbsim/internal/obs"
 	"csbsim/internal/obs/journey"
+	"csbsim/internal/obs/telemetry"
 	"csbsim/internal/trace"
 )
 
@@ -71,6 +74,9 @@ func main() {
 		journeys      = flag.String("journeys", "", "trace store journeys (UB/CSB/bus/device hops) and write the dump to FILE (query with csbtrace)")
 		journeyWindow = flag.Int("journey-window", 0, "per-kind count of recent journeys retained in the dump (0 = default 4096)")
 		countersOn    = flag.Bool("counters", false, "attach the unified counter registry (implied by -journeys); counters land in -v and -json output")
+
+		telemAddr = flag.String("telemetry", "", "serve live counter telemetry on ADDR (e.g. 127.0.0.1:8077); /snapshot for the latest frame, /stream for SSE — watch with csbtop")
+		telemEach = flag.Uint64("telemetry-every", 10_000, "telemetry frame interval in CPU cycles")
 
 		perfetto    = flag.String("perfetto", "", "write a Chrome trace-event JSON file (load at ui.perfetto.dev)")
 		metrics     = flag.String("metrics", "", "write periodic machine metrics to FILE (JSONL, or CSV with a .csv extension)")
@@ -151,6 +157,21 @@ func main() {
 		}
 	} else if *journeyWindow > 0 {
 		fatal(fmt.Errorf("-journey-window needs -journeys"))
+	}
+	if *telemAddr != "" {
+		streamer := telemetry.New()
+		if err := streamer.AddNode("machine", m.AttachCounters()); err != nil {
+			fatal(err)
+		}
+		if err := m.AttachPeriodic(*telemEach, streamer.Publish); err != nil {
+			fatal(err)
+		}
+		addr, stopTelem, err := streamer.Serve(*telemAddr)
+		if err != nil {
+			fatal(err)
+		}
+		defer stopTelem()
+		fmt.Fprintf(os.Stderr, "csbsim: telemetry on http://%s (snapshot: /snapshot, live: /stream)\n", addr)
 	}
 
 	file := flag.Arg(0)

@@ -1,0 +1,174 @@
+// Command csbtop is a live terminal dashboard for a running simulation:
+// it consumes the telemetry SSE stream served by `csbcluster -telemetry`
+// (or `csbsim -telemetry`) and renders per-node throughput, RX-queue
+// depth, and end-to-end wire latency quantiles, refreshed on every frame
+// the simulator publishes.
+//
+// Usage:
+//
+//	csbtop [-url http://127.0.0.1:8077] [-frames N] [-plain]
+//
+// Each SSE event is one telemetry.Frame keyed by simulated cycle. The
+// dashboard redraws in place (ANSI clear) unless -plain is given, in
+// which case frames append — the mode for logs and CI. -frames N exits
+// after N frames (0 = run until the stream closes), so a bounded watch
+// works in scripts:
+//
+//	csbcluster -rounds 200 -telemetry 127.0.0.1:8077 &
+//	csbtop -frames 5 -plain
+package main
+
+import (
+	"bufio"
+	"encoding/json"
+	"flag"
+	"fmt"
+	"net/http"
+	"os"
+	"sort"
+	"strings"
+
+	"csbsim/internal/obs/telemetry"
+)
+
+func main() {
+	var (
+		url    = flag.String("url", "http://127.0.0.1:8077", "telemetry server base URL")
+		frames = flag.Int("frames", 0, "exit after N frames (0 = until the stream closes)")
+		plain  = flag.Bool("plain", false, "append frames instead of redrawing in place")
+	)
+	flag.Parse()
+
+	resp, err := http.Get(strings.TrimSuffix(*url, "/") + "/stream")
+	if err != nil {
+		fatal(err)
+	}
+	defer resp.Body.Close()
+	if resp.StatusCode != http.StatusOK {
+		fatal(fmt.Errorf("stream returned %s", resp.Status))
+	}
+
+	var prev *telemetry.Frame
+	seen := 0
+	sc := bufio.NewScanner(resp.Body)
+	sc.Buffer(make([]byte, 1<<20), 1<<20)
+	for sc.Scan() {
+		line := sc.Text()
+		if !strings.HasPrefix(line, "data: ") {
+			continue
+		}
+		var f telemetry.Frame
+		if err := json.Unmarshal([]byte(strings.TrimPrefix(line, "data: ")), &f); err != nil {
+			fmt.Fprintln(os.Stderr, "csbtop: bad frame:", err)
+			continue
+		}
+		if !*plain {
+			fmt.Print("\x1b[2J\x1b[H") // clear + home
+		}
+		render(&f, prev)
+		prev = &f
+		seen++
+		if *frames > 0 && seen >= *frames {
+			return
+		}
+	}
+	if err := sc.Err(); err != nil {
+		fatal(err)
+	}
+}
+
+// render draws one frame. prev supplies the per-node deltas (throughput
+// since the last frame).
+func render(f, prev *telemetry.Frame) {
+	fmt.Printf("csbtop — cycle %d  (frame %d", f.Cycle, f.Seq)
+	if f.Dropped > 0 {
+		fmt.Printf(", %d dropped", f.Dropped)
+	}
+	fmt.Println(")")
+	fmt.Println()
+
+	names := make([]string, 0, len(f.Nodes))
+	for n := range f.Nodes {
+		names = append(names, n)
+	}
+	sort.Strings(names)
+
+	fmt.Printf("%-10s %12s %8s %12s %8s\n", "node", "pkts sent", "Δsent", "rx pending", "rx hw")
+	for _, name := range names {
+		if name == "cluster" {
+			continue // aggregate registry, rendered below via its histograms
+		}
+		nf := f.Nodes[name]
+		sent, okSent := pick(nf.Counters, "packets_sent")
+		if !okSent {
+			continue
+		}
+		var delta uint64
+		if prev != nil {
+			if p, ok := prev.Nodes[name]; ok {
+				if ps, ok := pick(p.Counters, "packets_sent"); ok && sent >= ps {
+					delta = sent - ps
+				}
+			}
+		}
+		pending, _ := pick(nf.Counters, "rx_pending")
+		hw, _ := pick(nf.Counters, "rx_highwater")
+		fmt.Printf("%-10s %12d %8d %12d %8d\n", name, sent, delta, pending, hw)
+	}
+
+	// Wire-latency quantiles from whichever node carries the ctrace
+	// histograms (the "cluster" node in cluster runs).
+	for _, name := range names {
+		nf := f.Nodes[name]
+		e2e, ok := nf.Histograms["ctrace/e2e"]
+		if !ok {
+			continue
+		}
+		fmt.Printf("\ne2e latency: p50=%d p99=%d max=%d cycles  (n=%d, Δ%d)\n",
+			e2e.P50, e2e.P99, e2e.Max, e2e.Count, e2e.Delta)
+		hopNames := make([]string, 0, len(nf.Histograms))
+		for h := range nf.Histograms {
+			if strings.HasPrefix(h, "ctrace/hop/") {
+				hopNames = append(hopNames, h)
+			}
+		}
+		sort.Strings(hopNames)
+		if len(hopNames) > 0 {
+			fmt.Print("hops (p50): ")
+			for i, h := range hopNames {
+				if i > 0 {
+					fmt.Print("  ")
+				}
+				fmt.Printf("%s=%d", strings.TrimPrefix(h, "ctrace/hop/"), nf.Histograms[h].P50)
+			}
+			fmt.Println()
+		}
+		break
+	}
+	fmt.Println()
+}
+
+// pick finds a counter by suffix match on the path's last segment chain:
+// exact name, "cluster/<node>/<name>" and "dev0/<name>" all resolve.
+func pick(counters map[string]uint64, name string) (uint64, bool) {
+	if v, ok := counters[name]; ok {
+		return v, true
+	}
+	var keys []string
+	for k := range counters {
+		if strings.HasSuffix(k, "/"+name) {
+			keys = append(keys, k)
+		}
+	}
+	if len(keys) == 0 {
+		return 0, false
+	}
+	// Deterministic choice when several devices match: first sorted key.
+	sort.Strings(keys)
+	return counters[keys[0]], true
+}
+
+func fatal(err error) {
+	fmt.Fprintln(os.Stderr, "csbtop:", err)
+	os.Exit(1)
+}

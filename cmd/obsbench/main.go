@@ -5,9 +5,15 @@
 // cycles and wall-clock time for each as JSON (see
 // BENCH_observability.json for a recorded baseline).
 //
+// Cluster workloads additionally run with the PR 6 cross-node layer
+// (distributed wire tracing + live telemetry publishing) attached, and
+// -gate FILE re-reads a recorded report and fails if that mode's overhead
+// regressed past -max-cluster-overhead percent — the CI regression gate.
+//
 // Usage:
 //
 //	obsbench [-reps N] > BENCH_observability.json
+//	obsbench -gate BENCH_observability.json -max-cluster-overhead 10
 package main
 
 import (
@@ -20,10 +26,12 @@ import (
 
 	"csbsim/internal/bench"
 	"csbsim/internal/cluster"
+	"csbsim/internal/cluster/ctrace"
 	"csbsim/internal/device"
 	"csbsim/internal/mem"
 	"csbsim/internal/obs"
 	"csbsim/internal/obs/journey"
+	"csbsim/internal/obs/telemetry"
 	"csbsim/internal/sim"
 )
 
@@ -34,8 +42,10 @@ type result struct {
 	WallOffNs           int64   `json:"wall_ns_hooks_off"`
 	WallOnNs            int64   `json:"wall_ns_hooks_on"`
 	WallJourneysNs      int64   `json:"wall_ns_journeys_on"`
+	WallClusterTraceNs  int64   `json:"wall_ns_cluster_trace,omitempty"`
 	OverheadPct         float64 `json:"hooks_on_overhead_pct"`
 	JourneysOverheadPct float64 `json:"journeys_overhead_pct"`
+	ClusterTracePct     float64 `json:"cluster_trace_overhead_pct,omitempty"`
 	Insts               uint64  `json:"instructions"`
 }
 
@@ -49,9 +59,10 @@ type report struct {
 type mode int
 
 const (
-	modeOff      mode = iota // no hooks
-	modeHooks                // Perfetto exporter + metrics sampler
-	modeJourneys             // journey tracer + unified counter registry
+	modeOff          mode = iota // no hooks
+	modeHooks                    // Perfetto exporter + metrics sampler
+	modeJourneys                 // journey tracer + unified counter registry
+	modeClusterTrace             // distributed wire tracing + telemetry publishing (cluster workloads only)
 )
 
 // workload builds a fresh machine-or-cluster, optionally instruments it,
@@ -60,59 +71,82 @@ const (
 type workload struct {
 	name string
 	run  func(md mode) (uint64, uint64, time.Duration, error)
+	// cluster workloads additionally run modeClusterTrace
+	cluster bool
 }
 
 func main() {
 	reps := flag.Int("reps", 5, "repetitions per configuration (best wall time wins)")
+	gate := flag.String("gate", "", "read a recorded report from FILE and gate on its overheads instead of benchmarking")
+	maxCluster := flag.Float64("max-cluster-overhead", 10, "with -gate: fail if cluster_trace_overhead_pct exceeds this")
 	flag.Parse()
 
+	if *gate != "" {
+		if err := runGate(*gate, *maxCluster); err != nil {
+			fmt.Fprintln(os.Stderr, "obsbench:", err)
+			os.Exit(1)
+		}
+		return
+	}
+
 	workloads := []workload{
-		{"csb_stores", func(md mode) (uint64, uint64, time.Duration, error) {
+		{name: "csb_stores", run: func(md mode) (uint64, uint64, time.Duration, error) {
 			return runStores(true, md)
 		}},
-		{"uncached_stores", func(md mode) (uint64, uint64, time.Duration, error) {
+		{name: "uncached_stores", run: func(md mode) (uint64, uint64, time.Duration, error) {
 			return runStores(false, md)
 		}},
-		{"pingpong_csb", func(md mode) (uint64, uint64, time.Duration, error) {
+		{name: "pingpong_csb", run: func(md mode) (uint64, uint64, time.Duration, error) {
 			return runPingPong(md)
-		}},
-		{"piodma_dma_send", func(md mode) (uint64, uint64, time.Duration, error) {
+		}, cluster: true},
+		{name: "piodma_dma_send", run: func(md mode) (uint64, uint64, time.Duration, error) {
 			return runMessageSend(md)
 		}},
 	}
 
 	rep := report{
-		Description: "observability overhead: example workloads with hooks off vs Perfetto+metrics attached vs journey tracer+counter registry attached",
+		Description: "observability overhead: example workloads with hooks off vs Perfetto+metrics attached vs journey tracer+counter registry attached; cluster workloads also run with distributed wire tracing+telemetry attached",
 		Reps:        *reps,
 	}
 	for _, w := range workloads {
 		var r result
 		r.Workload = w.name
-		for _, md := range []mode{modeOff, modeHooks, modeJourneys} {
-			best := time.Duration(1<<63 - 1)
-			for i := 0; i < *reps; i++ {
+		modes := []mode{modeOff, modeHooks, modeJourneys}
+		if w.cluster {
+			modes = append(modes, modeClusterTrace)
+		}
+		// Modes are interleaved round-robin (not run in blocks) so machine
+		// load drifting over the benchmark biases every mode equally
+		// instead of penalizing whichever mode ran last.
+		best := make(map[mode]time.Duration, len(modes))
+		for _, md := range modes {
+			best[md] = time.Duration(1<<63 - 1)
+		}
+		for i := 0; i < *reps; i++ {
+			for _, md := range modes {
 				cycles, insts, elapsed, err := w.run(md)
 				if err != nil {
 					fmt.Fprintf(os.Stderr, "obsbench: %s: %v\n", w.name, err)
 					os.Exit(1)
 				}
-				if elapsed < best {
-					best = elapsed
+				if elapsed < best[md] {
+					best[md] = elapsed
 				}
 				r.Cycles, r.Insts = cycles, insts
 			}
-			switch md {
-			case modeOff:
-				r.WallOffNs = best.Nanoseconds()
-			case modeHooks:
-				r.WallOnNs = best.Nanoseconds()
-			case modeJourneys:
-				r.WallJourneysNs = best.Nanoseconds()
-			}
+		}
+		r.WallOffNs = best[modeOff].Nanoseconds()
+		r.WallOnNs = best[modeHooks].Nanoseconds()
+		r.WallJourneysNs = best[modeJourneys].Nanoseconds()
+		if w.cluster {
+			r.WallClusterTraceNs = best[modeClusterTrace].Nanoseconds()
 		}
 		if r.WallOffNs > 0 {
 			r.OverheadPct = 100 * float64(r.WallOnNs-r.WallOffNs) / float64(r.WallOffNs)
 			r.JourneysOverheadPct = 100 * float64(r.WallJourneysNs-r.WallOffNs) / float64(r.WallOffNs)
+			if r.WallClusterTraceNs > 0 {
+				r.ClusterTracePct = 100 * float64(r.WallClusterTraceNs-r.WallOffNs) / float64(r.WallOffNs)
+			}
 		}
 		rep.Results = append(rep.Results, r)
 	}
@@ -123,6 +157,37 @@ func main() {
 		fmt.Fprintln(os.Stderr, "obsbench:", err)
 		os.Exit(1)
 	}
+}
+
+// runGate reads a recorded report and fails if the cluster-trace mode's
+// overhead exceeds the budget — the CI regression gate for the cross-node
+// observability layer.
+func runGate(path string, maxClusterPct float64) error {
+	data, err := os.ReadFile(path)
+	if err != nil {
+		return err
+	}
+	var rep report
+	if err := json.Unmarshal(data, &rep); err != nil {
+		return fmt.Errorf("%s: %w", path, err)
+	}
+	checked := 0
+	for _, r := range rep.Results {
+		if r.WallClusterTraceNs == 0 {
+			continue
+		}
+		checked++
+		fmt.Printf("gate: %s cluster_trace_overhead_pct = %.1f (budget %.1f)\n",
+			r.Workload, r.ClusterTracePct, maxClusterPct)
+		if r.ClusterTracePct > maxClusterPct {
+			return fmt.Errorf("%s: cluster-trace overhead %.1f%% exceeds budget %.1f%%",
+				r.Workload, r.ClusterTracePct, maxClusterPct)
+		}
+	}
+	if checked == 0 {
+		return fmt.Errorf("%s: no cluster-trace results to gate (regenerate with obsbench)", path)
+	}
+	return nil
 }
 
 // attach instruments a machine for the given mode.
@@ -179,7 +244,21 @@ func runPingPong(md mode) (uint64, uint64, time.Duration, error) {
 		n.M.MapRange(0x200000, 1<<16, mem.KindCached)
 		attach(n.M, md)
 	}
-	ping, pong := bench.PingPongPrograms(bench.SendCSB, 200)
+	if md == modeClusterTrace {
+		// The full PR 6 stack: per-node journeys + wire spans + live
+		// telemetry frames (published, not served — the publish path is
+		// the per-tick cost).
+		if _, err := c.AttachTrace(journey.DefaultConfig(), ctrace.DefaultConfig()); err != nil {
+			return 0, 0, 0, err
+		}
+		if err := c.AttachTelemetry(telemetry.New(), 10_000); err != nil {
+			return 0, 0, 0, err
+		}
+	}
+	// Enough rounds that a run takes hundreds of milliseconds: scheduler
+	// hiccups on a loaded machine are amortized instead of dominating the
+	// overhead ratio the CI gate checks.
+	ping, pong := bench.PingPongPrograms(bench.SendCSB, 600)
 	pa, err := c.A.M.LoadSource("ping.s", ping)
 	if err != nil {
 		return 0, 0, 0, err

@@ -38,6 +38,8 @@ var Packages = []string{
 	"csbsim/internal/device",
 	"csbsim/internal/obs/counters",
 	"csbsim/internal/obs/journey",
+	"csbsim/internal/obs/telemetry",
+	"csbsim/internal/cluster",
 }
 
 // bannedTimeFuncs are the time-package entry points that read the wall

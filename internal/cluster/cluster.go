@@ -10,13 +10,27 @@
 // of these performance advantages in terms of realistic applications";
 // this package provides the substrate for that step (experiment X8:
 // ping-pong round-trip latency).
+//
+// Observability: AttachTrace extends the PR 5 per-node journey tracer
+// across the wire — every pumped packet carries a trace ID (a flight-keyed
+// side channel, never guest-visible) and the cluster stamps
+// wire_depart/wire_arrive/rx_enqueue/rx_drain hops in each node's own
+// cycle domain, merged by internal/cluster/ctrace into end-to-end
+// send→receive journeys. AttachCounters registers the cluster-level wire
+// counters in both nodes' registries (so they surface in reports and
+// watchdog dumps), and AttachTelemetry publishes live frames for the
+// csbtop dashboard on a sim-cycle cadence.
 package cluster
 
 import (
 	"fmt"
 
+	"csbsim/internal/cluster/ctrace"
 	"csbsim/internal/device"
 	"csbsim/internal/mem"
+	"csbsim/internal/obs/counters"
+	"csbsim/internal/obs/journey"
+	"csbsim/internal/obs/telemetry"
 	"csbsim/internal/sim"
 )
 
@@ -30,7 +44,13 @@ type Config struct {
 	// completing transmission to its words appearing in the receiver's
 	// RX queue.
 	WireLatency uint64
-	NIC         device.Config
+	// RxEnqueueDelay is the extra delay in CPU cycles between a packet
+	// arriving at the receiving NIC (wire_arrive) and its words becoming
+	// visible in the RX queue (rx_enqueue) — the receive-side staging the
+	// paper's NI discussion implies. 0 (the default) preserves the
+	// historical instant-enqueue behavior.
+	RxEnqueueDelay uint64
+	NIC            device.Config
 }
 
 // DefaultConfig builds two paper-default nodes joined by a 120-cycle wire
@@ -48,19 +68,34 @@ type Node struct {
 	delivered int // packets already forwarded to the peer
 }
 
+// Name returns the node's cluster-local name ("a" or "b").
+func (n *Node) Name() string { return n.name }
+
 // Cluster is two nodes and the wire between them.
 type Cluster struct {
 	A, B  *Node
 	cfg   Config
 	cycle uint64
-	// in-flight deliveries: packets waiting out the wire latency
+	// in-flight deliveries: packets waiting out the wire latency, then
+	// the RX staging delay
 	flights []flight
+
+	// Optional observability state; nil/zero when unattached.
+	tracer     *ctrace.Tracer
+	reg        *counters.Registry // cluster-level registry (ctrace hists, wire counters)
+	countersOn bool
+	telem      *telemetry.Streamer
+	telemEvery uint64
+	telemLeft  uint64
 }
 
 type flight struct {
-	to    *Node
-	words []uint64
-	due   uint64
+	to      *Node
+	words   []uint64
+	due     uint64 // cluster cycle the wire latency elapses (wire_arrive)
+	dueEnq  uint64 // cluster cycle the words enter the RX queue (rx_enqueue)
+	traceID uint64 // ctrace span, 0 when untraced
+	arrived bool
 }
 
 // New builds the cluster. Both nodes get identical configuration; the
@@ -102,6 +137,128 @@ func (n *Node) MapIO(csb bool) {
 // Cycle returns the global cluster cycle.
 func (c *Cluster) Cycle() uint64 { return c.cycle }
 
+// Nodes returns both nodes, A first (convenience for uniform wiring).
+func (c *Cluster) Nodes() [2]*Node { return [2]*Node{c.A, c.B} }
+
+// ---- observability attachment ----
+
+// AttachCounters creates (once) the cluster-level counter registry and
+// registers the wire counters — packets in flight, wire occupancy, and
+// each node's RX-queue high-water mark — in both nodes' PR 5 registries
+// (so they surface in per-node reports and watchdog dumps) as well as the
+// cluster registry (the telemetry "cluster" node).
+func (c *Cluster) AttachCounters() *counters.Registry {
+	if c.countersOn {
+		return c.reg
+	}
+	c.countersOn = true
+	c.reg = counters.NewRegistry()
+	for _, n := range c.Nodes() {
+		r := n.M.AttachCounters()
+		c.registerWireCounters(r)
+		nic := n.NIC
+		r.Counter("cluster/rx_highwater", func() uint64 { return uint64(nic.RxHighWater()) })
+	}
+	c.registerWireCounters(c.reg)
+	for _, n := range c.Nodes() {
+		nic := n.NIC
+		c.reg.Counter("cluster/"+n.name+"/rx_highwater", func() uint64 { return uint64(nic.RxHighWater()) })
+		c.reg.Counter("cluster/"+n.name+"/packets_sent", func() uint64 { return uint64(len(nic.Packets())) })
+		c.reg.Counter("cluster/"+n.name+"/rx_pending", func() uint64 { return uint64(nic.RxPending()) })
+	}
+	return c.reg
+}
+
+// registerWireCounters registers the shared wire-state counters in r.
+func (c *Cluster) registerWireCounters(r *counters.Registry) {
+	r.Counter("cluster/packets_in_flight", func() uint64 { return uint64(len(c.flights)) })
+	r.Counter("cluster/wire_occupancy_words", func() uint64 {
+		var words uint64
+		for i := range c.flights {
+			if !c.flights[i].arrived {
+				words += uint64(len(c.flights[i].words))
+			}
+		}
+		return words
+	})
+}
+
+// Registry returns the cluster-level counter registry (nil until
+// AttachCounters or AttachTrace).
+func (c *Cluster) Registry() *counters.Registry { return c.reg }
+
+// AttachTrace enables cross-node distributed tracing: per-node journey
+// tracers on both machines (jcfg), the wire-span tracer (tcfg) whose
+// histograms land in the cluster registry, and the NIC RX drain hooks.
+// Both nodes' clock offsets are aligned at zero — the lockstep cluster
+// shares one timeline; the offsets become real when nodes tick on their
+// own goroutines (ROADMAP item 3). Attach before running.
+func (c *Cluster) AttachTrace(jcfg journey.Config, tcfg ctrace.Config) (*ctrace.Tracer, error) {
+	if c.tracer != nil {
+		return c.tracer, nil
+	}
+	c.AttachCounters()
+	tr, err := ctrace.New(tcfg, c.reg)
+	if err != nil {
+		return nil, err
+	}
+	for _, n := range c.Nodes() {
+		if _, err := n.M.AttachJourneys(jcfg); err != nil {
+			return nil, err
+		}
+		node := n
+		n.NIC.SetRxDrainHook(func(id uint64) {
+			tr.PacketDrained(id, node.M.Cycle())
+		})
+		tr.SetAlign(n.name, 0)
+	}
+	c.tracer = tr
+	return tr, nil
+}
+
+// Trace returns the attached wire tracer, or nil.
+func (c *Cluster) Trace() *ctrace.Tracer { return c.tracer }
+
+// AttachTelemetry registers both nodes plus the cluster registry with the
+// streamer and publishes one frame every `every` cluster cycles while the
+// cluster runs. Attach before running; serve the streamer separately
+// (telemetry.Streamer.Serve).
+func (c *Cluster) AttachTelemetry(s *telemetry.Streamer, every uint64) error {
+	if every == 0 {
+		return fmt.Errorf("cluster: telemetry interval must be positive")
+	}
+	if c.telem != nil {
+		return fmt.Errorf("cluster: telemetry already attached")
+	}
+	c.AttachCounters()
+	for _, n := range c.Nodes() {
+		if err := s.AddNode(n.name, n.M.Counters()); err != nil {
+			return err
+		}
+	}
+	if err := s.AddNode("cluster", c.reg); err != nil {
+		return err
+	}
+	c.telem = s
+	c.telemEvery = every
+	c.telemLeft = every
+	return nil
+}
+
+// flushObs drains buffered observability state on any Run exit — both
+// nodes' partial metrics windows and one final telemetry frame — so a
+// wedged or faulted node still yields a partial dump, mirroring the
+// single-node flushObs abort behavior.
+func (c *Cluster) flushObs() {
+	c.A.M.FlushObs()
+	c.B.M.FlushObs()
+	if c.telem != nil {
+		c.telem.Publish(c.cycle)
+	}
+}
+
+// ---- simulation loop ----
+
 // Tick advances both nodes one CPU cycle and moves packets across the
 // wire.
 func (c *Cluster) Tick() {
@@ -111,10 +268,18 @@ func (c *Cluster) Tick() {
 	c.pump(c.A, c.B)
 	c.pump(c.B, c.A)
 	c.deliver()
+	if c.telem != nil {
+		c.telemLeft--
+		if c.telemLeft == 0 {
+			c.telemLeft = c.telemEvery
+			c.telem.Publish(c.cycle)
+		}
+	}
 }
 
 // pump picks up newly transmitted packets from `from` and puts them in
-// flight toward `to`.
+// flight toward `to`, opening a wire-trace span per packet when tracing
+// is attached.
 func (c *Cluster) pump(from, to *Node) {
 	pkts := from.NIC.Packets()
 	for ; from.delivered < len(pkts); from.delivered++ {
@@ -132,15 +297,59 @@ func (c *Cluster) pump(from, to *Node) {
 			}
 			words = append(words, w)
 		}
-		c.flights = append(c.flights, flight{to: to, words: words, due: c.cycle + c.cfg.WireLatency})
+		f := flight{to: to, words: words, due: c.cycle + c.cfg.WireLatency}
+		f.dueEnq = f.due + c.cfg.RxEnqueueDelay
+		if c.tracer != nil {
+			f.traceID = c.openSpan(from, to, &p)
+		}
+		c.flights = append(c.flights, f)
 	}
 }
 
+// openSpan starts a wire-trace span for a freshly pumped packet, grafting
+// the sender-side NIC stamps from the sender's journey tracer (the packet
+// carries its descriptor journey ID). When the journey has been evicted —
+// or the sender is untraced — the NIC's bus-cycle stamps are scaled to
+// the CPU-cycle domain as a fallback.
+func (c *Cluster) openSpan(from, to *Node, p *device.Packet) uint64 {
+	var fifoPush, txStart uint64
+	if jt := from.M.Journeys(); jt != nil && p.JID != 0 {
+		if j, ok := jt.Lookup(journey.KindNICDesc, p.JID); ok {
+			fifoPush = j.T[journey.HopStart]
+			txStart = j.T[journey.HopDepart]
+		}
+	}
+	if fifoPush == 0 {
+		fifoPush = p.FIFOPush * uint64(c.cfg.Node.Ratio)
+	}
+	if txStart == 0 {
+		txStart = fifoPush
+	}
+	return c.tracer.PacketDeparted(from.name, to.name, uint32(len(p.Data)),
+		p.JID, fifoPush, txStart, from.M.Cycle())
+}
+
+// deliver walks the in-flight set: a flight whose wire latency has
+// elapsed is stamped wire_arrive; once its RX staging delay has also
+// elapsed its words enter the receiver's RX queue (rx_enqueue) and the
+// flight retires.
 func (c *Cluster) deliver() {
 	kept := c.flights[:0]
-	for _, f := range c.flights {
-		if c.cycle >= f.due {
-			f.to.NIC.Deliver(f.words...)
+	for i := range c.flights {
+		f := c.flights[i]
+		if !f.arrived && c.cycle >= f.due {
+			f.arrived = true
+			if c.tracer != nil && f.traceID != 0 {
+				c.tracer.PacketArrived(f.traceID, f.to.M.Cycle())
+			}
+		}
+		if f.arrived && c.cycle >= f.dueEnq {
+			if c.tracer != nil && f.traceID != 0 {
+				f.to.NIC.DeliverTraced(f.traceID, f.words...)
+				c.tracer.PacketEnqueued(f.traceID, f.to.M.Cycle())
+			} else {
+				f.to.NIC.Deliver(f.words...)
+			}
 		} else {
 			kept = append(kept, f)
 		}
@@ -149,25 +358,32 @@ func (c *Cluster) deliver() {
 }
 
 // Run advances the cluster until both nodes halt (or maxCycles elapse).
+// Every error path flushes observability state first, so post-mortems of
+// a wedged or faulted node see everything up to the abort.
 func (c *Cluster) Run(maxCycles uint64) error {
 	for i := uint64(0); i < maxCycles; i++ {
 		if c.A.M.CPU.Halted() && c.B.M.CPU.Halted() {
 			if err := c.A.M.CPU.Err(); err != nil {
+				c.flushObs()
 				return fmt.Errorf("cluster: node a: %w", err)
 			}
 			if err := c.B.M.CPU.Err(); err != nil {
+				c.flushObs()
 				return fmt.Errorf("cluster: node b: %w", err)
 			}
 			return nil
 		}
 		if err := c.A.M.CPU.Err(); err != nil {
+			c.flushObs()
 			return fmt.Errorf("cluster: node a: %w", err)
 		}
 		if err := c.B.M.CPU.Err(); err != nil {
+			c.flushObs()
 			return fmt.Errorf("cluster: node b: %w", err)
 		}
 		c.Tick()
 	}
+	c.flushObs()
 	return fmt.Errorf("cluster: cycle limit %d reached (a halted=%v, b halted=%v)",
 		maxCycles, c.A.M.CPU.Halted(), c.B.M.CPU.Halted())
 }

@@ -1,0 +1,216 @@
+package ctrace
+
+import (
+	"bytes"
+	"encoding/json"
+	"strings"
+	"testing"
+
+	"csbsim/internal/obs/counters"
+)
+
+// drive runs one packet through the full span lifecycle.
+func drive(t *Tracer, fifo, txs, dep, arr, enq, drn uint64) uint64 {
+	id := t.PacketDeparted("a", "b", 64, 7, fifo, txs, dep)
+	t.PacketArrived(id, arr)
+	t.PacketEnqueued(id, enq)
+	t.PacketDrained(id, drn)
+	return id
+}
+
+func TestSpanLifecycle(t *testing.T) {
+	reg := counters.NewRegistry()
+	tr, err := New(Config{Window: 16}, reg)
+	if err != nil {
+		t.Fatal(err)
+	}
+	id := drive(tr, 100, 110, 150, 270, 270, 400)
+	if id != 1 {
+		t.Fatalf("first trace ID = %d, want 1", id)
+	}
+	if tr.Started() != 1 || tr.Completed() != 1 {
+		t.Fatalf("started=%d completed=%d, want 1/1", tr.Started(), tr.Completed())
+	}
+	spans := tr.Retained()
+	if len(spans) != 1 {
+		t.Fatalf("retained %d spans, want 1", len(spans))
+	}
+	s := spans[0]
+	if !s.Done || s.From != "a" || s.To != "b" || s.JID != 7 || s.Size != 64 {
+		t.Fatalf("bad span: %+v", s)
+	}
+	if s.E2E != 300 {
+		t.Fatalf("e2e = %d, want 300", s.E2E)
+	}
+	snap := reg.Snapshot()
+	if snap.Counters["ctrace/packets_completed"] != 1 {
+		t.Fatalf("completed counter = %d", snap.Counters["ctrace/packets_completed"])
+	}
+	if got := snap.Histograms["ctrace/hop/wire"].Max; got != 120 {
+		t.Fatalf("wire hop = %d, want 120", got)
+	}
+	if got := snap.Histograms["ctrace/e2e"].Max; got != 300 {
+		t.Fatalf("e2e hist = %d, want 300", got)
+	}
+}
+
+// TestHopSumMatchesE2E is the acceptance check: for every completed span,
+// the per-hop deltas of the merged (aligned) stamps telescope exactly to
+// the reported end-to-end latency — including when the two clock domains
+// are skewed.
+func TestHopSumMatchesE2E(t *testing.T) {
+	for _, offB := range []int64{0, 5000, -50} {
+		tr, err := New(Config{Window: 64}, nil)
+		if err != nil {
+			t.Fatal(err)
+		}
+		tr.SetAlign("a", 0)
+		tr.SetAlign("b", offB)
+		// Receiver stamps in b's skewed domain: true time minus the offset.
+		sub := func(v uint64) uint64 { return uint64(int64(v) - offB) }
+		drive(tr, 100, 120, 160, sub(280), sub(285), sub(512))
+		drive(tr, 900, 900, 950, sub(1070), sub(1070), sub(1100))
+		for _, s := range tr.Retained() {
+			if !s.Done {
+				t.Fatalf("offB=%d: span %d not done", offB, s.TraceID)
+			}
+			hopSum := (s.TxStart - s.FIFOPush) +
+				(s.WireDepart - s.TxStart) +
+				(s.WireArrive - s.WireDepart) +
+				(s.RxEnqueue - s.WireArrive) +
+				(s.RxDrain - s.RxEnqueue)
+			if hopSum != s.E2E {
+				t.Fatalf("offB=%d span %d: hop sum %d != e2e %d", offB, s.TraceID, hopSum, s.E2E)
+			}
+			if s.WireArrive < s.WireDepart {
+				t.Fatalf("offB=%d span %d: aligned arrive %d before depart %d",
+					offB, s.TraceID, s.WireArrive, s.WireDepart)
+			}
+		}
+		if got := tr.E2EHistogram().Count(); got != 2 {
+			t.Fatalf("offB=%d: e2e count %d, want 2", offB, got)
+		}
+	}
+}
+
+func TestStaleDropsOnRingEviction(t *testing.T) {
+	tr, err := New(Config{Window: 2}, nil)
+	if err != nil {
+		t.Fatal(err)
+	}
+	id1 := tr.PacketDeparted("a", "b", 8, 0, 1, 2, 3)
+	tr.PacketDeparted("a", "b", 8, 0, 4, 5, 6)
+	tr.PacketDeparted("a", "b", 8, 0, 7, 8, 9) // evicts id1
+	tr.PacketDrained(id1, 100)
+	if tr.stale != 1 {
+		t.Fatalf("stale = %d, want 1", tr.stale)
+	}
+	if tr.Completed() != 0 {
+		t.Fatalf("completed = %d, want 0", tr.Completed())
+	}
+}
+
+// TestDumpDeterministic: identical stamp sequences produce byte-identical
+// merged dumps.
+func TestDumpDeterministic(t *testing.T) {
+	mk := func() []byte {
+		tr, err := New(Config{Window: 8}, nil)
+		if err != nil {
+			t.Fatal(err)
+		}
+		tr.SetAlign("a", 0)
+		tr.SetAlign("b", 17)
+		drive(tr, 10, 12, 20, 140, 141, 200)
+		drive(tr, 300, 300, 310, 430, 430, 488)
+		var buf bytes.Buffer
+		if _, err := tr.WriteTo(&buf); err != nil {
+			t.Fatal(err)
+		}
+		return buf.Bytes()
+	}
+	a, b := mk(), mk()
+	if !bytes.Equal(a, b) {
+		t.Fatalf("dumps differ:\n%s\n----\n%s", a, b)
+	}
+	var d Dump
+	if err := json.Unmarshal(a, &d); err != nil {
+		t.Fatalf("dump not valid JSON: %v", err)
+	}
+	if d.Completed != 2 || len(d.Spans) != 2 {
+		t.Fatalf("dump completed=%d spans=%d, want 2/2", d.Completed, len(d.Spans))
+	}
+	if d.ClockOffsets["b"] != 17 {
+		t.Fatalf("clock offset b = %d, want 17", d.ClockOffsets["b"])
+	}
+}
+
+// TestStampPathZeroAlloc guards the wire stamp path: once the ring is
+// allocated, opening and stamping spans must not allocate.
+func TestStampPathZeroAlloc(t *testing.T) {
+	tr, err := New(Config{Window: 256}, nil)
+	if err != nil {
+		t.Fatal(err)
+	}
+	tr.SetAlign("a", 0)
+	tr.SetAlign("b", 0)
+	var cyc uint64
+	allocs := testing.AllocsPerRun(1000, func() {
+		cyc += 10
+		id := tr.PacketDeparted("a", "b", 32, 0, cyc, cyc+1, cyc+2)
+		tr.PacketArrived(id, cyc+120)
+		tr.PacketEnqueued(id, cyc+120)
+		tr.PacketDrained(id, cyc+150)
+	})
+	if allocs != 0 {
+		t.Fatalf("stamp path allocates: %v allocs/op", allocs)
+	}
+}
+
+func TestWritePerfetto(t *testing.T) {
+	tr, err := New(Config{Window: 8}, nil)
+	if err != nil {
+		t.Fatal(err)
+	}
+	drive(tr, 10, 12, 20, 140, 141, 200)
+	// One span still on the wire: sender-side slice only.
+	tr.PacketDeparted("b", "a", 16, 0, 500, 501, 510)
+	var buf bytes.Buffer
+	if _, err := tr.WritePerfetto(&buf); err != nil {
+		t.Fatal(err)
+	}
+	var doc struct {
+		TraceEvents []map[string]any `json:"traceEvents"`
+	}
+	if err := json.Unmarshal(buf.Bytes(), &doc); err != nil {
+		t.Fatalf("perfetto not valid JSON: %v", err)
+	}
+	var procs, slices, flowS, flowF int
+	for _, ev := range doc.TraceEvents {
+		switch ev["ph"] {
+		case "M":
+			if ev["name"] == "process_name" {
+				procs++
+			}
+		case "X":
+			slices++
+		case "s":
+			flowS++
+		case "f":
+			flowF++
+		}
+	}
+	if procs != 2 {
+		t.Fatalf("processes = %d, want 2", procs)
+	}
+	// Completed span: tx + rx slices; in-flight span: tx slice only.
+	if slices != 3 {
+		t.Fatalf("slices = %d, want 3", slices)
+	}
+	// Exactly one wire crossing completed → one flow arrow pair.
+	if flowS != 1 || flowF != 1 {
+		t.Fatalf("flow s/f = %d/%d, want 1/1", flowS, flowF)
+	}
+	if !strings.Contains(buf.String(), `"bp":"e"`) {
+		t.Fatal("flow finish missing bp:e binding")
+	}
+}

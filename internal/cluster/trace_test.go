@@ -1,0 +1,295 @@
+package cluster
+
+import (
+	"bytes"
+	"encoding/json"
+	"testing"
+
+	"csbsim/internal/cluster/ctrace"
+	"csbsim/internal/obs/journey"
+	"csbsim/internal/obs/telemetry"
+)
+
+// newTracedCluster builds a cluster with distributed tracing attached and
+// a one-packet send/recv guest pair loaded.
+func newTracedCluster(t *testing.T, wire, enqDelay uint64) *Cluster {
+	t.Helper()
+	cfg := DefaultConfig()
+	cfg.WireLatency = wire
+	cfg.RxEnqueueDelay = enqDelay
+	c, err := New(cfg)
+	if err != nil {
+		t.Fatal(err)
+	}
+	c.A.MapIO(false)
+	c.B.MapIO(false)
+	if _, err := c.AttachTrace(journey.DefaultConfig(), ctrace.DefaultConfig()); err != nil {
+		t.Fatal(err)
+	}
+	if _, err := c.A.M.LoadSource("send.s", sendProg(0xbeef)); err != nil {
+		t.Fatal(err)
+	}
+	if _, err := c.B.M.LoadSource("recv.s", recvProg); err != nil {
+		t.Fatal(err)
+	}
+	return c
+}
+
+// TestTracedRunMergedSpans is the acceptance check on a live cluster: the
+// traced run produces a merged dump whose per-hop latencies sum exactly
+// to the end-to-end figure, with every stamp in order.
+func TestTracedRunMergedSpans(t *testing.T) {
+	c := newTracedCluster(t, 80, 0)
+	if err := c.Run(1_000_000); err != nil {
+		t.Fatal(err)
+	}
+	tr := c.Trace()
+	if tr.Completed() != 1 {
+		t.Fatalf("completed spans = %d, want 1", tr.Completed())
+	}
+	spans := tr.Retained()
+	if len(spans) != 1 {
+		t.Fatalf("retained %d spans, want 1", len(spans))
+	}
+	s := spans[0]
+	if !s.Done || s.From != "a" || s.To != "b" {
+		t.Fatalf("bad span: %+v", s)
+	}
+	if s.JID == 0 {
+		t.Error("sender journey ID not grafted onto the wire span")
+	}
+	stamps := []uint64{s.FIFOPush, s.TxStart, s.WireDepart, s.WireArrive, s.RxEnqueue, s.RxDrain}
+	for i := 1; i < len(stamps); i++ {
+		if stamps[i] < stamps[i-1] {
+			t.Fatalf("hop %s (%d) precedes %s (%d)",
+				ctrace.HopNames[i], stamps[i], ctrace.HopNames[i-1], stamps[i-1])
+		}
+	}
+	hopSum := s.RxDrain - s.FIFOPush // telescoped
+	if hopSum != s.E2E || s.E2E == 0 {
+		t.Fatalf("hop sum %d vs e2e %d", hopSum, s.E2E)
+	}
+	// The wire hop must be at least the configured latency in CPU cycles.
+	if got := s.WireArrive - s.WireDepart; got < 80 {
+		t.Errorf("wire hop = %d cycles, want >= 80", got)
+	}
+	// And the registry histograms must agree with the span count.
+	snap := c.Registry().Snapshot()
+	if snap.Histograms["ctrace/e2e"].Count != 1 {
+		t.Errorf("e2e histogram count = %d, want 1", snap.Histograms["ctrace/e2e"].Count)
+	}
+	if snap.Counters["ctrace/packets_completed"] != 1 {
+		t.Errorf("packets_completed = %d, want 1", snap.Counters["ctrace/packets_completed"])
+	}
+}
+
+// TestTracedDumpDeterministic: repeated identical cluster runs produce
+// byte-identical merged dumps.
+func TestTracedDumpDeterministic(t *testing.T) {
+	run := func() []byte {
+		c := newTracedCluster(t, 50, 7)
+		if err := c.Run(1_000_000); err != nil {
+			t.Fatal(err)
+		}
+		var buf bytes.Buffer
+		if _, err := c.Trace().WriteTo(&buf); err != nil {
+			t.Fatal(err)
+		}
+		return buf.Bytes()
+	}
+	a, b := run(), run()
+	if !bytes.Equal(a, b) {
+		t.Fatalf("merged dumps differ across identical runs:\n%s\n----\n%s", a, b)
+	}
+}
+
+func TestRxEnqueueDelayDelaysDelivery(t *testing.T) {
+	cycles := func(delay uint64) uint64 {
+		c := newTracedCluster(t, 20, delay)
+		if err := c.Run(1_000_000); err != nil {
+			t.Fatal(err)
+		}
+		return c.Cycle()
+	}
+	fast := cycles(0)
+	slow := cycles(600)
+	if slow < fast+500 {
+		t.Errorf("rx enqueue delay not honored: %d vs %d cycles", fast, slow)
+	}
+}
+
+// TestClusterCountersInNodeRegistries: the wire counters are visible from
+// each node's own registry (report/watchdog path) and the cluster
+// registry.
+func TestClusterCountersInNodeRegistries(t *testing.T) {
+	c := newCluster(t, 40)
+	c.A.MapIO(false)
+	c.B.MapIO(false)
+	c.AttachCounters()
+	if _, err := c.A.M.LoadSource("send.s", sendProg(1)); err != nil {
+		t.Fatal(err)
+	}
+	if _, err := c.B.M.LoadSource("recv.s", recvProg); err != nil {
+		t.Fatal(err)
+	}
+	if err := c.Run(1_000_000); err != nil {
+		t.Fatal(err)
+	}
+	for _, n := range c.Nodes() {
+		snap := n.M.Counters().Snapshot()
+		for _, name := range []string{
+			"cluster/packets_in_flight", "cluster/wire_occupancy_words", "cluster/rx_highwater",
+		} {
+			if _, ok := snap.Counters[name]; !ok {
+				t.Errorf("node %s registry missing %s", n.Name(), name)
+			}
+		}
+	}
+	snap := c.Registry().Snapshot()
+	if snap.Counters["cluster/b/rx_highwater"] == 0 {
+		t.Error("receiver rx_highwater never rose above zero")
+	}
+	if snap.Counters["cluster/packets_in_flight"] != 0 {
+		t.Error("packets still in flight after both nodes halted")
+	}
+}
+
+// TestWireCountersDuringFlight: mid-run, with a long wire, the in-flight
+// and occupancy counters reflect the queued packet.
+func TestWireCountersDuringFlight(t *testing.T) {
+	c := newCluster(t, 10_000)
+	c.A.MapIO(false)
+	c.B.MapIO(false)
+	c.AttachCounters()
+	if _, err := c.A.M.LoadSource("send.s", sendProg(1)); err != nil {
+		t.Fatal(err)
+	}
+	if _, err := c.B.M.LoadSource("recv.s", recvProg); err != nil {
+		t.Fatal(err)
+	}
+	// Tick until the packet is pumped, well before the 10k-cycle wire
+	// latency elapses.
+	var sawFlight bool
+	for i := 0; i < 5000; i++ {
+		c.Tick()
+		snap := c.Registry().Snapshot()
+		if snap.Counters["cluster/packets_in_flight"] == 1 {
+			sawFlight = true
+			if snap.Counters["cluster/wire_occupancy_words"] != 1 {
+				t.Fatalf("occupancy = %d words, want 1", snap.Counters["cluster/wire_occupancy_words"])
+			}
+			break
+		}
+	}
+	if !sawFlight {
+		t.Fatal("packet never observed in flight")
+	}
+}
+
+// TestTelemetryCadence: frames are published on the configured sim-cycle
+// period and carry all three registered nodes.
+func TestTelemetryCadence(t *testing.T) {
+	c := newTracedCluster(t, 40, 0)
+	s := telemetry.New()
+	if err := c.AttachTelemetry(s, 100); err != nil {
+		t.Fatal(err)
+	}
+	if err := c.Run(1_000_000); err != nil {
+		t.Fatal(err)
+	}
+	data := s.Snapshot()
+	if data == nil {
+		t.Fatal("no telemetry frame published")
+	}
+	var f telemetry.Frame
+	if err := json.Unmarshal(data, &f); err != nil {
+		t.Fatal(err)
+	}
+	for _, n := range []string{"a", "b", "cluster"} {
+		if f.Nodes[n] == nil {
+			t.Errorf("frame missing node %q", n)
+		}
+	}
+	// One frame per 100 cycles, ± the final flush.
+	want := c.Cycle() / 100
+	if f.Seq < want || f.Seq > want+1 {
+		t.Errorf("published %d frames over %d cycles (period 100)", f.Seq, c.Cycle())
+	}
+	if f.Nodes["cluster"].Histograms["ctrace/e2e"].Count != 1 {
+		t.Errorf("cluster frame e2e count = %d, want 1",
+			f.Nodes["cluster"].Histograms["ctrace/e2e"].Count)
+	}
+}
+
+// TestRunErrorFlushesObs: a faulting node still yields a final telemetry
+// frame and a partial merged dump (satellite 1 — mirror of the
+// single-node flushObs abort behavior).
+func TestRunErrorFlushesObs(t *testing.T) {
+	cfg := DefaultConfig()
+	cfg.WireLatency = 30_000 // packet still on the wire at fault time
+	c, err := New(cfg)
+	if err != nil {
+		t.Fatal(err)
+	}
+	c.A.MapIO(false)
+	c.B.MapIO(false)
+	if _, err := c.AttachTrace(journey.DefaultConfig(), ctrace.DefaultConfig()); err != nil {
+		t.Fatal(err)
+	}
+	s := telemetry.New()
+	if err := c.AttachTelemetry(s, 1_000_000); err != nil { // period longer than the run
+		t.Fatal(err)
+	}
+	// A sends, spins long enough for its NIC to finish transmitting, then
+	// faults; B waits forever for a packet that is still crossing the wire
+	// when the cluster aborts.
+	src := `
+	.equ NICREG, 0x40000000
+	.equ PKTBUF, 0x40001000
+	set NICREG, %o0
+	set PKTBUF, %o1
+	set 1, %g1
+	stx %g1, [%o1]
+	membar
+	set 8, %g4
+	sll %g4, 48, %g4
+	stx %g4, [%o0]
+	membar
+	set 500, %g5
+spin:	dec %g5
+	tst %g5
+	bnz spin
+	set 0x70000000, %o1
+	ldx [%o1], %g1
+	halt
+`
+	if _, err := c.A.M.LoadSource("bad.s", src); err != nil {
+		t.Fatal(err)
+	}
+	if _, err := c.B.M.LoadSource("recv.s", recvProg); err != nil {
+		t.Fatal(err)
+	}
+	if err := c.Run(1_000_000); err == nil {
+		t.Fatal("expected node fault")
+	}
+	// The flush must have published a final frame despite the period never
+	// elapsing, and the tracer holds the partial (undelivered) span.
+	if s.Snapshot() == nil {
+		t.Fatal("no telemetry frame flushed on the error path")
+	}
+	spans := c.Trace().Retained()
+	if len(spans) != 1 || spans[0].Done {
+		t.Fatalf("expected one partial span, got %+v", spans)
+	}
+	var buf bytes.Buffer
+	if _, err := c.Trace().WriteTo(&buf); err != nil {
+		t.Fatal(err)
+	}
+	var d ctrace.Dump
+	if err := json.Unmarshal(buf.Bytes(), &d); err != nil {
+		t.Fatal(err)
+	}
+	if d.Started != 1 || d.Completed != 0 {
+		t.Fatalf("partial dump started=%d completed=%d, want 1/0", d.Started, d.Completed)
+	}
+}

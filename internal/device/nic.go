@@ -59,6 +59,11 @@ type Packet struct {
 	ViaDMA   bool
 	SrcAddr  uint64 // DMA source, 0 for PIO
 	FIFOPush uint64 // bus cycle the descriptor arrived
+	// JID is the sender-side descriptor journey ID (0 when untraced) — a
+	// tracing side channel carried with the packet so the cluster wire
+	// tracer can join the cross-node span to the sender's NIC hops. It is
+	// never guest-visible and does not affect simulated timing.
+	JID uint64
 }
 
 // Config parameterizes the NIC.
@@ -120,6 +125,15 @@ type NIC struct {
 
 	rxQueue []uint64
 	rxPops  uint64
+	// rxHighWater is the deepest the RX queue has ever been (in words) —
+	// the cluster-level backpressure signal the telemetry dashboard and
+	// the counter registry surface.
+	rxHighWater int
+	// rxSpans tracks packet boundaries inside the RX queue for drain
+	// tracing (only populated when rxDrained is set): head span's word
+	// count decrements per destructive pop, firing rxDrained at zero.
+	rxSpans   []rxSpan
+	rxSpanPos int // index of the head span (compacted when fully drained)
 
 	lastCycle uint64 // most recent bus cycle seen in TickBus
 	packets   []Packet
@@ -145,6 +159,15 @@ type NIC struct {
 	descQueued func(offset uint64, length int, viaDMA bool) uint64
 	txStarted  func(id uint64)
 	txDone     func(id uint64)
+	// rxDrained fires when the last word of a span delivered via
+	// DeliverTraced is popped by software (SetRxDrainHook).
+	rxDrained func(id uint64)
+}
+
+// rxSpan is one traced packet's word span inside the RX queue.
+type rxSpan struct {
+	id    uint64
+	words int
 }
 
 // SetJourneyHooks installs the descriptor-journey hooks (any may be
@@ -158,6 +181,12 @@ func (n *NIC) SetJourneyHooks(descQueued func(offset uint64, length int, viaDMA 
 	n.txDone = txDone
 }
 
+// SetRxDrainHook installs the RX drain hook: it fires with a span's ID
+// when the last word of a packet delivered via DeliverTraced is popped by
+// software. The hook enables span tracking; without it DeliverTraced
+// behaves exactly like Deliver.
+func (n *NIC) SetRxDrainHook(fn func(id uint64)) { n.rxDrained = fn }
+
 // RegisterCounters registers the NIC's counters with the unified
 // registry under prefix (e.g. "dev0"), as read closures over the live
 // device state.
@@ -167,6 +196,7 @@ func (n *NIC) RegisterCounters(prefix string, r *counters.Registry) {
 	r.Counter(prefix+"/bad_descs", func() uint64 { return n.badDescs })
 	r.Counter(prefix+"/rx_pops", func() uint64 { return n.rxPops })
 	r.Counter(prefix+"/rx_pending", func() uint64 { return uint64(len(n.rxQueue)) })
+	r.Counter(prefix+"/rx_highwater", func() uint64 { return uint64(n.rxHighWater) })
 }
 
 // SetFaultHooks installs the fault-injection hooks (either may be nil).
@@ -250,6 +280,7 @@ func (n *NIC) ReadTarget(pa uint64, size int) []byte {
 			v = n.rxQueue[0]
 			n.rxQueue = n.rxQueue[1:]
 			n.rxPops++
+			n.notePop()
 		}
 		putLE(out, v)
 	case off == RegRxCount:
@@ -262,7 +293,47 @@ func (n *NIC) ReadTarget(pa uint64, size int) []byte {
 // receive side).
 func (n *NIC) Deliver(words ...uint64) {
 	n.rxQueue = append(n.rxQueue, words...)
+	if d := len(n.rxQueue); d > n.rxHighWater {
+		n.rxHighWater = d
+	}
 }
+
+// DeliverTraced is Deliver plus span tracking: when an RX drain hook is
+// installed, the words are remembered as one packet span and the hook
+// fires with id when software pops the span's last word. Guest-visible
+// behavior is identical to Deliver.
+func (n *NIC) DeliverTraced(id uint64, words ...uint64) {
+	n.Deliver(words...)
+	if n.rxDrained != nil && len(words) > 0 {
+		n.rxSpans = append(n.rxSpans, rxSpan{id: id, words: len(words)})
+	}
+}
+
+// notePop advances the head RX span after one destructive pop, firing the
+// drain hook when a span empties.
+//
+//csb:hotpath
+func (n *NIC) notePop() {
+	if n.rxDrained == nil || n.rxSpanPos >= len(n.rxSpans) {
+		return
+	}
+	s := &n.rxSpans[n.rxSpanPos]
+	s.words--
+	if s.words > 0 {
+		return
+	}
+	n.rxDrained(s.id)
+	n.rxSpanPos++
+	if n.rxSpanPos == len(n.rxSpans) {
+		// All spans drained: reset the backing slice in place so the span
+		// queue stops growing across a long run.
+		n.rxSpans = n.rxSpans[:0]
+		n.rxSpanPos = 0
+	}
+}
+
+// RxHighWater returns the deepest the RX queue has ever been, in words.
+func (n *NIC) RxHighWater() int { return n.rxHighWater }
 
 // RxPending returns the number of undelivered RX words.
 func (n *NIC) RxPending() int { return len(n.rxQueue) }
@@ -393,6 +464,7 @@ func (n *NIC) TickBus(b *bus.Bus) {
 				ViaDMA:   n.cur.viaDMA,
 				SrcAddr:  n.cur.srcPA,
 				FIFOPush: n.cur.pushed,
+				JID:      n.cur.jid,
 			})
 			n.sending = false
 			n.intPending = true

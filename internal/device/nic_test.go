@@ -251,3 +251,51 @@ func TestRxCountIsNonDestructive(t *testing.T) {
 		t.Error("RegRxCount consumed data")
 	}
 }
+
+func TestDeliverTracedDrainHook(t *testing.T) {
+	n, _, _ := newRig(t, DefaultConfig())
+	var drained []uint64
+	n.SetRxDrainHook(func(id uint64) { drained = append(drained, id) })
+	n.DeliverTraced(101, 1, 2)     // two-word packet
+	n.DeliverTraced(102, 3)        // one-word packet
+	n.ReadTarget(base+RegRxPop, 8) // word 1 of pkt 101
+	if len(drained) != 0 {
+		t.Fatalf("drain fired mid-packet: %v", drained)
+	}
+	n.ReadTarget(base+RegRxPop, 8) // word 2 of pkt 101 → drain 101
+	n.ReadTarget(base+RegRxPop, 8) // pkt 102 → drain 102
+	if len(drained) != 2 || drained[0] != 101 || drained[1] != 102 {
+		t.Fatalf("drained = %v, want [101 102]", drained)
+	}
+	// Empty pops past the end never re-fire.
+	n.ReadTarget(base+RegRxPop, 8)
+	if len(drained) != 2 {
+		t.Fatalf("sentinel pop fired a drain: %v", drained)
+	}
+}
+
+func TestUntracedDeliverNoDrainHook(t *testing.T) {
+	n, _, _ := newRig(t, DefaultConfig())
+	var drained []uint64
+	n.SetRxDrainHook(func(id uint64) { drained = append(drained, id) })
+	n.Deliver(1, 2) // plain delivery: no span, no drain events
+	n.ReadTarget(base+RegRxPop, 8)
+	n.ReadTarget(base+RegRxPop, 8)
+	if len(drained) != 0 {
+		t.Fatalf("untraced delivery fired drains: %v", drained)
+	}
+}
+
+func TestRxHighWater(t *testing.T) {
+	n, _, _ := newRig(t, DefaultConfig())
+	n.Deliver(1, 2, 3)
+	n.ReadTarget(base+RegRxPop, 8)
+	n.Deliver(4) // pending back to 3, high water stays 3
+	if n.RxHighWater() != 3 {
+		t.Fatalf("high water = %d, want 3", n.RxHighWater())
+	}
+	n.Deliver(5) // pending 4 → new high water
+	if n.RxHighWater() != 4 {
+		t.Fatalf("high water = %d, want 4", n.RxHighWater())
+	}
+}

@@ -468,6 +468,21 @@ func (t *Tracer) NICTxDone(id uint64) {
 	}
 }
 
+// Lookup returns a copy of the journey with the given ID if it is still
+// resident in its kind's ring (it may have collected only some of its
+// stamps). The cluster wire tracer uses this at packet-departure time to
+// graft the sender-side NIC hops onto a cross-node span.
+func (t *Tracer) Lookup(k Kind, id uint64) (Journey, bool) {
+	if id == 0 || int(k) >= len(t.rings) {
+		return Journey{}, false
+	}
+	j := t.slot(k, id)
+	if j.ID != id {
+		return Journey{}, false
+	}
+	return *j, true
+}
+
 // ---- reporting ----
 
 // Started returns the number of journeys opened for a kind.

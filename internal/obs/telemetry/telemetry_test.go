@@ -1,0 +1,191 @@
+package telemetry
+
+import (
+	"bufio"
+	"encoding/json"
+	"net/http"
+	"strings"
+	"testing"
+	"time"
+
+	"csbsim/internal/obs/counters"
+)
+
+func newTestStreamer(t *testing.T) (*Streamer, *uint64, *counters.Histogram) {
+	t.Helper()
+	s := New()
+	reg := counters.NewRegistry()
+	var sent uint64
+	reg.Counter("nic/packets_sent", func() uint64 { return sent })
+	h := reg.Histogram("lat/e2e")
+	if err := s.AddNode("a", reg); err != nil {
+		t.Fatal(err)
+	}
+	return s, &sent, h
+}
+
+func TestPublishFramesAndDeltas(t *testing.T) {
+	s, sent, h := newTestStreamer(t)
+	if s.Snapshot() != nil {
+		t.Fatal("snapshot before first publish should be nil")
+	}
+
+	*sent = 3
+	h.Record(100)
+	h.Record(200)
+	s.Publish(1000)
+
+	var f Frame
+	if err := json.Unmarshal(s.Snapshot(), &f); err != nil {
+		t.Fatal(err)
+	}
+	if f.Cycle != 1000 || f.Seq != 1 {
+		t.Fatalf("frame cycle=%d seq=%d, want 1000/1", f.Cycle, f.Seq)
+	}
+	nf := f.Nodes["a"]
+	if nf == nil || nf.Counters["nic/packets_sent"] != 3 {
+		t.Fatalf("bad node frame: %+v", nf)
+	}
+	if nf.Histograms["lat/e2e"].Delta != 2 {
+		t.Fatalf("first-frame delta = %d, want 2", nf.Histograms["lat/e2e"].Delta)
+	}
+
+	// Second frame: one new sample → delta 1, cumulative count 3.
+	h.Record(50)
+	s.Publish(2000)
+	if err := json.Unmarshal(s.Snapshot(), &f); err != nil {
+		t.Fatal(err)
+	}
+	hf := f.Nodes["a"].Histograms["lat/e2e"]
+	if hf.Count != 3 || hf.Delta != 1 {
+		t.Fatalf("second frame count=%d delta=%d, want 3/1", hf.Count, hf.Delta)
+	}
+}
+
+func TestDuplicateNodeRejected(t *testing.T) {
+	s := New()
+	reg := counters.NewRegistry()
+	if err := s.AddNode("a", reg); err != nil {
+		t.Fatal(err)
+	}
+	if err := s.AddNode("a", reg); err == nil {
+		t.Fatal("duplicate node accepted")
+	}
+}
+
+// TestServeHTTP exercises the real HTTP surface: /snapshot returns the
+// latest frame, and /stream delivers at least one SSE event per publish.
+func TestServeHTTP(t *testing.T) {
+	s, sent, _ := newTestStreamer(t)
+	addr, stop, err := s.Serve("127.0.0.1:0")
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer stop()
+
+	*sent = 1
+	s.Publish(10)
+
+	resp, err := http.Get("http://" + addr + "/snapshot")
+	if err != nil {
+		t.Fatal(err)
+	}
+	var f Frame
+	if err := json.NewDecoder(resp.Body).Decode(&f); err != nil {
+		t.Fatal(err)
+	}
+	resp.Body.Close()
+	if f.Cycle != 10 || f.Nodes["a"].Counters["nic/packets_sent"] != 1 {
+		t.Fatalf("bad snapshot frame: %+v", f)
+	}
+
+	// Stream: connect, then publish while connected; expect the replayed
+	// latest frame plus the two live ones.
+	resp, err = http.Get("http://" + addr + "/stream")
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer resp.Body.Close()
+	if ct := resp.Header.Get("Content-Type"); ct != "text/event-stream" {
+		t.Fatalf("stream content-type = %q", ct)
+	}
+
+	frames := make(chan Frame, 8)
+	go func() {
+		sc := bufio.NewScanner(resp.Body)
+		for sc.Scan() {
+			line := sc.Text()
+			if !strings.HasPrefix(line, "data: ") {
+				continue
+			}
+			var f Frame
+			if json.Unmarshal([]byte(strings.TrimPrefix(line, "data: ")), &f) == nil {
+				frames <- f
+			}
+		}
+	}()
+
+	recv := func() Frame {
+		select {
+		case f := <-frames:
+			return f
+		case <-time.After(5 * time.Second):
+			t.Fatal("timed out waiting for SSE frame")
+			return Frame{}
+		}
+	}
+	if f := recv(); f.Seq != 1 {
+		t.Fatalf("replayed frame seq = %d, want 1", f.Seq)
+	}
+	// Give the handler a beat to register the subscriber before publishing.
+	for i := 0; i < 100; i++ {
+		s.mu.Lock()
+		n := len(s.subs)
+		s.mu.Unlock()
+		if n > 0 {
+			break
+		}
+		time.Sleep(5 * time.Millisecond)
+	}
+	*sent = 2
+	s.Publish(20)
+	if f := recv(); f.Seq != 2 || f.Cycle != 20 {
+		t.Fatalf("live frame seq=%d cycle=%d, want 2/20", f.Seq, f.Cycle)
+	}
+}
+
+// TestSlowSubscriberDropsNotBlocks: a subscriber that never drains its
+// channel must not stall Publish, and the gap is surfaced in Dropped.
+func TestSlowSubscriberDropsNotBlocks(t *testing.T) {
+	s, _, _ := newTestStreamer(t)
+	sub := &subscriber{ch: make(chan []byte, 1)}
+	s.mu.Lock()
+	s.subs[sub] = struct{}{}
+	s.mu.Unlock()
+
+	done := make(chan struct{})
+	go func() {
+		for i := uint64(1); i <= 100; i++ {
+			s.Publish(i)
+		}
+		close(done)
+	}()
+	select {
+	case <-done:
+	case <-time.After(5 * time.Second):
+		t.Fatal("Publish blocked on a slow subscriber")
+	}
+	if sub.dropped == 0 {
+		t.Fatal("expected dropped frames for a full channel")
+	}
+	// Drain the one buffered frame, then the next publish reports the gap.
+	<-sub.ch
+	s.Publish(101)
+	var f Frame
+	if err := json.Unmarshal(<-sub.ch, &f); err != nil {
+		t.Fatal(err)
+	}
+	if f.Dropped == 0 {
+		t.Fatal("gap not surfaced in Dropped")
+	}
+}

@@ -104,4 +104,13 @@ func (m *Machine) ExportJourneys() {
 // previously lost the final partial metrics window.
 func (m *Machine) flushObs() {
 	m.FlushMetrics()
+	if m.periodicFn != nil {
+		m.periodicFn(m.cycle)
+	}
 }
+
+// FlushObs drains buffered observability state (the final partial metrics
+// window, one last periodic-hook firing). Machine.Run's abort paths call
+// it internally; cluster.Run calls it on its own error paths so a wedged
+// node still yields a partial dump.
+func (m *Machine) FlushObs() { m.flushObs() }

@@ -140,6 +140,13 @@ type Machine struct {
 	journeys    *journey.Tracer
 	devCounters int // next device counter-prefix index
 
+	// Optional periodic hook (AttachPeriodic): fires every periodicEvery
+	// CPU cycles — the telemetry streamer's publish cadence. One nil
+	// check per tick when unattached.
+	periodicFn        func(cycle uint64)
+	periodicEvery     uint64
+	periodicCountdown uint64
+
 	console bytes.Buffer
 	cycle   uint64
 	// busCountdown reaches 0 every Ratio-th CPU cycle (a decrement and
@@ -353,6 +360,33 @@ func (m *Machine) Tick() {
 			m.sampleMetrics()
 		}
 	}
+	if m.periodicFn != nil {
+		m.periodicCountdown--
+		if m.periodicCountdown == 0 {
+			m.periodicCountdown = m.periodicEvery
+			m.periodicFn(m.cycle)
+		}
+	}
+}
+
+// AttachPeriodic installs a hook invoked every `every` CPU cycles with
+// the current cycle — the cadence driver for the telemetry streamer
+// (cmd/csbsim -telemetry) and any other live consumer. One hook per
+// machine; attach before running.
+func (m *Machine) AttachPeriodic(every uint64, fn func(cycle uint64)) error {
+	if every == 0 {
+		return fmt.Errorf("sim: periodic interval must be positive")
+	}
+	if fn == nil {
+		return fmt.Errorf("sim: nil periodic hook")
+	}
+	if m.periodicFn != nil {
+		return fmt.Errorf("sim: periodic hook already attached")
+	}
+	m.periodicFn = fn
+	m.periodicEvery = every
+	m.periodicCountdown = every
+	return nil
 }
 
 // Run executes until HALT or maxCycles elapse. It returns an error if the

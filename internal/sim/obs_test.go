@@ -216,3 +216,40 @@ func TestUnattachedMachineHasNoObservers(t *testing.T) {
 	}
 	m.FlushMetrics() // must be a no-op, not a panic
 }
+
+// TestAttachPeriodic verifies the generic periodic hook: one firing per
+// interval while running, plus exactly one more from the final flush.
+func TestAttachPeriodic(t *testing.T) {
+	m := runStoreLoop(t)
+	if err := m.AttachPeriodic(0, func(uint64) {}); err == nil {
+		t.Error("zero interval accepted")
+	}
+	if err := m.AttachPeriodic(10, nil); err == nil {
+		t.Error("nil hook accepted")
+	}
+	var fired int
+	var lastCycle uint64
+	if err := m.AttachPeriodic(250, func(cycle uint64) {
+		fired++
+		if cycle < lastCycle {
+			t.Fatalf("periodic cycle went backwards: %d after %d", cycle, lastCycle)
+		}
+		lastCycle = cycle
+	}); err != nil {
+		t.Fatal(err)
+	}
+	if err := m.AttachPeriodic(250, func(uint64) {}); err == nil {
+		t.Error("second periodic attach accepted")
+	}
+	if err := m.Run(1_000_000); err != nil {
+		t.Fatal(err)
+	}
+	m.FlushObs()
+	want := int(m.Cycle() / 250)
+	if fired < want || fired > want+2 {
+		t.Errorf("hook fired %d times over %d cycles (interval 250)", fired, m.Cycle())
+	}
+	if lastCycle != m.Cycle() {
+		t.Errorf("final flush fired at cycle %d, machine at %d", lastCycle, m.Cycle())
+	}
+}
