@@ -4,7 +4,7 @@ GO ?= go
 # Parallel workers for figure sweeps (cmd/csbfig -j); defaults to all cores.
 J ?= 0
 
-.PHONY: all build vet lint test race bench-smoke obsbench figures bench-simspeed zero-alloc faults journeys cluster-trace ci
+.PHONY: all build vet lint test race bench-smoke obsbench figures bench-simspeed bench-cluster zero-alloc faults journeys cluster-trace ci
 
 all: build
 
@@ -44,6 +44,13 @@ figures:
 # Re-measure raw simulator speed (tick rate + parallel figure speedup).
 bench-simspeed:
 	$(GO) run ./cmd/simspeed > BENCH_simspeed.json
+
+# Re-measure parallel cluster-engine scaling (1/2/4/8-node rates across
+# GOMAXPROCS, plus the two-node parallel-vs-lockstep overhead) and gate
+# the scheduler overhead at 5%.
+bench-cluster:
+	$(GO) run ./cmd/clusterspeed > BENCH_cluster.json
+	$(GO) run ./cmd/clusterspeed -gate BENCH_cluster.json
 
 # The steady-state zero-allocation check must run WITHOUT -race (the race
 # detector's instrumentation allocates); the race target skips it via its

@@ -1,24 +1,43 @@
-// Command csbcluster runs a traced two-node cluster: either the built-in
-// ping-pong workload (the paper's §7 "realistic application" step,
-// extension X8) or two caller-supplied SV9L programs, one per node.
+// Command csbcluster runs a traced N-node cluster in one of three modes:
+// the built-in two-node ping-pong workload (the paper's §7 "realistic
+// application" step, extension X8), caller-supplied SV9L programs (one
+// per node), or the open-loop serving workload (-serve): load-generator
+// clients streaming requests at a configured offered rate against server
+// nodes that reply via uncached PIO, CSB-batched stores or DMA.
 //
 // Usage:
 //
-//	csbcluster [flags]                  # built-in ping-pong
-//	csbcluster [flags] a.s b.s          # custom guests (a.s on node a)
+//	csbcluster [flags]                  # built-in ping-pong (two nodes)
+//	csbcluster [flags] a.s b.s [...]    # custom guests, one per node
+//	csbcluster -serve [flags]           # open-loop serving workload
+//
+// Topology flags (-nodes, -topology, -bandwidth, -link-depth) shape the
+// fabric; -engine picks the scheduler: "parallel" is the goroutine-per-
+// node conservative-lookahead engine (requires ≥1 cycle of wire latency),
+// "seq" its single-threaded reference, "lockstep" the classic
+// cycle-by-cycle loop, and "auto" (default) parallel when the wire allows
+// it. All three produce byte-identical results.
+//
+// Serving flags: -rate R offers R requests per 1000 cycles per client
+// (open loop — arrivals never wait for completions), -dist picks the
+// inter-arrival distribution, -servers the server node indices
+// (comma-separated; every other node is a client), -horizon the run
+// length, -req-words the request/reply size. The run reports per-client
+// and merged throughput/latency quantiles as JSON.
 //
 // Observability flags wire up the PR 6 cross-node layer: -trace FILE
 // writes the merged distributed-trace dump (per-packet spans with
 // fifo_push → tx_start → wire_depart → wire_arrive → rx_enqueue →
 // rx_drain stamps aligned onto the shared cluster timeline, plus per-hop
-// latency histograms), -perfetto FILE writes the two-timeline Chrome
-// trace (one process per node, flow arrows across the wire; load at
-// ui.perfetto.dev), and -telemetry ADDR serves live counter frames over
-// HTTP/SSE for csbtop while the cluster runs.
+// latency histograms), -perfetto FILE writes the per-node-timeline Chrome
+// trace (flow arrows across the wire; load at ui.perfetto.dev), and
+// -telemetry ADDR serves live counter frames over HTTP/SSE for csbtop
+// while the cluster runs.
 //
-// Example:
+// Examples:
 //
 //	csbcluster -send csb -rounds 50 -wire 120 -trace wire.json -v
+//	csbcluster -serve -nodes 4 -topology star -rate 2 -send csb -json
 package main
 
 import (
@@ -26,151 +45,247 @@ import (
 	"flag"
 	"fmt"
 	"os"
+	"strconv"
+	"strings"
 
 	"csbsim/internal/bench"
 	"csbsim/internal/cluster"
 	"csbsim/internal/cluster/ctrace"
+	"csbsim/internal/cluster/loadgen"
 	"csbsim/internal/mem"
 	"csbsim/internal/obs/counters"
 	"csbsim/internal/obs/journey"
 	"csbsim/internal/obs/telemetry"
 )
 
+type options struct {
+	rounds    int
+	send      string
+	nodes     int
+	topology  string
+	wire      uint64
+	bandwidth uint64
+	linkDepth int
+	enqDelay  uint64
+	engine    string
+	maxCycles uint64
+
+	serve    bool
+	rate     float64
+	dist     string
+	seed     uint64
+	servers  string
+	horizon  uint64
+	reqWords int
+
+	traceOut  string
+	perfetto  string
+	window    int
+	telemAddr string
+	telemEach uint64
+
+	verbose bool
+	jsonOut bool
+}
+
 func main() {
-	var (
-		rounds    = flag.Int("rounds", 30, "ping-pong rounds (built-in workload)")
-		send      = flag.String("send", "csb", "send method for the built-in workload: pio, csb or dma")
-		wire      = flag.Uint64("wire", 120, "wire latency in CPU cycles each way")
-		enqDelay  = flag.Uint64("rx-delay", 0, "extra RX staging delay in CPU cycles (wire_arrive to rx_enqueue)")
-		maxCycles = flag.Uint64("cycles", 100_000_000, "cluster cycle limit")
+	var o options
+	flag.IntVar(&o.rounds, "rounds", 30, "ping-pong rounds (built-in workload)")
+	flag.StringVar(&o.send, "send", "csb", "send/reply method: pio, csb or dma")
+	flag.IntVar(&o.nodes, "nodes", 0, "node count (default 2, or 4 with -serve)")
+	flag.StringVar(&o.topology, "topology", "", "fabric shape: mesh, ring or star (default mesh, or star with -serve)")
+	flag.Uint64Var(&o.wire, "wire", 120, "wire latency in CPU cycles each way")
+	flag.Uint64Var(&o.bandwidth, "bandwidth", 0, "link serialization cost in cycles per 8-byte word (0 = infinite)")
+	flag.IntVar(&o.linkDepth, "link-depth", 0, "max packets in flight per link (0 = unbounded)")
+	flag.Uint64Var(&o.enqDelay, "rx-delay", 0, "extra RX staging delay in CPU cycles (wire_arrive to rx_enqueue)")
+	flag.StringVar(&o.engine, "engine", "auto", "scheduler: auto, parallel, seq or lockstep")
+	flag.Uint64Var(&o.maxCycles, "cycles", 100_000_000, "cluster cycle limit")
 
-		traceOut  = flag.String("trace", "", "write the merged distributed-trace dump to FILE")
-		perfetto  = flag.String("perfetto", "", "write the two-timeline Chrome trace to FILE (load at ui.perfetto.dev)")
-		window    = flag.Int("trace-window", 0, "count of recent wire spans retained in the dump (0 = default 4096)")
-		telemAddr = flag.String("telemetry", "", "serve live cluster telemetry on ADDR (/snapshot, /stream; watch with csbtop)")
-		telemEach = flag.Uint64("telemetry-every", 10_000, "telemetry frame interval in cluster cycles")
+	flag.BoolVar(&o.serve, "serve", false, "run the open-loop serving workload")
+	flag.Float64Var(&o.rate, "rate", 1, "offered load per client in requests per 1000 cycles")
+	flag.StringVar(&o.dist, "dist", "uniform", "inter-arrival distribution: uniform, bursty or heavytail")
+	flag.Uint64Var(&o.seed, "seed", 1, "base PRNG seed (client i draws from seed+i)")
+	flag.StringVar(&o.servers, "servers", "0", "comma-separated server node indices; all other nodes are clients")
+	flag.Uint64Var(&o.horizon, "horizon", 300_000, "serving run length in cluster cycles")
+	flag.IntVar(&o.reqWords, "req-words", 8, "request/reply payload in 8-byte words (1..8)")
 
-		verbose = flag.Bool("v", false, "print the wire-hop histograms")
-		jsonOut = flag.Bool("json", false, "print the run summary as JSON")
-	)
+	flag.StringVar(&o.traceOut, "trace", "", "write the merged distributed-trace dump to FILE")
+	flag.StringVar(&o.perfetto, "perfetto", "", "write the per-node-timeline Chrome trace to FILE (load at ui.perfetto.dev)")
+	flag.IntVar(&o.window, "trace-window", 0, "count of recent wire spans retained in the dump (0 = default 4096)")
+	flag.StringVar(&o.telemAddr, "telemetry", "", "serve live cluster telemetry on ADDR (/snapshot, /stream; watch with csbtop)")
+	flag.Uint64Var(&o.telemEach, "telemetry-every", 10_000, "telemetry frame interval in cluster cycles")
+
+	flag.BoolVar(&o.verbose, "v", false, "print the wire-hop histograms")
+	flag.BoolVar(&o.jsonOut, "json", false, "print the run summary as JSON")
 	flag.Usage = func() {
-		fmt.Fprintf(os.Stderr, "usage: csbcluster [flags] [a.s b.s]\n")
+		fmt.Fprintf(os.Stderr, "usage: csbcluster [flags] [guest.s ...]\n")
 		flag.PrintDefaults()
 	}
 	flag.Parse()
-	if flag.NArg() != 0 && flag.NArg() != 2 {
-		flag.Usage()
-		os.Exit(2)
-	}
 
-	method, csb, err := parseSend(*send)
+	if err := run(&o, flag.Args()); err != nil {
+		fmt.Fprintln(os.Stderr, "csbcluster:", err)
+		os.Exit(1)
+	}
+}
+
+func run(o *options, args []string) error {
+	method, csb, err := parseSend(o.send)
 	if err != nil {
-		fatal(err)
+		return err
+	}
+	if o.serve && len(args) != 0 {
+		return fmt.Errorf("-serve and custom guests are mutually exclusive")
 	}
 
+	// Shape defaults depend on the mode: ping-pong wants the classic pair,
+	// serving wants a star of clients around a server hub.
 	cfg := cluster.DefaultConfig()
-	cfg.WireLatency = *wire
-	cfg.RxEnqueueDelay = *enqDelay
-	c, err := cluster.New(cfg)
-	if err != nil {
-		fatal(err)
+	cfg.WireLatency = o.wire
+	cfg.Bandwidth = o.bandwidth
+	cfg.LinkDepth = o.linkDepth
+	cfg.RxEnqueueDelay = o.enqDelay
+	cfg.Nodes = o.nodes
+	if cfg.Nodes == 0 {
+		if o.serve {
+			cfg.Nodes = 4
+		} else if len(args) > 0 {
+			cfg.Nodes = len(args)
+		} else {
+			cfg.Nodes = 2
+		}
 	}
-	for _, n := range c.Nodes() {
-		n.MapIO(csb)
-		n.M.MapRange(0x200000, 1<<16, mem.KindCached)
+	if o.topology == "" {
+		if o.serve {
+			cfg.Topology = cluster.TopoStar
+		}
+	} else if cfg.Topology, err = cluster.ParseTopology(o.topology); err != nil {
+		return err
+	}
+	if len(args) > 0 && len(args) != cfg.Nodes {
+		return fmt.Errorf("%d guest programs for %d nodes", len(args), cfg.Nodes)
+	}
+
+	var c *cluster.Cluster
+	if len(args) == 0 && !o.serve && cfg.Nodes == 2 {
+		c, err = cluster.NewPair(cfg) // historical "a"/"b" trace names
+	} else {
+		c, err = cluster.New(cfg)
+	}
+	if err != nil {
+		return err
 	}
 
 	// Telemetry implies tracing: csbtop's latency panel reads the ctrace
 	// histograms out of the cluster frames.
-	traced := *traceOut != "" || *perfetto != "" || *verbose || *jsonOut || *telemAddr != ""
+	traced := o.traceOut != "" || o.perfetto != "" || o.verbose || o.jsonOut || o.telemAddr != ""
 	if traced {
 		tcfg := ctrace.DefaultConfig()
-		if *window > 0 {
-			tcfg.Window = *window
+		if o.window > 0 {
+			tcfg.Window = o.window
 		}
 		if _, err := c.AttachTrace(journey.DefaultConfig(), tcfg); err != nil {
-			fatal(err)
+			return err
 		}
 	}
-	if *telemAddr != "" {
+	if o.telemAddr != "" {
 		streamer := telemetry.New()
-		if err := c.AttachTelemetry(streamer, *telemEach); err != nil {
-			fatal(err)
+		if err := c.AttachTelemetry(streamer, o.telemEach); err != nil {
+			return err
 		}
-		addr, stopTelem, err := streamer.Serve(*telemAddr)
+		addr, stopTelem, err := streamer.Serve(o.telemAddr)
 		if err != nil {
-			fatal(err)
+			return err
 		}
 		defer stopTelem()
 		fmt.Fprintf(os.Stderr, "csbcluster: telemetry on http://%s (snapshot: /snapshot, live: /stream)\n", addr)
 	}
 
-	var srcA, srcB, nameA, nameB string
-	if flag.NArg() == 2 {
-		nameA, nameB = flag.Arg(0), flag.Arg(1)
-		a, err := os.ReadFile(nameA)
-		if err != nil {
-			fatal(err)
+	var gens []*loadgen.Generator
+	var clients []int
+	switch {
+	case o.serve:
+		if gens, clients, err = setupServe(c, o, method); err != nil {
+			return err
 		}
-		b, err := os.ReadFile(nameB)
-		if err != nil {
-			fatal(err)
+	case len(args) > 0:
+		for i, path := range args {
+			src, err := os.ReadFile(path)
+			if err != nil {
+				return err
+			}
+			n := c.Node(i)
+			n.MapIO(csb)
+			n.M.MapRange(0x200000, 1<<16, mem.KindCached)
+			prog, err := n.M.LoadSource(path, string(src))
+			if err != nil {
+				return err
+			}
+			n.M.WarmProgram(prog)
 		}
-		srcA, srcB = string(a), string(b)
-	} else {
-		nameA, nameB = "ping.s", "pong.s"
-		srcA, srcB = bench.PingPongPrograms(method, *rounds)
+	default:
+		for _, n := range c.Nodes() {
+			n.MapIO(csb)
+			n.M.MapRange(0x200000, 1<<16, mem.KindCached)
+		}
+		ping, pong := bench.PingPongPrograms(method, o.rounds)
+		for i, src := range []string{ping, pong} {
+			name := []string{"ping.s", "pong.s"}[i]
+			prog, err := c.Node(i).M.LoadSource(name, src)
+			if err != nil {
+				return err
+			}
+			c.Node(i).M.WarmProgram(prog)
+		}
 	}
-	pa, err := c.A.M.LoadSource(nameA, srcA)
-	if err != nil {
-		fatal(err)
-	}
-	pb, err := c.B.M.LoadSource(nameB, srcB)
-	if err != nil {
-		fatal(err)
-	}
-	c.A.M.WarmProgram(pa)
-	c.B.M.WarmProgram(pb)
 
-	runErr := c.Run(*maxCycles)
+	runErr := runEngine(c, o)
 	// Dumps are written even on an aborted run: the partial spans are
-	// exactly what a post-mortem wants (cluster.Run has already flushed
+	// exactly what a post-mortem wants (the cluster has already flushed
 	// the observability state).
-	if *traceOut != "" {
-		writeFile(*traceOut, func(f *os.File) error {
+	if o.traceOut != "" {
+		if err := writeFile(o.traceOut, func(f *os.File) error {
 			_, err := c.Trace().WriteTo(f)
 			return err
-		})
+		}); err != nil {
+			return err
+		}
 	}
-	if *perfetto != "" {
-		writeFile(*perfetto, func(f *os.File) error {
+	if o.perfetto != "" {
+		if err := writeFile(o.perfetto, func(f *os.File) error {
 			_, err := c.Trace().WritePerfetto(f)
 			return err
-		})
+		}); err != nil {
+			return err
+		}
 	}
 	if runErr != nil {
-		fatal(runErr)
+		return runErr
 	}
 
+	if o.serve {
+		return reportServe(c, o, gens, clients)
+	}
 	switch {
-	case *jsonOut:
+	case o.jsonOut:
 		out := struct {
 			Cycles    uint64                      `json:"cycles"`
+			Nodes     int                         `json:"nodes"`
 			Rounds    int                         `json:"rounds,omitempty"`
 			Started   uint64                      `json:"packets_started"`
 			Completed uint64                      `json:"packets_completed"`
 			Hops      map[string]counters.Summary `json:"hops"`
-		}{Cycles: c.Cycle(), Started: c.Trace().Started(), Completed: c.Trace().Completed()}
-		if flag.NArg() == 0 {
-			out.Rounds = *rounds
+		}{Cycles: c.Cycle(), Nodes: c.NumNodes(), Started: c.Trace().Started(), Completed: c.Trace().Completed()}
+		if len(args) == 0 {
+			out.Rounds = o.rounds
 		}
 		out.Hops = c.Trace().BuildDump().Histograms
 		data, err := json.MarshalIndent(out, "", "  ")
 		if err != nil {
-			fatal(err)
+			return err
 		}
 		fmt.Println(string(data))
-	case *verbose:
+	case o.verbose:
 		fmt.Printf("cluster halted after %d cycles; %d packets crossed the wire (%d completed)\n",
 			c.Cycle(), c.Trace().Started(), c.Trace().Completed())
 		fmt.Print(c.Registry().Snapshot().Format())
@@ -182,6 +297,192 @@ func main() {
 			fmt.Printf("cluster halted after %d cycles\n", c.Cycle())
 		}
 	}
+	return nil
+}
+
+// setupServe loads server guests and attaches one load generator per
+// client node.
+func setupServe(c *cluster.Cluster, o *options, method bench.SendMethod) ([]*loadgen.Generator, []int, error) {
+	dist, err := loadgen.ParseDist(o.dist)
+	if err != nil {
+		return nil, nil, err
+	}
+	if o.rate <= 0 {
+		return nil, nil, fmt.Errorf("offered rate must be positive")
+	}
+	meanGap := uint64(1000 / o.rate)
+	if meanGap == 0 {
+		meanGap = 1
+	}
+	servers, err := parseServers(o.servers, c.NumNodes())
+	if err != nil {
+		return nil, nil, err
+	}
+	isServer := make(map[int]bool, len(servers))
+	for _, s := range servers {
+		isServer[s] = true
+	}
+	src, err := loadgen.ServerProgram(method, o.reqWords)
+	if err != nil {
+		return nil, nil, err
+	}
+	var gens []*loadgen.Generator
+	var clients []int
+	for i, n := range c.Nodes() {
+		if isServer[i] {
+			loadgen.ServerMapIO(n, method)
+			prog, err := n.M.LoadSource("server.s", src)
+			if err != nil {
+				return nil, nil, err
+			}
+			n.M.WarmProgram(prog)
+			continue
+		}
+		if _, err := n.M.LoadSource("client.s", "halt\n"); err != nil {
+			return nil, nil, err
+		}
+		// Clients steer to the servers they can reach (all of them in a
+		// mesh; in a star, the hub).
+		var reach []int
+		for _, s := range servers {
+			if _, ok := c.Link(i, s); ok {
+				reach = append(reach, s)
+			}
+		}
+		g := loadgen.New(loadgen.Config{
+			MeanGap: meanGap,
+			Dist:    dist,
+			Seed:    o.seed + uint64(i),
+			Words:   o.reqWords,
+			Servers: reach,
+		})
+		if err := g.Attach(c, i); err != nil {
+			return nil, nil, err
+		}
+		gens = append(gens, g)
+		clients = append(clients, i)
+	}
+	if len(gens) == 0 {
+		return nil, nil, fmt.Errorf("no client nodes (every node is a server)")
+	}
+	return gens, clients, nil
+}
+
+// reportServe aggregates the generators' accounting into the serving-run
+// summary.
+func reportServe(c *cluster.Cluster, o *options, gens []*loadgen.Generator, clients []int) error {
+	type clientOut struct {
+		Node  string        `json:"node"`
+		Stats loadgen.Stats `json:"stats"`
+		P50   uint64        `json:"p50_cycles"`
+		P99   uint64        `json:"p99_cycles"`
+	}
+	out := struct {
+		Cycles     uint64           `json:"cycles"`
+		Nodes      int              `json:"nodes"`
+		Topology   string           `json:"topology"`
+		Method     string           `json:"method"`
+		Dist       string           `json:"dist"`
+		RatePerK   float64          `json:"offered_per_kcycle_per_client"`
+		Clients    []clientOut      `json:"clients"`
+		Total      loadgen.Stats    `json:"total"`
+		Latency    counters.Summary `json:"latency"`
+		Throughput float64          `json:"completed_per_kcycle"`
+	}{
+		Cycles: c.Cycle(), Nodes: c.NumNodes(), Method: o.send, Dist: o.dist,
+		RatePerK: o.rate,
+	}
+	topo := o.topology
+	if topo == "" {
+		topo = cluster.TopoStar.String()
+	}
+	out.Topology = topo
+	merged := counters.NewHistogram("latency")
+	for k, g := range gens {
+		st := g.Stats()
+		out.Clients = append(out.Clients, clientOut{
+			Node:  c.Node(clients[k]).Name(),
+			Stats: st,
+			P50:   g.Latency().Quantile(0.5),
+			P99:   g.Latency().Quantile(0.99),
+		})
+		out.Total.Issued += st.Issued
+		out.Total.Completed += st.Completed
+		out.Total.Lost += st.Lost
+		out.Total.Stray += st.Stray
+		merged.Merge(g.Latency())
+	}
+	out.Latency = merged.Summary()
+	if c.Cycle() > 0 {
+		out.Throughput = 1000 * float64(out.Total.Completed) / float64(c.Cycle())
+	}
+	if o.jsonOut {
+		data, err := json.MarshalIndent(out, "", "  ")
+		if err != nil {
+			return err
+		}
+		fmt.Println(string(data))
+		return nil
+	}
+	fmt.Printf("serving run: %d cycles, %d clients → %d servers (%s, %s replies, %s arrivals)\n",
+		out.Cycles, len(gens), c.NumNodes()-len(gens), out.Topology, o.send, o.dist)
+	fmt.Printf("offered %.2f req/kcycle/client; issued %d, completed %d (%.2f/kcycle), lost %d, stray %d\n",
+		o.rate, out.Total.Issued, out.Total.Completed, out.Throughput, out.Total.Lost, out.Total.Stray)
+	fmt.Printf("latency: p50=%d p95=%d p99=%d max=%d cycles\n",
+		out.Latency.P50, out.Latency.P95, out.Latency.P99, out.Latency.Max)
+	if o.verbose {
+		fmt.Print(c.Registry().Snapshot().Format())
+	}
+	return nil
+}
+
+// runEngine dispatches to the scheduler the -engine flag picked.
+func runEngine(c *cluster.Cluster, o *options) error {
+	engine := o.engine
+	if engine == "auto" {
+		if o.wire == 0 {
+			engine = "lockstep"
+		} else {
+			engine = "parallel"
+		}
+	}
+	switch engine {
+	case "lockstep":
+		if o.serve {
+			return fmt.Errorf("-serve needs the windowed engine (-engine parallel or seq)")
+		}
+		return c.Run(o.maxCycles)
+	case "seq":
+		if o.serve {
+			return c.RunFor(o.horizon, false)
+		}
+		return c.RunSequentialRef(o.maxCycles)
+	case "parallel":
+		if o.serve {
+			return c.RunFor(o.horizon, true)
+		}
+		return c.RunParallel(o.maxCycles)
+	}
+	return fmt.Errorf("unknown engine %q (want auto, parallel, seq or lockstep)", o.engine)
+}
+
+func parseServers(s string, nodes int) ([]int, error) {
+	var out []int
+	for _, part := range strings.Split(s, ",") {
+		part = strings.TrimSpace(part)
+		if part == "" {
+			continue
+		}
+		v, err := strconv.Atoi(part)
+		if err != nil || v < 0 || v >= nodes {
+			return nil, fmt.Errorf("bad server node %q (cluster has %d nodes)", part, nodes)
+		}
+		out = append(out, v)
+	}
+	if len(out) == 0 {
+		return nil, fmt.Errorf("no server nodes in %q", s)
+	}
+	return out, nil
 }
 
 func parseSend(s string) (bench.SendMethod, bool, error) {
@@ -196,20 +497,14 @@ func parseSend(s string) (bench.SendMethod, bool, error) {
 	return 0, false, fmt.Errorf("unknown send method %q (want pio, csb or dma)", s)
 }
 
-func writeFile(path string, write func(*os.File) error) {
+func writeFile(path string, write func(*os.File) error) error {
 	f, err := os.Create(path)
 	if err != nil {
-		fatal(err)
+		return err
 	}
 	if err := write(f); err != nil {
-		fatal(err)
+		f.Close()
+		return err
 	}
-	if err := f.Close(); err != nil {
-		fatal(err)
-	}
-}
-
-func fatal(err error) {
-	fmt.Fprintln(os.Stderr, "csbcluster:", err)
-	os.Exit(1)
+	return f.Close()
 }

@@ -91,7 +91,9 @@ func render(f, prev *telemetry.Frame) {
 	for n := range f.Nodes {
 		names = append(names, n)
 	}
-	sort.Strings(names)
+	// Natural order: "n2" before "n10", so wide clusters render in
+	// topology order rather than lexicographically.
+	sort.Slice(names, func(i, j int) bool { return natLess(names[i], names[j]) })
 
 	fmt.Printf("%-10s %12s %8s %12s %8s\n", "node", "pkts sent", "Δsent", "rx pending", "rx hw")
 	for _, name := range names {
@@ -145,7 +147,64 @@ func render(f, prev *telemetry.Frame) {
 		}
 		break
 	}
+
+	// Serving-workload panel: the cluster registry carries one latency
+	// histogram and issued/completed counters per load-generator client.
+	for _, name := range names {
+		nf := f.Nodes[name]
+		var clients []string
+		for h := range nf.Histograms {
+			if strings.HasPrefix(h, "loadgen/") && strings.HasSuffix(h, "/latency") {
+				clients = append(clients, strings.TrimSuffix(strings.TrimPrefix(h, "loadgen/"), "/latency"))
+			}
+		}
+		if len(clients) == 0 {
+			continue
+		}
+		sort.Slice(clients, func(i, j int) bool { return natLess(clients[i], clients[j]) })
+		fmt.Printf("\n%-10s %10s %10s %8s %10s %10s\n", "client", "issued", "completed", "Δdone", "p50", "p99")
+		for _, cl := range clients {
+			h := nf.Histograms["loadgen/"+cl+"/latency"]
+			issued := nf.Counters["loadgen/"+cl+"/issued"]
+			done := nf.Counters["loadgen/"+cl+"/completed"]
+			fmt.Printf("%-10s %10d %10d %8d %10d %10d\n", cl, issued, done, h.Delta, h.P50, h.P99)
+		}
+		break
+	}
 	fmt.Println()
+}
+
+// natLess orders strings with embedded decimal runs numerically ("n2" <
+// "n10"), falling back to byte order.
+func natLess(a, b string) bool {
+	for len(a) > 0 && len(b) > 0 {
+		if isDigit(a[0]) && isDigit(b[0]) {
+			an, arest := splitNum(a)
+			bn, brest := splitNum(b)
+			if an != bn {
+				return an < bn
+			}
+			a, b = arest, brest
+			continue
+		}
+		if a[0] != b[0] {
+			return a[0] < b[0]
+		}
+		a, b = a[1:], b[1:]
+	}
+	return len(a) < len(b)
+}
+
+func isDigit(c byte) bool { return c >= '0' && c <= '9' }
+
+func splitNum(s string) (uint64, string) {
+	var v uint64
+	i := 0
+	for i < len(s) && isDigit(s[i]) {
+		v = v*10 + uint64(s[i]-'0')
+		i++
+	}
+	return v, s[i:]
 }
 
 // pick finds a counter by suffix match on the path's last segment chain:

@@ -235,11 +235,11 @@ func runStores(csb bool, md mode) (uint64, uint64, time.Duration, error) {
 func runPingPong(md mode) (uint64, uint64, time.Duration, error) {
 	cfg := cluster.DefaultConfig()
 	cfg.WireLatency = 60
-	c, err := cluster.New(cfg)
+	c, err := cluster.NewPair(cfg)
 	if err != nil {
 		return 0, 0, 0, err
 	}
-	for _, n := range []*cluster.Node{c.A, c.B} {
+	for _, n := range c.Nodes() {
 		n.MapIO(true)
 		n.M.MapRange(0x200000, 1<<16, mem.KindCached)
 		attach(n.M, md)
@@ -259,22 +259,22 @@ func runPingPong(md mode) (uint64, uint64, time.Duration, error) {
 	// hiccups on a loaded machine are amortized instead of dominating the
 	// overhead ratio the CI gate checks.
 	ping, pong := bench.PingPongPrograms(bench.SendCSB, 600)
-	pa, err := c.A.M.LoadSource("ping.s", ping)
+	pa, err := c.Node(0).M.LoadSource("ping.s", ping)
 	if err != nil {
 		return 0, 0, 0, err
 	}
-	pb, err := c.B.M.LoadSource("pong.s", pong)
+	pb, err := c.Node(1).M.LoadSource("pong.s", pong)
 	if err != nil {
 		return 0, 0, 0, err
 	}
-	c.A.M.WarmProgram(pa)
-	c.B.M.WarmProgram(pb)
+	c.Node(0).M.WarmProgram(pa)
+	c.Node(1).M.WarmProgram(pb)
 	start := time.Now()
 	if err := c.Run(100_000_000); err != nil {
 		return 0, 0, 0, err
 	}
 	elapsed := time.Since(start)
-	sa, sb := c.A.M.Stats(), c.B.M.Stats()
+	sa, sb := c.Node(0).M.Stats(), c.Node(1).M.Stats()
 	return c.Cycle(), sa.CPU.Retired + sb.CPU.Retired, elapsed, nil
 }
 

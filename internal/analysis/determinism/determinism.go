@@ -40,6 +40,10 @@ var Packages = []string{
 	"csbsim/internal/obs/journey",
 	"csbsim/internal/obs/telemetry",
 	"csbsim/internal/cluster",
+	// Covered by the prefix rule above, but listed explicitly: the load
+	// generator drives the serving experiments and must replay exactly
+	// from a seed (fault.PRNG only, no math/rand, no wall clock).
+	"csbsim/internal/cluster/loadgen",
 }
 
 // bannedTimeFuncs are the time-package entry points that read the wall

@@ -59,29 +59,29 @@ func TestCPIStackInvariantPingPong(t *testing.T) {
 	for _, method := range []SendMethod{SendPIO, SendCSB} {
 		cfg := cluster.DefaultConfig()
 		cfg.WireLatency = 60
-		c, err := cluster.New(cfg)
+		c, err := cluster.NewPair(cfg)
 		if err != nil {
 			t.Fatal(err)
 		}
-		for _, n := range []*cluster.Node{c.A, c.B} {
+		for _, n := range c.Nodes() {
 			n.MapIO(method == SendCSB)
 			n.M.MapRange(0x200000, 1<<16, mem.KindCached)
 		}
-		pa, err := c.A.M.LoadSource("ping.s", pingProgram(method, 5))
+		pa, err := c.Node(0).M.LoadSource("ping.s", pingProgram(method, 5))
 		if err != nil {
 			t.Fatal(err)
 		}
-		pb, err := c.B.M.LoadSource("pong.s", pongProgram(method, 5))
+		pb, err := c.Node(1).M.LoadSource("pong.s", pongProgram(method, 5))
 		if err != nil {
 			t.Fatal(err)
 		}
-		c.A.M.WarmProgram(pa)
-		c.B.M.WarmProgram(pb)
+		c.Node(0).M.WarmProgram(pa)
+		c.Node(1).M.WarmProgram(pb)
 		if err := c.Run(10_000_000); err != nil {
 			t.Fatal(err)
 		}
-		checkCPI(t, "pingpong/"+method.String()+"/A", c.A.M.Stats())
-		checkCPI(t, "pingpong/"+method.String()+"/B", c.B.M.Stats())
+		checkCPI(t, "pingpong/"+method.String()+"/A", c.Node(0).M.Stats())
+		checkCPI(t, "pingpong/"+method.String()+"/B", c.Node(1).M.Stats())
 	}
 }
 

@@ -106,24 +106,24 @@ func PingPongPrograms(method SendMethod, rounds int) (ping, pong string) {
 func MeasurePingPong(method SendMethod, rounds int, wireLatency uint64) (float64, error) {
 	cfg := cluster.DefaultConfig()
 	cfg.WireLatency = wireLatency
-	c, err := cluster.New(cfg)
+	c, err := cluster.NewPair(cfg)
 	if err != nil {
 		return 0, err
 	}
-	for _, n := range []*cluster.Node{c.A, c.B} {
+	for _, n := range c.Nodes() {
 		n.MapIO(method == SendCSB)
 		n.M.MapRange(0x200000, 1<<16, mem.KindCached)
 	}
-	pa, err := c.A.M.LoadSource("ping.s", pingProgram(method, rounds))
+	pa, err := c.Node(0).M.LoadSource("ping.s", pingProgram(method, rounds))
 	if err != nil {
 		return 0, err
 	}
-	pb, err := c.B.M.LoadSource("pong.s", pongProgram(method, rounds))
+	pb, err := c.Node(1).M.LoadSource("pong.s", pongProgram(method, rounds))
 	if err != nil {
 		return 0, err
 	}
-	c.A.M.WarmProgram(pa)
-	c.B.M.WarmProgram(pb)
+	c.Node(0).M.WarmProgram(pa)
+	c.Node(1).M.WarmProgram(pb)
 	if err := c.Run(100_000_000); err != nil {
 		return 0, err
 	}

@@ -1,15 +1,22 @@
-// Package cluster joins two simulated machines with a network wire,
+// Package cluster joins N simulated machines with a network fabric,
 // turning the single-node simulator into the workstation-cluster setting
 // that motivates the paper (§2: NOW-style fine-grain communication, DEC
 // Memory Channel, Atoll). Each node has its own NIC; packets transmitted
-// by one node are delivered — word by word, after a configurable wire
-// latency — into the other node's receive queue, where software picks
-// them up with destructive uncached loads.
+// by one node are routed over a directed link — after the link's latency,
+// serialization and queueing — into the destination node's receive queue,
+// where software picks them up with destructive uncached loads.
 //
-// The paper's §7 closes with "the next step is to evaluate the benefits
-// of these performance advantages in terms of realistic applications";
-// this package provides the substrate for that step (experiment X8:
-// ping-pong round-trip latency).
+// Topologies: full mesh, ring and star (see topology.go), with per-link
+// latency/bandwidth/queue-depth overrides. A guest steers packets with
+// the NIC's RegTxDest register; packets left on the default route go to
+// the topology's natural next hop.
+//
+// Execution engines: the classic lockstep Tick/Run loop (every node
+// advances one cycle per call — required when any link has zero latency),
+// and the windowed conservative-lookahead engine in engine.go
+// (RunParallel/RunSequentialRef/RunFor) that runs each node on its own
+// goroutine for whole windows of cycles, bounded by the minimum link
+// latency so no inbound packet can be missed.
 //
 // Observability: AttachTrace extends the PR 5 per-node journey tracer
 // across the wire — every pumped packet carries a trace ID (a flight-keyed
@@ -17,13 +24,17 @@
 // wire_depart/wire_arrive/rx_enqueue/rx_drain hops in each node's own
 // cycle domain, merged by internal/cluster/ctrace into end-to-end
 // send→receive journeys. AttachCounters registers the cluster-level wire
-// counters in both nodes' registries (so they surface in reports and
+// counters in every node's registry (so they surface in reports and
 // watchdog dumps), and AttachTelemetry publishes live frames for the
-// csbtop dashboard on a sim-cycle cadence.
+// csbtop dashboard on a sim-cycle cadence. All tracer mutations funnel
+// through per-node event logs replayed single-threaded (see engine.go),
+// so the same code path serves both engines and the parallel scheduler
+// stays byte-identical to the sequential reference.
 package cluster
 
 import (
 	"fmt"
+	"sort"
 
 	"csbsim/internal/cluster/ctrace"
 	"csbsim/internal/device"
@@ -37,13 +48,25 @@ import (
 // NICBase is where each node's NIC is mapped.
 const NICBase uint64 = 0x4000_0000
 
-// Config parameterizes the two-node cluster.
+// Config parameterizes the cluster.
 type Config struct {
 	Node sim.Config
-	// WireLatency is the delivery delay in *CPU cycles* from a packet
+	// Nodes is the node count (0 = the classic two-node pair).
+	Nodes int
+	// Topology selects the wiring (default full mesh; for two nodes all
+	// three shapes coincide).
+	Topology Topology
+	// WireLatency is the propagation delay in *CPU cycles* from a packet
 	// completing transmission to its words appearing in the receiver's
-	// RX queue.
+	// RX queue, applied to every link (override per link with SetLink).
+	// The windowed engine requires at least 1 on every link.
 	WireLatency uint64
+	// Bandwidth is the default link serialization cost in cycles per
+	// 8-byte word (0 = infinitely fast links).
+	Bandwidth uint64
+	// LinkDepth bounds packets in flight per link (0 = unbounded);
+	// overflow drops the packet and counts cluster/link_drops.
+	LinkDepth int
 	// RxEnqueueDelay is the extra delay in CPU cycles between a packet
 	// arriving at the receiving NIC (wire_arrive) and its words becoming
 	// visible in the RX queue (rx_enqueue) — the receive-side staging the
@@ -56,29 +79,103 @@ type Config struct {
 // DefaultConfig builds two paper-default nodes joined by a 120-cycle wire
 // (~200 ns at the paper's 600 MHz).
 func DefaultConfig() Config {
-	return Config{Node: sim.DefaultConfig(), WireLatency: 120, NIC: device.DefaultConfig()}
+	return Config{Node: sim.DefaultConfig(), Nodes: 2, WireLatency: 120, NIC: device.DefaultConfig()}
 }
 
-// Node is one machine plus its NIC.
+// NodeHook is a per-cycle host-side driver for one node (a load
+// generator): it runs before the node's machine tick each cycle, on the
+// node's own goroutine under the parallel engine, and may touch only that
+// node's state (its NIC, its registers). Returning false retires the
+// hook; a node with a live hook is kept ticking even when its CPU has
+// halted, so hook-injected NIC work still progresses.
+type NodeHook func(cycle uint64) bool
+
+// Node is one machine plus its NIC and its endpoint state on the fabric.
 type Node struct {
 	M   *sim.Machine
 	NIC *device.NIC
 
 	name      string
-	delivered int // packets already forwarded to the peer
+	idx       int
+	delivered int // packets already pumped off the NIC
+
+	hook     NodeHook
+	hookDone bool
+
+	// inbox holds this node's inbound flights ordered by (due, seq):
+	// [0:enqPos) fully delivered, [enqPos:arrPos) arrived but staging,
+	// [arrPos:) still on the wire. Only the owning node goroutine touches
+	// the positions during a window; the coordinator appends at barriers.
+	inbox  []flight
+	arrPos int
+	enqPos int
+
+	// outbox collects packets pumped off the NIC during a window, routed
+	// by the coordinator at the next barrier.
+	outbox []departure
+
+	// tlog defers tracer mutations made during a window (rx drain hooks,
+	// arrive/enqueue stamps) for single-threaded replay at the barrier.
+	tlog []traceEvent
+
+	// frozen marks a node the scheduler no longer ticks: its CPU halted
+	// with everything settled (and no live hook), or it faulted.
+	frozen bool
+	err    error
 }
 
-// Name returns the node's cluster-local name ("a" or "b").
+// Name returns the node's cluster-local name ("n0", "n1", … — or "a"/"b"
+// for the NewPair compatibility constructor).
 func (n *Node) Name() string { return n.name }
 
-// Cluster is two nodes and the wire between them.
+// Index returns the node's position in the topology.
+func (n *Node) Index() int { return n.idx }
+
+// flight is one packet scheduled onto a link, waiting out its due times
+// in the destination's inbox.
+type flight struct {
+	words   []uint64
+	due     uint64 // cluster cycle the wire latency elapses (wire_arrive)
+	dueEnq  uint64 // cluster cycle the words enter the RX queue (rx_enqueue)
+	traceID uint64 // ctrace span, 0 when untraced
+	seq     uint64 // global routing sequence — total delivery order tiebreak
+}
+
+// departure is one packet pumped off a NIC during a window, not yet
+// routed: the coordinator turns it into a flight at the barrier.
+type departure struct {
+	cycle   uint64 // pump cycle (wire_depart stamp)
+	dest    int    // explicit destination from RegTxDest, -1 = default route
+	size    uint32
+	jid     uint64 // sender-side descriptor journey ID, 0 untraced
+	fifoBus uint64 // NIC bus-cycle push stamp (fallback when journey evicted)
+	words   []uint64
+}
+
+// traceEvent is one deferred tracer mutation.
+type traceEvent struct {
+	kind  uint8
+	id    uint64
+	cycle uint64
+}
+
+const (
+	evArrive uint8 = iota
+	evEnqueue
+	evDrain
+)
+
+// Cluster is N nodes and the fabric between them.
 type Cluster struct {
-	A, B  *Node
+	nodes []*Node
 	cfg   Config
 	cycle uint64
-	// in-flight deliveries: packets waiting out the wire latency, then
-	// the RX staging delay
-	flights []flight
+	links [][]*link
+	route []int // default destination per node, -1 = must steer
+
+	seq        uint64 // flight sequence numbers (total routing order)
+	routeDrops uint64 // packets with no usable destination
+	linkDrops  uint64 // packets refused by a full link queue
 
 	// Optional observability state; nil/zero when unattached.
 	tracer     *ctrace.Tracer
@@ -86,22 +183,37 @@ type Cluster struct {
 	countersOn bool
 	telem      *telemetry.Streamer
 	telemEvery uint64
-	telemLeft  uint64
+	lastPub    uint64
 }
 
-type flight struct {
-	to      *Node
-	words   []uint64
-	due     uint64 // cluster cycle the wire latency elapses (wire_arrive)
-	dueEnq  uint64 // cluster cycle the words enter the RX queue (rx_enqueue)
-	traceID uint64 // ctrace span, 0 when untraced
-	arrived bool
-}
-
-// New builds the cluster. Both nodes get identical configuration; the
-// caller maps I/O space and loads programs on A.M and B.M.
+// New builds an N-node cluster (cfg.Nodes, default 2) wired per
+// cfg.Topology. Nodes are named "n0" … "n<N-1>". The caller maps I/O
+// space and loads programs on each node's machine.
 func New(cfg Config) (*Cluster, error) {
-	mk := func(name string) (*Node, error) {
+	if cfg.Nodes == 0 {
+		cfg.Nodes = 2
+	}
+	if cfg.Nodes < 1 {
+		return nil, fmt.Errorf("cluster: invalid node count %d", cfg.Nodes)
+	}
+	names := make([]string, cfg.Nodes)
+	for i := range names {
+		names[i] = fmt.Sprintf("n%d", i)
+	}
+	return newNamed(cfg, names)
+}
+
+// NewPair is the two-node compatibility constructor: the classic "a"/"b"
+// pair joined by one wire, matching the historical two-node cluster (and
+// its trace dumps) exactly.
+func NewPair(cfg Config) (*Cluster, error) {
+	cfg.Nodes = 2
+	return newNamed(cfg, []string{"a", "b"})
+}
+
+func newNamed(cfg Config, names []string) (*Cluster, error) {
+	c := &Cluster{cfg: cfg}
+	for i, name := range names {
 		m, err := sim.New(cfg.Node)
 		if err != nil {
 			return nil, err
@@ -110,17 +222,10 @@ func New(cfg Config) (*Cluster, error) {
 		if err := m.AddDevice(NICBase, device.RegionSize, "nic-"+name, nic, nic); err != nil {
 			return nil, err
 		}
-		return &Node{M: m, NIC: nic, name: name}, nil
+		c.nodes = append(c.nodes, &Node{M: m, NIC: nic, name: name, idx: i})
 	}
-	a, err := mk("a")
-	if err != nil {
-		return nil, err
-	}
-	b, err := mk("b")
-	if err != nil {
-		return nil, err
-	}
-	return &Cluster{A: a, B: b, cfg: cfg}, nil
+	c.links, c.route = buildLinks(cfg)
+	return c, nil
 }
 
 // MapIO maps the standard NIC layout into a node's PID-0 address space:
@@ -137,30 +242,48 @@ func (n *Node) MapIO(csb bool) {
 // Cycle returns the global cluster cycle.
 func (c *Cluster) Cycle() uint64 { return c.cycle }
 
-// Nodes returns both nodes, A first (convenience for uniform wiring).
-func (c *Cluster) Nodes() [2]*Node { return [2]*Node{c.A, c.B} }
+// NumNodes returns the node count.
+func (c *Cluster) NumNodes() int { return len(c.nodes) }
+
+// Node returns node i.
+func (c *Cluster) Node(i int) *Node { return c.nodes[i] }
+
+// Nodes returns all nodes in topology order. The returned slice is the
+// cluster's own — treat it as read-only.
+func (c *Cluster) Nodes() []*Node { return c.nodes }
+
+// SetNodeHook installs a per-cycle host-side driver on node i (see
+// NodeHook). Install before running.
+func (c *Cluster) SetNodeHook(i int, h NodeHook) {
+	c.nodes[i].hook = h
+	c.nodes[i].hookDone = false
+}
+
+// hookActive reports whether the node has a live hook.
+func (n *Node) hookActive() bool { return n.hook != nil && !n.hookDone }
 
 // ---- observability attachment ----
 
 // AttachCounters creates (once) the cluster-level counter registry and
-// registers the wire counters — packets in flight, wire occupancy, and
-// each node's RX-queue high-water mark — in both nodes' PR 5 registries
-// (so they surface in per-node reports and watchdog dumps) as well as the
-// cluster registry (the telemetry "cluster" node).
+// registers the fabric counters — packets in flight, wire occupancy,
+// routing/link drops, and each node's RX-queue high-water mark — in every
+// node's PR 5 registry (so they surface in per-node reports and watchdog
+// dumps) as well as the cluster registry (the telemetry "cluster" node).
 func (c *Cluster) AttachCounters() *counters.Registry {
 	if c.countersOn {
 		return c.reg
 	}
 	c.countersOn = true
 	c.reg = counters.NewRegistry()
-	for _, n := range c.Nodes() {
+	for _, n := range c.nodes {
 		r := n.M.AttachCounters()
 		c.registerWireCounters(r)
 		nic := n.NIC
 		r.Counter("cluster/rx_highwater", func() uint64 { return uint64(nic.RxHighWater()) })
 	}
 	c.registerWireCounters(c.reg)
-	for _, n := range c.Nodes() {
+	c.reg.Counter("cluster/nodes", func() uint64 { return uint64(len(c.nodes)) })
+	for _, n := range c.nodes {
 		nic := n.NIC
 		c.reg.Counter("cluster/"+n.name+"/rx_highwater", func() uint64 { return uint64(nic.RxHighWater()) })
 		c.reg.Counter("cluster/"+n.name+"/packets_sent", func() uint64 { return uint64(len(nic.Packets())) })
@@ -169,18 +292,28 @@ func (c *Cluster) AttachCounters() *counters.Registry {
 	return c.reg
 }
 
-// registerWireCounters registers the shared wire-state counters in r.
+// registerWireCounters registers the shared fabric-state counters in r.
+// The closures walk per-node inboxes; they are only read at barriers or
+// after a run, when the node goroutines are parked.
 func (c *Cluster) registerWireCounters(r *counters.Registry) {
-	r.Counter("cluster/packets_in_flight", func() uint64 { return uint64(len(c.flights)) })
+	r.Counter("cluster/packets_in_flight", func() uint64 {
+		var n uint64
+		for _, nd := range c.nodes {
+			n += uint64(len(nd.inbox) - nd.enqPos)
+		}
+		return n
+	})
 	r.Counter("cluster/wire_occupancy_words", func() uint64 {
 		var words uint64
-		for i := range c.flights {
-			if !c.flights[i].arrived {
-				words += uint64(len(c.flights[i].words))
+		for _, nd := range c.nodes {
+			for i := nd.arrPos; i < len(nd.inbox); i++ {
+				words += uint64(len(nd.inbox[i].words))
 			}
 		}
 		return words
 	})
+	r.Counter("cluster/route_drops", func() uint64 { return c.routeDrops })
+	r.Counter("cluster/link_drops", func() uint64 { return c.linkDrops })
 }
 
 // Registry returns the cluster-level counter registry (nil until
@@ -188,11 +321,13 @@ func (c *Cluster) registerWireCounters(r *counters.Registry) {
 func (c *Cluster) Registry() *counters.Registry { return c.reg }
 
 // AttachTrace enables cross-node distributed tracing: per-node journey
-// tracers on both machines (jcfg), the wire-span tracer (tcfg) whose
+// tracers on every machine (jcfg), the wire-span tracer (tcfg) whose
 // histograms land in the cluster registry, and the NIC RX drain hooks.
-// Both nodes' clock offsets are aligned at zero — the lockstep cluster
-// shares one timeline; the offsets become real when nodes tick on their
-// own goroutines (ROADMAP item 3). Attach before running.
+// Every node's clock offset is aligned at zero: the lookahead barrier
+// keeps all node clocks within one window of the cluster cycle, and all
+// stamps are taken in cluster cycles, so the domains coincide exactly —
+// SetAlign stays the single point where a skewed fabric would be
+// re-aligned. Attach before running.
 func (c *Cluster) AttachTrace(jcfg journey.Config, tcfg ctrace.Config) (*ctrace.Tracer, error) {
 	if c.tracer != nil {
 		return c.tracer, nil
@@ -202,13 +337,16 @@ func (c *Cluster) AttachTrace(jcfg journey.Config, tcfg ctrace.Config) (*ctrace.
 	if err != nil {
 		return nil, err
 	}
-	for _, n := range c.Nodes() {
+	for _, n := range c.nodes {
 		if _, err := n.M.AttachJourneys(jcfg); err != nil {
 			return nil, err
 		}
 		node := n
+		// Drain stamps are deferred to the node's event log and replayed
+		// at the barrier: the hook fires on the node's goroutine under the
+		// parallel engine, where the shared tracer must not be touched.
 		n.NIC.SetRxDrainHook(func(id uint64) {
-			tr.PacketDrained(id, node.M.Cycle())
+			node.logEvent(evDrain, id, node.M.Cycle())
 		})
 		tr.SetAlign(n.name, 0)
 	}
@@ -219,9 +357,10 @@ func (c *Cluster) AttachTrace(jcfg journey.Config, tcfg ctrace.Config) (*ctrace.
 // Trace returns the attached wire tracer, or nil.
 func (c *Cluster) Trace() *ctrace.Tracer { return c.tracer }
 
-// AttachTelemetry registers both nodes plus the cluster registry with the
+// AttachTelemetry registers every node plus the cluster registry with the
 // streamer and publishes one frame every `every` cluster cycles while the
-// cluster runs. Attach before running; serve the streamer separately
+// cluster runs (under the windowed engine, at the first barrier past each
+// interval). Attach before running; serve the streamer separately
 // (telemetry.Streamer.Serve).
 func (c *Cluster) AttachTelemetry(s *telemetry.Streamer, every uint64) error {
 	if every == 0 {
@@ -231,7 +370,7 @@ func (c *Cluster) AttachTelemetry(s *telemetry.Streamer, every uint64) error {
 		return fmt.Errorf("cluster: telemetry already attached")
 	}
 	c.AttachCounters()
-	for _, n := range c.Nodes() {
+	for _, n := range c.nodes {
 		if err := s.AddNode(n.name, n.M.Counters()); err != nil {
 			return err
 		}
@@ -241,49 +380,38 @@ func (c *Cluster) AttachTelemetry(s *telemetry.Streamer, every uint64) error {
 	}
 	c.telem = s
 	c.telemEvery = every
-	c.telemLeft = every
 	return nil
 }
 
-// flushObs drains buffered observability state on any Run exit — both
-// nodes' partial metrics windows and one final telemetry frame — so a
-// wedged or faulted node still yields a partial dump, mirroring the
-// single-node flushObs abort behavior.
+// flushObs drains buffered observability state on any Run exit — every
+// node's partial metrics windows, the deferred trace logs, and one final
+// telemetry frame — so a wedged or faulted node still yields a partial
+// dump, mirroring the single-node flushObs abort behavior.
 func (c *Cluster) flushObs() {
-	c.A.M.FlushObs()
-	c.B.M.FlushObs()
+	c.drainTraceLogs()
+	for _, n := range c.nodes {
+		n.M.FlushObs()
+	}
 	if c.telem != nil {
 		c.telem.Publish(c.cycle)
 	}
 }
 
-// ---- simulation loop ----
+// ---- per-node window mechanics (shared by both engines) ----
 
-// Tick advances both nodes one CPU cycle and moves packets across the
-// wire.
-func (c *Cluster) Tick() {
-	c.A.M.Tick()
-	c.B.M.Tick()
-	c.cycle++
-	c.pump(c.A, c.B)
-	c.pump(c.B, c.A)
-	c.deliver()
-	if c.telem != nil {
-		c.telemLeft--
-		if c.telemLeft == 0 {
-			c.telemLeft = c.telemEvery
-			c.telem.Publish(c.cycle)
-		}
-	}
+// logEvent defers one tracer mutation to the node's event log.
+//
+//csb:hotpath
+func (n *Node) logEvent(kind uint8, id, cycle uint64) {
+	n.tlog = append(n.tlog, traceEvent{kind: kind, id: id, cycle: cycle}) //csb:alloc-ok amortized log growth, truncated each barrier
 }
 
-// pump picks up newly transmitted packets from `from` and puts them in
-// flight toward `to`, opening a wire-trace span per packet when tracing
-// is attached.
-func (c *Cluster) pump(from, to *Node) {
-	pkts := from.NIC.Packets()
-	for ; from.delivered < len(pkts); from.delivered++ {
-		p := pkts[from.delivered]
+// pump picks up newly transmitted packets from the node's NIC and stages
+// them in its outbox for routing at the next barrier.
+func (n *Node) pump(cycle uint64) {
+	pkts := n.NIC.Packets()
+	for ; n.delivered < len(pkts); n.delivered++ {
+		p := &pkts[n.delivered]
 		words := make([]uint64, 0, (len(p.Data)+7)/8)
 		for i := 0; i < len(p.Data); i += 8 {
 			var w uint64
@@ -297,93 +425,276 @@ func (c *Cluster) pump(from, to *Node) {
 			}
 			words = append(words, w)
 		}
-		f := flight{to: to, words: words, due: c.cycle + c.cfg.WireLatency}
-		f.dueEnq = f.due + c.cfg.RxEnqueueDelay
-		if c.tracer != nil {
-			f.traceID = c.openSpan(from, to, &p)
-		}
-		c.flights = append(c.flights, f)
+		n.outbox = append(n.outbox, departure{
+			cycle:   cycle,
+			dest:    p.Dest,
+			size:    uint32(len(p.Data)),
+			jid:     p.JID,
+			fifoBus: p.FIFOPush,
+			words:   words,
+		})
 	}
 }
 
-// openSpan starts a wire-trace span for a freshly pumped packet, grafting
+// applyDue advances the node's inbox to `cycle`: flights whose wire
+// latency elapsed are stamped wire_arrive, and flights whose staging
+// delay also elapsed enter the NIC RX queue (rx_enqueue). Stamps use the
+// flights' own due cycles, so catching a frozen node up over a whole
+// window is exact.
+//
+//csb:hotpath
+func (n *Node) applyDue(cycle uint64) {
+	for n.arrPos < len(n.inbox) && n.inbox[n.arrPos].due <= cycle {
+		f := &n.inbox[n.arrPos]
+		if f.traceID != 0 {
+			n.logEvent(evArrive, f.traceID, f.due)
+		}
+		n.arrPos++
+	}
+	for n.enqPos < n.arrPos && n.inbox[n.enqPos].dueEnq <= cycle {
+		f := &n.inbox[n.enqPos]
+		n.NIC.DeliverWords(f.traceID, f.words)
+		if f.traceID != 0 {
+			n.logEvent(evEnqueue, f.traceID, f.dueEnq)
+		}
+		f.words = nil
+		n.enqPos++
+	}
+}
+
+// ---- barrier mechanics (single-threaded) ----
+
+// drainTraceLogs replays every node's deferred tracer mutations into the
+// shared tracer, in node-index order. Arrive/enqueue/drain recordings
+// commute across packets (independent span stamps, order-free histogram
+// and counter updates), so replay order between nodes cannot affect the
+// final trace state — within a node the log is chronological.
+func (c *Cluster) drainTraceLogs() {
+	if c.tracer == nil {
+		return
+	}
+	for _, n := range c.nodes {
+		for i := range n.tlog {
+			ev := &n.tlog[i]
+			switch ev.kind {
+			case evArrive:
+				c.tracer.PacketArrived(ev.id, ev.cycle)
+			case evEnqueue:
+				c.tracer.PacketEnqueued(ev.id, ev.cycle)
+			case evDrain:
+				c.tracer.PacketDrained(ev.id, ev.cycle)
+			}
+		}
+		n.tlog = n.tlog[:0]
+	}
+}
+
+// routeAll drains every node's outbox in one global deterministic order —
+// (pump cycle, node index, push order) — turning departures into flights
+// scheduled on links and inserted into destination inboxes.
+func (c *Cluster) routeAll() {
+	pos := make([]int, len(c.nodes))
+	touched := false
+	for {
+		best := -1
+		for i, n := range c.nodes {
+			if pos[i] >= len(n.outbox) {
+				continue
+			}
+			if best == -1 || n.outbox[pos[i]].cycle < c.nodes[best].outbox[pos[best]].cycle {
+				best = i
+			}
+		}
+		if best == -1 {
+			break
+		}
+		c.routeOne(best, &c.nodes[best].outbox[pos[best]])
+		pos[best]++
+		touched = true
+	}
+	for _, n := range c.nodes {
+		n.outbox = n.outbox[:0]
+	}
+	if !touched {
+		return
+	}
+	// Restore (due, seq) order on every inbox tail that may have received
+	// out-of-order inserts (bandwidth queueing can reorder dues).
+	for _, n := range c.nodes {
+		tail := n.inbox[n.arrPos:]
+		if len(tail) > 1 {
+			sort.Slice(tail, func(a, b int) bool {
+				if tail[a].due != tail[b].due {
+					return tail[a].due < tail[b].due
+				}
+				return tail[a].seq < tail[b].seq
+			})
+		}
+	}
+}
+
+// routeOne schedules one departure onto its link.
+func (c *Cluster) routeOne(from int, d *departure) {
+	dest := d.dest
+	if dest < 0 {
+		dest = c.route[from]
+	}
+	if dest < 0 || dest >= len(c.nodes) || dest == from || c.links[from][dest] == nil {
+		c.routeDrops++
+		return
+	}
+	lk := c.links[from][dest]
+	if lk.Depth > 0 {
+		// Prune arrivals, then check the bound.
+		keep := lk.pending[:0]
+		for _, due := range lk.pending {
+			if due > d.cycle {
+				keep = append(keep, due)
+			}
+		}
+		lk.pending = keep
+		if len(lk.pending) >= lk.Depth {
+			c.linkDrops++
+			return
+		}
+	}
+	start := d.cycle
+	var due uint64
+	if lk.CyclesPerWord > 0 {
+		if lk.freeAt > start {
+			start = lk.freeAt
+		}
+		ser := lk.CyclesPerWord * uint64(len(d.words))
+		lk.freeAt = start + ser
+		due = start + ser + lk.Latency
+	} else {
+		due = start + lk.Latency
+	}
+	if lk.Depth > 0 {
+		lk.pending = append(lk.pending, due)
+	}
+	c.seq++
+	f := flight{
+		words:  d.words,
+		due:    due,
+		dueEnq: due + c.cfg.RxEnqueueDelay,
+		seq:    c.seq,
+	}
+	if c.tracer != nil {
+		f.traceID = c.openSpan(from, dest, d)
+	}
+	c.nodes[dest].inbox = append(c.nodes[dest].inbox, f)
+}
+
+// openSpan starts a wire-trace span for a freshly routed packet, grafting
 // the sender-side NIC stamps from the sender's journey tracer (the packet
 // carries its descriptor journey ID). When the journey has been evicted —
 // or the sender is untraced — the NIC's bus-cycle stamps are scaled to
 // the CPU-cycle domain as a fallback.
-func (c *Cluster) openSpan(from, to *Node, p *device.Packet) uint64 {
+func (c *Cluster) openSpan(from, dest int, d *departure) uint64 {
 	var fifoPush, txStart uint64
-	if jt := from.M.Journeys(); jt != nil && p.JID != 0 {
-		if j, ok := jt.Lookup(journey.KindNICDesc, p.JID); ok {
+	if jt := c.nodes[from].M.Journeys(); jt != nil && d.jid != 0 {
+		if j, ok := jt.Lookup(journey.KindNICDesc, d.jid); ok {
 			fifoPush = j.T[journey.HopStart]
 			txStart = j.T[journey.HopDepart]
 		}
 	}
 	if fifoPush == 0 {
-		fifoPush = p.FIFOPush * uint64(c.cfg.Node.Ratio)
+		fifoPush = d.fifoBus * uint64(c.cfg.Node.Ratio)
 	}
 	if txStart == 0 {
 		txStart = fifoPush
 	}
-	return c.tracer.PacketDeparted(from.name, to.name, uint32(len(p.Data)),
-		p.JID, fifoPush, txStart, from.M.Cycle())
+	return c.tracer.PacketDeparted(c.nodes[from].name, c.nodes[dest].name, d.size,
+		d.jid, fifoPush, txStart, d.cycle)
 }
 
-// deliver walks the in-flight set: a flight whose wire latency has
-// elapsed is stamped wire_arrive; once its RX staging delay has also
-// elapsed its words enter the receiver's RX queue (rx_enqueue) and the
-// flight retires.
-func (c *Cluster) deliver() {
-	kept := c.flights[:0]
-	for i := range c.flights {
-		f := c.flights[i]
-		if !f.arrived && c.cycle >= f.due {
-			f.arrived = true
-			if c.tracer != nil && f.traceID != 0 {
-				c.tracer.PacketArrived(f.traceID, f.to.M.Cycle())
-			}
-		}
-		if f.arrived && c.cycle >= f.dueEnq {
-			if c.tracer != nil && f.traceID != 0 {
-				f.to.NIC.DeliverTraced(f.traceID, f.words...)
-				c.tracer.PacketEnqueued(f.traceID, f.to.M.Cycle())
-			} else {
-				f.to.NIC.Deliver(f.words...)
-			}
-		} else {
-			kept = append(kept, f)
+// compactInboxes releases fully delivered inbox prefixes.
+func (c *Cluster) compactInboxes() {
+	for _, n := range c.nodes {
+		switch {
+		case n.enqPos == len(n.inbox):
+			n.inbox = n.inbox[:0]
+			n.arrPos, n.enqPos = 0, 0
+		case n.enqPos >= 1024:
+			kept := copy(n.inbox, n.inbox[n.enqPos:])
+			n.inbox = n.inbox[:kept]
+			n.arrPos -= n.enqPos
+			n.enqPos = 0
 		}
 	}
-	c.flights = kept
 }
 
-// Run advances the cluster until both nodes halt (or maxCycles elapse).
-// Every error path flushes observability state first, so post-mortems of
-// a wedged or faulted node see everything up to the abort.
+// maybePublish emits a telemetry frame once per cadence interval.
+func (c *Cluster) maybePublish() {
+	if c.telem != nil && c.cycle-c.lastPub >= c.telemEvery {
+		c.lastPub = c.cycle
+		c.telem.Publish(c.cycle)
+	}
+}
+
+// ---- lockstep engine ----
+
+// Tick advances every node one CPU cycle and moves packets across the
+// fabric. This is the classic lockstep engine: exact at any link latency
+// (including zero), one cycle per call.
+func (c *Cluster) Tick() {
+	next := c.cycle + 1
+	for _, n := range c.nodes {
+		if n.hookActive() {
+			if !n.hook(next) {
+				n.hookDone = true
+			}
+		}
+		n.M.Tick()
+	}
+	c.cycle = next
+	c.drainTraceLogs()
+	for _, n := range c.nodes {
+		n.pump(next)
+	}
+	c.routeAll()
+	for _, n := range c.nodes {
+		n.applyDue(next)
+	}
+	c.drainTraceLogs()
+	c.compactInboxes()
+	c.maybePublish()
+}
+
+// Run advances the cluster in lockstep until every node halts (or
+// maxCycles elapse). Every error path flushes observability state first,
+// so post-mortems of a wedged or faulted node see everything up to the
+// abort.
 func (c *Cluster) Run(maxCycles uint64) error {
 	for i := uint64(0); i < maxCycles; i++ {
-		if c.A.M.CPU.Halted() && c.B.M.CPU.Halted() {
-			if err := c.A.M.CPU.Err(); err != nil {
+		allHalted := true
+		for _, n := range c.nodes {
+			if err := n.M.CPU.Err(); err != nil {
 				c.flushObs()
-				return fmt.Errorf("cluster: node a: %w", err)
+				return fmt.Errorf("cluster: node %s: %w", n.name, err)
 			}
-			if err := c.B.M.CPU.Err(); err != nil {
-				c.flushObs()
-				return fmt.Errorf("cluster: node b: %w", err)
+			if !n.M.CPU.Halted() {
+				allHalted = false
 			}
+		}
+		if allHalted {
 			return nil
-		}
-		if err := c.A.M.CPU.Err(); err != nil {
-			c.flushObs()
-			return fmt.Errorf("cluster: node a: %w", err)
-		}
-		if err := c.B.M.CPU.Err(); err != nil {
-			c.flushObs()
-			return fmt.Errorf("cluster: node b: %w", err)
 		}
 		c.Tick()
 	}
 	c.flushObs()
-	return fmt.Errorf("cluster: cycle limit %d reached (a halted=%v, b halted=%v)",
-		maxCycles, c.A.M.CPU.Halted(), c.B.M.CPU.Halted())
+	return fmt.Errorf("cluster: cycle limit %d reached (%s)", maxCycles, c.haltSummary())
+}
+
+// haltSummary renders each node's halt state for limit-exceeded errors.
+func (c *Cluster) haltSummary() string {
+	s := ""
+	for i, n := range c.nodes {
+		if i > 0 {
+			s += ", "
+		}
+		s += fmt.Sprintf("%s halted=%v", n.name, n.M.CPU.Halted())
+	}
+	return s
 }

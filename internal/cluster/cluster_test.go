@@ -11,7 +11,7 @@ func newCluster(t *testing.T, wire uint64) *Cluster {
 	t.Helper()
 	cfg := DefaultConfig()
 	cfg.WireLatency = wire
-	c, err := New(cfg)
+	c, err := NewPair(cfg)
 	if err != nil {
 		t.Fatal(err)
 	}
@@ -66,18 +66,18 @@ func itoa(v int) string {
 
 func TestPacketCrossesWire(t *testing.T) {
 	c := newCluster(t, 50)
-	c.A.MapIO(false)
-	c.B.MapIO(false)
-	if _, err := c.A.M.LoadSource("send.s", sendProg(0x1234)); err != nil {
+	c.Node(0).MapIO(false)
+	c.Node(1).MapIO(false)
+	if _, err := c.Node(0).M.LoadSource("send.s", sendProg(0x1234)); err != nil {
 		t.Fatal(err)
 	}
-	if _, err := c.B.M.LoadSource("recv.s", recvProg); err != nil {
+	if _, err := c.Node(1).M.LoadSource("recv.s", recvProg); err != nil {
 		t.Fatal(err)
 	}
 	if err := c.Run(1_000_000); err != nil {
 		t.Fatal(err)
 	}
-	if got := c.B.M.RAM.ReadUint(0x20000, 8); got != 0x1234 {
+	if got := c.Node(1).M.RAM.ReadUint(0x20000, 8); got != 0x1234 {
 		t.Errorf("received word = %#x, want 0x1234", got)
 	}
 }
@@ -85,12 +85,12 @@ func TestPacketCrossesWire(t *testing.T) {
 func TestWireLatencyDelaysDelivery(t *testing.T) {
 	cycles := func(wire uint64) uint64 {
 		c := newCluster(t, wire)
-		c.A.MapIO(false)
-		c.B.MapIO(false)
-		if _, err := c.A.M.LoadSource("send.s", sendProg(1)); err != nil {
+		c.Node(0).MapIO(false)
+		c.Node(1).MapIO(false)
+		if _, err := c.Node(0).M.LoadSource("send.s", sendProg(1)); err != nil {
 			t.Fatal(err)
 		}
-		if _, err := c.B.M.LoadSource("recv.s", recvProg); err != nil {
+		if _, err := c.Node(1).M.LoadSource("recv.s", recvProg); err != nil {
 			t.Fatal(err)
 		}
 		if err := c.Run(1_000_000); err != nil {
@@ -107,8 +107,8 @@ func TestWireLatencyDelaysDelivery(t *testing.T) {
 
 func TestBidirectionalTraffic(t *testing.T) {
 	c := newCluster(t, 30)
-	c.A.MapIO(false)
-	c.B.MapIO(false)
+	c.Node(0).MapIO(false)
+	c.Node(1).MapIO(false)
 	// Each node sends a distinct word and receives the other's.
 	both := func(v int) string {
 		return `
@@ -132,30 +132,30 @@ wait:	ldx [%o0+0x28], %g1
 	halt
 `
 	}
-	if _, err := c.A.M.LoadSource("a.s", both(111)); err != nil {
+	if _, err := c.Node(0).M.LoadSource("a.s", both(111)); err != nil {
 		t.Fatal(err)
 	}
-	if _, err := c.B.M.LoadSource("b.s", both(222)); err != nil {
+	if _, err := c.Node(1).M.LoadSource("b.s", both(222)); err != nil {
 		t.Fatal(err)
 	}
 	if err := c.Run(1_000_000); err != nil {
 		t.Fatal(err)
 	}
-	if got := c.A.M.RAM.ReadUint(0x20000, 8); got != 222 {
+	if got := c.Node(0).M.RAM.ReadUint(0x20000, 8); got != 222 {
 		t.Errorf("node a received %d, want 222", got)
 	}
-	if got := c.B.M.RAM.ReadUint(0x20000, 8); got != 111 {
+	if got := c.Node(1).M.RAM.ReadUint(0x20000, 8); got != 111 {
 		t.Errorf("node b received %d, want 111", got)
 	}
 }
 
 func TestNodeFaultSurfaces(t *testing.T) {
 	c := newCluster(t, 0)
-	c.A.MapIO(false)
-	if _, err := c.A.M.LoadSource("bad.s", "set 0x70000000, %o1\nldx [%o1], %g1\nhalt\n"); err != nil {
+	c.Node(0).MapIO(false)
+	if _, err := c.Node(0).M.LoadSource("bad.s", "set 0x70000000, %o1\nldx [%o1], %g1\nhalt\n"); err != nil {
 		t.Fatal(err)
 	}
-	if _, err := c.B.M.LoadSource("ok.s", "halt\n"); err != nil {
+	if _, err := c.Node(1).M.LoadSource("ok.s", "halt\n"); err != nil {
 		t.Fatal(err)
 	}
 	if err := c.Run(1_000_000); err == nil {
@@ -165,12 +165,12 @@ func TestNodeFaultSurfaces(t *testing.T) {
 
 func TestMapIOCombining(t *testing.T) {
 	c := newCluster(t, 0)
-	c.A.MapIO(true)
-	pte, ok := c.A.M.AddressSpace(0).Lookup(NICBase + device.PacketBufBase)
+	c.Node(0).MapIO(true)
+	pte, ok := c.Node(0).M.AddressSpace(0).Lookup(NICBase + device.PacketBufBase)
 	if !ok || pte.Kind != mem.KindCombining {
 		t.Errorf("packet buffer not combining: %+v", pte)
 	}
-	pte, ok = c.A.M.AddressSpace(0).Lookup(NICBase)
+	pte, ok = c.Node(0).M.AddressSpace(0).Lookup(NICBase)
 	if !ok || pte.Kind != mem.KindUncached {
 		t.Errorf("registers not uncached: %+v", pte)
 	}

@@ -1,0 +1,316 @@
+// Package loadgen is the service-scale traffic model: an open-loop load
+// generator that streams request packets from client nodes at a
+// configurable offered rate against server nodes, measuring per-request
+// round-trip latency into the PR 5 histogram registry. It scales the
+// paper's microbenchmark story (§7 "realistic applications") to a
+// serving workload: many simulated users' requests multiplexed onto a
+// client node, servers answering with uncached-store, CSB-batched or DMA
+// replies, and throughput/p50/p99 curves versus offered load falling out
+// of the registry.
+//
+// The generator is a cluster.NodeHook: it runs on its node's goroutine
+// under the parallel engine and touches only that node's NIC (injecting
+// requests host-side, draining replies with destructive pops), so the
+// windowed scheduler's determinism guarantee extends to serving runs.
+// Open loop means arrivals never wait for completions — the
+// characteristic that exposes queueing collapse past saturation, which a
+// closed-loop (ping-pong) benchmark structurally cannot show.
+//
+// Inter-arrival gaps come from a seeded fault.PRNG under three
+// distributions (uniform, bursty, heavy-tailed Pareto), the synthetic
+// shapes the Boukhobza/Timsit trace-simulation work validates against.
+package loadgen
+
+import (
+	"fmt"
+	"math"
+
+	"csbsim/internal/cluster"
+	"csbsim/internal/device"
+	"csbsim/internal/fault"
+	"csbsim/internal/obs/counters"
+)
+
+// Dist selects the inter-arrival time distribution.
+type Dist int
+
+const (
+	// DistUniform draws gaps uniformly from [gap/2, 3·gap/2).
+	DistUniform Dist = iota
+	// DistBursty issues back-to-back bursts of 8 requests separated by
+	// long off-periods, preserving the configured mean rate.
+	DistBursty
+	// DistHeavyTail draws gaps from a Pareto(α=1.5) whose mean is the
+	// configured gap — rare very long gaps, many short ones.
+	DistHeavyTail
+)
+
+// ParseDist maps the CLI spellings onto a Dist.
+func ParseDist(s string) (Dist, error) {
+	switch s {
+	case "uniform":
+		return DistUniform, nil
+	case "bursty":
+		return DistBursty, nil
+	case "heavytail", "heavy-tail", "pareto":
+		return DistHeavyTail, nil
+	}
+	return 0, fmt.Errorf("unknown distribution %q (want uniform, bursty or heavytail)", s)
+}
+
+// String renders the distribution's canonical CLI spelling.
+func (d Dist) String() string {
+	switch d {
+	case DistUniform:
+		return "uniform"
+	case DistBursty:
+		return "bursty"
+	case DistHeavyTail:
+		return "heavytail"
+	}
+	return fmt.Sprintf("dist(%d)", int(d))
+}
+
+// burstLen is the fixed burst size of DistBursty.
+const burstLen = 8
+
+// pendingCap is the request-tracking ring size (power of two). A request
+// whose slot is overwritten before its reply arrives is counted lost —
+// the open-loop analogue of a timeout.
+const pendingCap = 1 << 13
+
+// Config parameterizes one generator.
+type Config struct {
+	// MeanGap is the mean inter-arrival time in CPU cycles (the offered
+	// rate is 1/MeanGap requests per cycle). Minimum 1.
+	MeanGap uint64
+	// Dist is the inter-arrival distribution.
+	Dist Dist
+	// Seed seeds the gap PRNG; two generators with equal seeds and
+	// configs issue identical request streams.
+	Seed uint64
+	// Words is the request (and reply) payload size in 8-byte words,
+	// 1..8; default 8 (one 64-byte line, the CSB batch unit).
+	Words int
+	// Servers lists the destination node indices, used round-robin.
+	Servers []int
+	// IssueUntil stops new requests after this cluster cycle (0 = never);
+	// the generator keeps draining replies afterwards.
+	IssueUntil uint64
+	// Warmup delays the first request until this cluster cycle.
+	Warmup uint64
+}
+
+// Stats is a generator's cumulative request accounting.
+type Stats struct {
+	Issued    uint64 `json:"issued"`
+	Completed uint64 `json:"completed"`
+	// Lost counts requests whose tracking slot was reused before a reply
+	// arrived (reply dropped, server overloaded, or still queued at run
+	// end — the open-loop overload signal).
+	Lost uint64 `json:"lost"`
+	// Stray counts reply packets that matched no outstanding request.
+	Stray uint64 `json:"stray"`
+}
+
+type pendingReq struct {
+	id     uint64
+	issued uint64
+	live   bool
+}
+
+// Generator drives one client node. Create with New, wire with Attach,
+// then run the cluster; read Stats and the latency histogram afterwards.
+type Generator struct {
+	cfg  Config
+	prng fault.PRNG
+
+	node *cluster.Node
+	self int
+
+	slots     int // packet-buffer ring slots
+	slotBytes uint64
+	nextIssue uint64
+	reqID     uint64
+	rrIdx     int
+
+	pending []pendingReq
+	stats   Stats
+
+	// reply reassembly: replies arrive packet-atomically, Words words each
+	rxHave int
+	rxHdr  uint64
+
+	hist    *counters.Histogram
+	scratch [8]byte
+}
+
+// New builds a generator. Validation happens in Attach, where the
+// cluster's shape is known.
+func New(cfg Config) *Generator {
+	if cfg.MeanGap == 0 {
+		cfg.MeanGap = 1000
+	}
+	if cfg.Words == 0 {
+		cfg.Words = 8
+	}
+	return &Generator{cfg: cfg, prng: fault.NewPRNG(cfg.Seed)}
+}
+
+// Attach binds the generator to node `self` of c: validates the server
+// set against the topology, registers the latency histogram and request
+// counters under "loadgen/<node>/" in the cluster registry, and installs
+// the per-cycle hook. The node's guest should simply halt — the hook
+// keeps the node's NIC ticking.
+func (g *Generator) Attach(c *cluster.Cluster, self int) error {
+	if self < 0 || self >= c.NumNodes() {
+		return fmt.Errorf("loadgen: client node %d out of range", self)
+	}
+	if g.cfg.Words < 1 || g.cfg.Words > 8 {
+		return fmt.Errorf("loadgen: %d-word requests unsupported (want 1..8, one NIC line)", g.cfg.Words)
+	}
+	if len(g.cfg.Servers) == 0 {
+		return fmt.Errorf("loadgen: no server nodes")
+	}
+	for _, s := range g.cfg.Servers {
+		if s < 0 || s >= c.NumNodes() || s == self {
+			return fmt.Errorf("loadgen: bad server node %d for client %d", s, self)
+		}
+		if _, ok := c.Link(self, s); !ok {
+			return fmt.Errorf("loadgen: no link from client %d to server %d", self, s)
+		}
+	}
+	g.node = c.Node(self)
+	g.self = self
+	g.slotBytes = uint64(g.cfg.Words * 8)
+	g.slots = int(uint64(device.PacketBufSize) / g.slotBytes)
+	g.pending = make([]pendingReq, pendingCap)
+	reg := c.AttachCounters()
+	prefix := "loadgen/" + g.node.Name() + "/"
+	g.hist = reg.Histogram(prefix + "latency")
+	reg.Counter(prefix+"issued", func() uint64 { return g.stats.Issued })
+	reg.Counter(prefix+"completed", func() uint64 { return g.stats.Completed })
+	reg.Counter(prefix+"lost", func() uint64 { return g.stats.Lost })
+	g.nextIssue = g.cfg.Warmup + g.gap()
+	c.SetNodeHook(self, g.hook)
+	return nil
+}
+
+// Stats returns the cumulative request accounting. Requests still in
+// flight at read time are neither completed nor lost:
+// Issued - Completed - Lost = outstanding.
+func (g *Generator) Stats() Stats { return g.stats }
+
+// Latency returns the round-trip latency histogram.
+func (g *Generator) Latency() *counters.Histogram { return g.hist }
+
+// hook is the per-cycle driver: drain replies, then issue per schedule.
+func (g *Generator) hook(cycle uint64) bool {
+	g.drain(cycle)
+	if cycle >= g.nextIssue && (g.cfg.IssueUntil == 0 || cycle <= g.cfg.IssueUntil) {
+		g.inject(cycle)
+		g.nextIssue = cycle + g.gap()
+	}
+	return true
+}
+
+// inject issues one request: payload into the next packet-buffer slot,
+// destination steered via RegTxDest, one descriptor push. Mirrors what a
+// guest's uncached stores would do, without costing simulated cycles —
+// the client models an aggregation point for many remote users, not a
+// CPU-bound sender.
+func (g *Generator) inject(cycle uint64) {
+	slot := uint64(int(g.reqID)%g.slots) * g.slotBytes
+	base := cluster.NICBase + device.PacketBufBase + slot
+	hdr := uint64(g.self)<<48 | (g.reqID & (1<<48 - 1))
+	g.writeWord(base, hdr)
+	for w := 1; w < g.cfg.Words; w++ {
+		g.writeWord(base+uint64(w*8), g.prng.Uint64())
+	}
+	srv := g.cfg.Servers[g.rrIdx]
+	g.rrIdx = (g.rrIdx + 1) % len(g.cfg.Servers)
+	g.writeWord(cluster.NICBase+device.RegTxDest, uint64(srv))
+	g.writeWord(cluster.NICBase+device.RegTxFIFO, slot|g.slotBytes<<48)
+	p := &g.pending[g.reqID%pendingCap]
+	if p.live {
+		g.stats.Lost++
+	}
+	*p = pendingReq{id: g.reqID, issued: cycle, live: true}
+	g.stats.Issued++
+	g.reqID++
+}
+
+// drain pops every waiting RX word, reassembling fixed-size replies and
+// recording their round-trip latency.
+func (g *Generator) drain(cycle uint64) {
+	for {
+		w, ok := g.node.NIC.RxPop()
+		if !ok {
+			return
+		}
+		if g.rxHave == 0 {
+			g.rxHdr = w
+		}
+		g.rxHave++
+		if g.rxHave < g.cfg.Words {
+			continue
+		}
+		g.rxHave = 0
+		id := g.rxHdr & (1<<48 - 1)
+		p := &g.pending[id%pendingCap]
+		if p.live && p.id == id && g.rxHdr>>48 == uint64(g.self) {
+			p.live = false
+			g.hist.Record(cycle - p.issued)
+			g.stats.Completed++
+		} else {
+			g.stats.Stray++
+		}
+	}
+}
+
+// writeWord stores one little-endian word at physical address pa on the
+// node's NIC, through the device's normal write path.
+func (g *Generator) writeWord(pa, v uint64) {
+	for i := range g.scratch {
+		g.scratch[i] = byte(v >> (8 * i))
+	}
+	g.node.NIC.WriteTarget(pa, g.scratch[:])
+}
+
+// gap draws the next inter-arrival time (≥ 1 cycle).
+func (g *Generator) gap() uint64 {
+	mean := g.cfg.MeanGap
+	switch g.cfg.Dist {
+	case DistBursty:
+		// Within a burst: back-to-back. Between bursts: an off-period
+		// drawn so the overall mean stays MeanGap. gap() runs after
+		// reqID++, so reqID%burstLen == 0 means a burst just finished.
+		if g.reqID%burstLen != 0 {
+			return 1
+		}
+		off := mean*burstLen - (burstLen - 1)
+		if off < 2 {
+			return 1
+		}
+		return clamp1(off/2 + uint64(g.prng.Intn(int(off))))
+	case DistHeavyTail:
+		// Pareto(α=1.5) with xm = mean/3 so E[gap] = mean; capped at
+		// 100·mean to keep a single draw from stalling the run.
+		u := float64(g.prng.Uint64()>>11) / (1 << 53) // [0,1)
+		xm := float64(mean) / 3
+		v := xm / math.Pow(1-u, 1/1.5)
+		if lim := float64(mean) * 100; v > lim {
+			v = lim
+		}
+		return clamp1(uint64(v))
+	default: // uniform
+		return clamp1(mean/2 + uint64(g.prng.Intn(int(mean))))
+	}
+}
+
+func clamp1(v uint64) uint64 {
+	if v < 1 {
+		return 1
+	}
+	return v
+}

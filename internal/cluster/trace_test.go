@@ -17,19 +17,19 @@ func newTracedCluster(t *testing.T, wire, enqDelay uint64) *Cluster {
 	cfg := DefaultConfig()
 	cfg.WireLatency = wire
 	cfg.RxEnqueueDelay = enqDelay
-	c, err := New(cfg)
+	c, err := NewPair(cfg)
 	if err != nil {
 		t.Fatal(err)
 	}
-	c.A.MapIO(false)
-	c.B.MapIO(false)
+	c.Node(0).MapIO(false)
+	c.Node(1).MapIO(false)
 	if _, err := c.AttachTrace(journey.DefaultConfig(), ctrace.DefaultConfig()); err != nil {
 		t.Fatal(err)
 	}
-	if _, err := c.A.M.LoadSource("send.s", sendProg(0xbeef)); err != nil {
+	if _, err := c.Node(0).M.LoadSource("send.s", sendProg(0xbeef)); err != nil {
 		t.Fatal(err)
 	}
-	if _, err := c.B.M.LoadSource("recv.s", recvProg); err != nil {
+	if _, err := c.Node(1).M.LoadSource("recv.s", recvProg); err != nil {
 		t.Fatal(err)
 	}
 	return c
@@ -123,13 +123,13 @@ func TestRxEnqueueDelayDelaysDelivery(t *testing.T) {
 // registry.
 func TestClusterCountersInNodeRegistries(t *testing.T) {
 	c := newCluster(t, 40)
-	c.A.MapIO(false)
-	c.B.MapIO(false)
+	c.Node(0).MapIO(false)
+	c.Node(1).MapIO(false)
 	c.AttachCounters()
-	if _, err := c.A.M.LoadSource("send.s", sendProg(1)); err != nil {
+	if _, err := c.Node(0).M.LoadSource("send.s", sendProg(1)); err != nil {
 		t.Fatal(err)
 	}
-	if _, err := c.B.M.LoadSource("recv.s", recvProg); err != nil {
+	if _, err := c.Node(1).M.LoadSource("recv.s", recvProg); err != nil {
 		t.Fatal(err)
 	}
 	if err := c.Run(1_000_000); err != nil {
@@ -158,13 +158,13 @@ func TestClusterCountersInNodeRegistries(t *testing.T) {
 // and occupancy counters reflect the queued packet.
 func TestWireCountersDuringFlight(t *testing.T) {
 	c := newCluster(t, 10_000)
-	c.A.MapIO(false)
-	c.B.MapIO(false)
+	c.Node(0).MapIO(false)
+	c.Node(1).MapIO(false)
 	c.AttachCounters()
-	if _, err := c.A.M.LoadSource("send.s", sendProg(1)); err != nil {
+	if _, err := c.Node(0).M.LoadSource("send.s", sendProg(1)); err != nil {
 		t.Fatal(err)
 	}
-	if _, err := c.B.M.LoadSource("recv.s", recvProg); err != nil {
+	if _, err := c.Node(1).M.LoadSource("recv.s", recvProg); err != nil {
 		t.Fatal(err)
 	}
 	// Tick until the packet is pumped, well before the 10k-cycle wire
@@ -227,12 +227,12 @@ func TestTelemetryCadence(t *testing.T) {
 func TestRunErrorFlushesObs(t *testing.T) {
 	cfg := DefaultConfig()
 	cfg.WireLatency = 30_000 // packet still on the wire at fault time
-	c, err := New(cfg)
+	c, err := NewPair(cfg)
 	if err != nil {
 		t.Fatal(err)
 	}
-	c.A.MapIO(false)
-	c.B.MapIO(false)
+	c.Node(0).MapIO(false)
+	c.Node(1).MapIO(false)
 	if _, err := c.AttachTrace(journey.DefaultConfig(), ctrace.DefaultConfig()); err != nil {
 		t.Fatal(err)
 	}
@@ -263,10 +263,10 @@ spin:	dec %g5
 	ldx [%o1], %g1
 	halt
 `
-	if _, err := c.A.M.LoadSource("bad.s", src); err != nil {
+	if _, err := c.Node(0).M.LoadSource("bad.s", src); err != nil {
 		t.Fatal(err)
 	}
-	if _, err := c.B.M.LoadSource("recv.s", recvProg); err != nil {
+	if _, err := c.Node(1).M.LoadSource("recv.s", recvProg); err != nil {
 		t.Fatal(err)
 	}
 	if err := c.Run(1_000_000); err == nil {

@@ -43,6 +43,12 @@ const (
 	// RegRxCount reads the number of words waiting in the receive queue
 	// (no side effect).
 	RegRxCount = 0x028
+	// RegTxDest selects the destination node for subsequent transmit
+	// descriptors on a multi-node fabric: write a node index to steer the
+	// next packets there, or TxDestAuto to return to the topology's default
+	// route. The register is sticky (it applies to every descriptor pushed
+	// until rewritten) and readable. Single-wire setups ignore it.
+	RegTxDest = 0x030
 	// PacketBufBase is where the on-board packet buffer begins; the CSB
 	// (or uncached stores) write packet payloads here by PIO.
 	PacketBufBase = 0x1000
@@ -52,6 +58,10 @@ const (
 	RegionSize = PacketBufBase + PacketBufSize
 )
 
+// TxDestAuto is the RegTxDest value selecting the topology default route
+// (also what the register holds at reset).
+const TxDestAuto = 0xffff
+
 // Packet is one transmitted packet, as observed on the simulated wire.
 type Packet struct {
 	Data     []byte
@@ -59,6 +69,9 @@ type Packet struct {
 	ViaDMA   bool
 	SrcAddr  uint64 // DMA source, 0 for PIO
 	FIFOPush uint64 // bus cycle the descriptor arrived
+	// Dest is the destination node index latched from RegTxDest when the
+	// descriptor was pushed, or -1 for the topology default route.
+	Dest int
 	// JID is the sender-side descriptor journey ID (0 when untraced) — a
 	// tracing side channel carried with the packet so the cluster wire
 	// tracer can join the cross-node span to the sender's NIC hops. It is
@@ -90,6 +103,7 @@ type txDesc struct {
 	viaDMA bool
 	srcPA  uint64
 	jid    uint64 // journey ID, 0 when untraced
+	dest   int    // destination node index, -1 = topology default
 }
 
 type dmaState int
@@ -138,6 +152,10 @@ type NIC struct {
 	lastCycle uint64 // most recent bus cycle seen in TickBus
 	packets   []Packet
 	dropped   uint64
+
+	// txDest is the destination node index latched from RegTxDest and
+	// stamped onto every descriptor at push time (-1 = default route).
+	txDest int
 
 	// err is the first out-of-range guest access (nil if none); surfaced
 	// by sim.Machine.Run as a typed failure instead of a panic.
@@ -237,6 +255,7 @@ func NewNIC(cfg Config, base uint64) *NIC {
 		cfg:       cfg,
 		base:      base,
 		packetBuf: make([]byte, PacketBufSize),
+		txDest:    -1,
 	}
 }
 
@@ -275,37 +294,61 @@ func (n *NIC) ReadTarget(pa uint64, size int) []byte {
 	case off == RegRxPop:
 		// Destructive read: pops the queue. This is why the simulated
 		// processor must never issue this load speculatively.
-		v := RxEmpty
-		if len(n.rxQueue) > 0 {
-			v = n.rxQueue[0]
-			n.rxQueue = n.rxQueue[1:]
-			n.rxPops++
-			n.notePop()
+		v, ok := n.RxPop()
+		if !ok {
+			v = RxEmpty
 		}
 		putLE(out, v)
 	case off == RegRxCount:
 		putLE(out, uint64(len(n.rxQueue)))
+	case off == RegTxDest:
+		v := uint64(TxDestAuto)
+		if n.txDest >= 0 {
+			v = uint64(n.txDest)
+		}
+		putLE(out, v)
 	}
 	return out
 }
 
+// RxPop destructively pops one word from the receive queue — the
+// host-side equivalent of a RegRxPop load, used by load generators that
+// drain replies without going through a guest. It does not allocate.
+//
+//csb:hotpath
+func (n *NIC) RxPop() (uint64, bool) {
+	if len(n.rxQueue) == 0 {
+		return 0, false
+	}
+	v := n.rxQueue[0]
+	n.rxQueue = n.rxQueue[1:]
+	n.rxPops++
+	n.notePop()
+	return v, true
+}
+
 // Deliver injects received words into the RX queue (the simulated wire's
 // receive side).
-func (n *NIC) Deliver(words ...uint64) {
-	n.rxQueue = append(n.rxQueue, words...)
-	if d := len(n.rxQueue); d > n.rxHighWater {
-		n.rxHighWater = d
-	}
-}
+func (n *NIC) Deliver(words ...uint64) { n.DeliverWords(0, words) }
 
 // DeliverTraced is Deliver plus span tracking: when an RX drain hook is
 // installed, the words are remembered as one packet span and the hook
 // fires with id when software pops the span's last word. Guest-visible
 // behavior is identical to Deliver.
-func (n *NIC) DeliverTraced(id uint64, words ...uint64) {
-	n.Deliver(words...)
-	if n.rxDrained != nil && len(words) > 0 {
-		n.rxSpans = append(n.rxSpans, rxSpan{id: id, words: len(words)})
+func (n *NIC) DeliverTraced(id uint64, words ...uint64) { n.DeliverWords(id, words) }
+
+// DeliverWords is the non-variadic core of Deliver/DeliverTraced (id 0 =
+// untraced), taking the word slice directly so per-cycle callers stay off
+// the allocator.
+//
+//csb:hotpath
+func (n *NIC) DeliverWords(id uint64, words []uint64) {
+	n.rxQueue = append(n.rxQueue, words...) //csb:alloc-ok amortized RX queue growth
+	if d := len(n.rxQueue); d > n.rxHighWater {
+		n.rxHighWater = d
+	}
+	if id != 0 && n.rxDrained != nil && len(words) > 0 {
+		n.rxSpans = append(n.rxSpans, rxSpan{id: id, words: len(words)}) //csb:alloc-ok amortized span queue growth
 	}
 }
 
@@ -369,6 +412,13 @@ func (n *NIC) WriteTarget(pa uint64, data []byte) {
 			n.dma = dmaReading
 			n.dmaPushed = n.now()
 		}
+	case off == RegTxDest && len(data) == 8:
+		v := leUint(data)
+		if v >= TxDestAuto {
+			n.txDest = -1
+		} else {
+			n.txDest = int(v)
+		}
 	case off == RegIntAck:
 		n.intPending = false
 	}
@@ -387,6 +437,7 @@ func (n *NIC) pushDescriptor(d txDesc) {
 		n.dropped++
 		return
 	}
+	d.dest = n.txDest
 	if n.descQueued != nil {
 		d.jid = n.descQueued(d.offset, d.length, d.viaDMA)
 	}
@@ -465,6 +516,7 @@ func (n *NIC) TickBus(b *bus.Bus) {
 				SrcAddr:  n.cur.srcPA,
 				FIFOPush: n.cur.pushed,
 				JID:      n.cur.jid,
+				Dest:     n.cur.dest,
 			})
 			n.sending = false
 			n.intPending = true

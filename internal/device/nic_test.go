@@ -299,3 +299,55 @@ func TestRxHighWater(t *testing.T) {
 		t.Fatalf("high water = %d, want 4", n.RxHighWater())
 	}
 }
+
+func TestTxDestSteersPackets(t *testing.T) {
+	n, b, _ := newRig(t, DefaultConfig())
+	// Default: no steering → topology default route.
+	n.WriteTarget(base+PacketBufBase, []byte{1, 0, 0, 0, 0, 0, 0, 0})
+	n.WriteTarget(base+RegTxFIFO, desc(0, 8))
+	step(n, b, 10)
+	// Steer to node 3; the setting is sticky across descriptors.
+	dst := make([]byte, 8)
+	putLE(dst, 3)
+	n.WriteTarget(base+RegTxDest, dst)
+	if got := leUint(n.ReadTarget(base+RegTxDest, 8)); got != 3 {
+		t.Errorf("RegTxDest reads back %d, want 3", got)
+	}
+	n.WriteTarget(base+RegTxFIFO, desc(0, 8))
+	step(n, b, 10)
+	n.WriteTarget(base+RegTxFIFO, desc(0, 8))
+	step(n, b, 10)
+	// Back to auto.
+	putLE(dst, TxDestAuto)
+	n.WriteTarget(base+RegTxDest, dst)
+	if got := leUint(n.ReadTarget(base+RegTxDest, 8)); got != TxDestAuto {
+		t.Errorf("RegTxDest reads back %d, want auto sentinel", got)
+	}
+	n.WriteTarget(base+RegTxFIFO, desc(0, 8))
+	step(n, b, 10)
+	pkts := n.Packets()
+	if len(pkts) != 4 {
+		t.Fatalf("packets = %d, want 4", len(pkts))
+	}
+	for i, want := range []int{-1, 3, 3, -1} {
+		if pkts[i].Dest != want {
+			t.Errorf("packet %d dest = %d, want %d", i, pkts[i].Dest, want)
+		}
+	}
+}
+
+func TestRxPopMatchesRegister(t *testing.T) {
+	n, b, _ := newRig(t, DefaultConfig())
+	n.Deliver(11, 22)
+	if v, ok := n.RxPop(); !ok || v != 11 {
+		t.Fatalf("RxPop = %d,%v want 11,true", v, ok)
+	}
+	// The register path pops the same queue.
+	if got := leUint(n.ReadTarget(base+RegRxPop, 8)); got != 22 {
+		t.Fatalf("RegRxPop = %d, want 22", got)
+	}
+	if _, ok := n.RxPop(); ok {
+		t.Error("RxPop on empty queue reported ok")
+	}
+	_ = b
+}

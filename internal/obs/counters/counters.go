@@ -63,6 +63,27 @@ func (h *Histogram) Record(v uint64) {
 	}
 }
 
+// Merge folds another histogram's samples into h (bucket-wise addition;
+// min/max/sum/count combine exactly, quantiles stay bucket-resolution).
+// Used to aggregate per-client latency histograms into one serving curve
+// after a run; o is left unchanged.
+func (h *Histogram) Merge(o *Histogram) {
+	if o == nil || o.count == 0 {
+		return
+	}
+	for i := range h.buckets {
+		h.buckets[i] += o.buckets[i]
+	}
+	if h.count == 0 || o.min < h.min {
+		h.min = o.min
+	}
+	if o.max > h.max {
+		h.max = o.max
+	}
+	h.count += o.count
+	h.sum += o.sum
+}
+
 // Quantile returns the q-quantile (0 < q <= 1), resolved to the upper
 // bound of the bucket containing that rank and clamped to the exact
 // min/max. Returns 0 for an empty histogram.

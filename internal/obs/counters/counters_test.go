@@ -79,3 +79,32 @@ func TestSnapshotReadsLiveState(t *testing.T) {
 		t.Error("Format is not deterministic across calls")
 	}
 }
+
+func TestHistogramMerge(t *testing.T) {
+	a, b := NewHistogram("a"), NewHistogram("b")
+	for _, v := range []uint64{1, 10, 100} {
+		a.Record(v)
+	}
+	for _, v := range []uint64{5, 100000} {
+		b.Record(v)
+	}
+	a.Merge(b)
+	s := a.Summary()
+	if s.Count != 5 || s.Min != 1 || s.Max != 100000 {
+		t.Errorf("merged summary: %+v", s)
+	}
+	if s.Mean != (1+10+100+5+100000)/5.0 {
+		t.Errorf("merged mean = %v", s.Mean)
+	}
+	// Merging an empty histogram is a no-op; merging into an empty one
+	// adopts the source's extrema.
+	a2 := NewHistogram("a2")
+	a2.Merge(NewHistogram("empty"))
+	if a2.Count() != 0 {
+		t.Errorf("empty merge recorded %d", a2.Count())
+	}
+	a2.Merge(b)
+	if s := a2.Summary(); s.Count != 2 || s.Min != 5 || s.Max != 100000 {
+		t.Errorf("merge into empty: %+v", s)
+	}
+}

@@ -439,7 +439,7 @@ func (m *Machine) Run(maxCycles uint64) error {
 // Drain runs bus cycles until all buffers, devices and the bus are idle.
 func (m *Machine) Drain(maxCycles uint64) error {
 	for i := uint64(0); i < maxCycles; i++ {
-		if m.UB.Empty() && m.CSB.Drained() && m.Bus.Idle() && m.Hier.Idle() && m.devicesIdle() {
+		if m.Settled() {
 			if len(m.errDevices) != 0 {
 				return m.deviceErr()
 			}
@@ -453,6 +453,17 @@ func (m *Machine) Drain(maxCycles uint64) error {
 		return fmt.Errorf("sim: drain did not complete in %d cycles\n%s", maxCycles, m.DiagnosticDump())
 	}
 	return fmt.Errorf("sim: drain did not complete in %d cycles", maxCycles)
+}
+
+// Settled reports whether every asynchronous engine has gone quiet: the
+// uncached buffer and CSB are empty, the bus and cache hierarchy are idle,
+// and no device has pending work. A halted CPU plus Settled means further
+// ticks cannot change architectural state — the cluster scheduler uses
+// this to freeze finished nodes without dropping in-flight stores.
+//
+//csb:hotpath
+func (m *Machine) Settled() bool {
+	return m.UB.Empty() && m.CSB.Drained() && m.Bus.Idle() && m.Hier.Idle() && m.devicesIdle()
 }
 
 func (m *Machine) devicesIdle() bool {
