@@ -15,9 +15,11 @@ vet:
 	$(GO) vet ./...
 	$(GO) run ./cmd/csbvet ./...
 
-# Project invariants: csbvet (pooling/determinism/hot-path contracts over
-# the Go sources) and csblint (SV9L protocol checks over the example
-# programs). CI runs these plus a pinned staticcheck in a separate job.
+# Project invariants: csbvet (pooling/determinism/hot-path plus the
+# cluster engine's phase-discipline and clock-domain contracts over the
+# Go sources) and csblint (SV9L protocol checks over the example
+# programs; loadgen's generated server programs are linted by their own
+# test suite). CI runs these plus a pinned staticcheck in a separate job.
 lint: vet
 	$(GO) run ./cmd/csblint examples/asm/*.s
 

@@ -6,38 +6,60 @@
 //	determinism  no wall-clock time, math/rand or unsorted map iteration
 //	             in the deterministic simulation packages
 //	hotalloc     no heap-allocating constructs in //csb:hotpath functions
+//	phasesafe    //csb:worker code must not reach barrier-only APIs or
+//	             cross-node shared state (parallel engine phase contract)
+//	clockdomain  cycle stamps from different node clock domains must not
+//	             mix without a ctrace.SetAlign-derived offset
 //
 // Usage:
 //
-//	csbvet [-analyzers noretain,determinism,hotalloc] [packages]
+//	csbvet [-analyzers noretain,determinism,hotalloc,phasesafe,clockdomain] [-json] [packages]
 //
 // Packages default to ./... of the module containing the current
-// directory. Exits 1 when any diagnostic is reported, 2 on usage or load
-// errors.
+// directory. With -json, diagnostics are emitted as one JSON array of
+// {file, line, col, analyzer, message} objects (file paths relative to
+// the module root) for CI annotation tooling. Exits 1 when any
+// diagnostic is reported, 2 on usage or load errors.
 package main
 
 import (
+	"encoding/json"
 	"flag"
 	"fmt"
 	"os"
+	"path/filepath"
 	"strings"
 
 	"csbsim/internal/analysis"
+	"csbsim/internal/analysis/clockdomain"
 	"csbsim/internal/analysis/determinism"
 	"csbsim/internal/analysis/hotalloc"
 	"csbsim/internal/analysis/noretain"
+	"csbsim/internal/analysis/phasesafe"
 )
 
 var all = []*analysis.Analyzer{
 	noretain.Analyzer,
 	determinism.Analyzer,
 	hotalloc.Analyzer,
+	phasesafe.Analyzer,
+	clockdomain.Analyzer,
+}
+
+// jsonDiag is the -json wire shape of one diagnostic.
+type jsonDiag struct {
+	File     string `json:"file"`
+	Line     int    `json:"line"`
+	Col      int    `json:"col"`
+	Analyzer string `json:"analyzer"`
+	Message  string `json:"message"`
 }
 
 func main() {
 	names := flag.String("analyzers", "", "comma-separated analyzer subset (default: all)")
+	asJSON := flag.Bool("json", false, "emit diagnostics as a JSON array on stdout")
 	flag.Usage = func() {
-		fmt.Fprintf(os.Stderr, "usage: csbvet [-analyzers list] [packages]\n\nanalyzers:\n")
+		fmt.Fprintf(os.Stderr, "usage: csbvet [-analyzers list] [-json] [packages]\n\nanalyzers:\n")
 		for _, a := range all {
 			fmt.Fprintf(os.Stderr, "  %-12s %s\n", a.Name, a.Doc)
 		}
@@ -73,7 +95,7 @@ func main() {
 	if err != nil {
 		fatal(err)
 	}
-	found := false
+	var found []jsonDiag
 	for _, path := range l.Targets() {
 		pkg, err := l.LoadTarget(path)
 		if err != nil {
@@ -84,11 +106,33 @@ func main() {
 			fatal(err)
 		}
 		for _, d := range diags {
-			found = true
-			fmt.Println(d)
+			if !*asJSON {
+				fmt.Println(d)
+			}
+			file := d.Pos.Filename
+			if rel, err := filepath.Rel(root, file); err == nil && !strings.HasPrefix(rel, "..") {
+				file = rel
+			}
+			found = append(found, jsonDiag{
+				File:     file,
+				Line:     d.Pos.Line,
+				Col:      d.Pos.Column,
+				Analyzer: d.Analyzer,
+				Message:  d.Message,
+			})
 		}
 	}
-	if found {
+	if *asJSON {
+		enc := json.NewEncoder(os.Stdout)
+		enc.SetIndent("", "  ")
+		if found == nil {
+			found = []jsonDiag{}
+		}
+		if err := enc.Encode(found); err != nil {
+			fatal(err)
+		}
+	}
+	if len(found) > 0 {
 		os.Exit(1)
 	}
 }

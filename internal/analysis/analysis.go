@@ -14,19 +14,42 @@
 //     output across runs (no wall-clock time, no math/rand, no unsorted
 //     map iteration feeding output);
 //   - hotalloc: functions annotated //csb:hotpath must not contain
-//     heap-allocating constructs.
+//     heap-allocating constructs;
+//   - phasesafe: code colored //csb:worker (runs on a node goroutine
+//     inside a lookahead window) must not reach cross-node shared state
+//     or barrier-only APIs; colors propagate over the package call graph
+//     (see BuildCallGraph);
+//   - clockdomain: uint64 cycle stamps from different nodes' clocks must
+//     not be compared or combined without a ctrace.SetAlign-derived
+//     offset.
 //
 // Source pragmas recognized by the analyzers (always written as a whole
-// line-comment token, like //go:noinline):
+// line-comment token, like //go:noinline). Pragmas marked (reason) must
+// be followed by a non-empty justification on the same line — enforced
+// repo-wide by TestPragmaHygiene:
 //
 //	//csb:hotpath   in a function's doc comment: the function is on the
 //	                per-tick hot path and is checked by hotalloc.
 //	//csb:pool      on a function's doc comment or on a statement line:
 //	                sanctioned pool-management code; noretain is silent.
-//	//csb:alloc-ok  on a statement line inside a hot-path function: a
-//	                deliberate slow-path allocation; hotalloc is silent.
+//	//csb:alloc-ok  (reason) on a statement line inside a hot-path
+//	                function: a deliberate slow-path allocation; hotalloc
+//	                is silent.
 //	//csb:orderless on the line of a `range` statement over a map whose
 //	                iteration order provably does not affect output.
+//	//csb:worker    (reason) on a function's doc comment or a go-func
+//	                literal's line: the code runs on a per-node goroutine
+//	                inside a lookahead window; phasesafe propagates the
+//	                color to everything it calls.
+//	//csb:barrier   (reason) on a function's doc comment or a literal's
+//	                line: barrier-only code, single-threaded between
+//	                windows; phasesafe reports any call from worker color.
+//	//csb:worker-ok (reason) on a statement line inside worker-phase
+//	                code: a reviewed shared-state access; phasesafe is
+//	                silent for that line.
+//	//csb:aligned   (reason) on an expression's line: the cycle stamps
+//	                being combined are provably in the same clock domain;
+//	                clockdomain is silent for that line.
 package analysis
 
 import (

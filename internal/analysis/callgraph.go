@@ -1,0 +1,157 @@
+package analysis
+
+import (
+	"go/ast"
+	"go/token"
+	"go/types"
+)
+
+// This file is the shared call-graph layer consumed by the phase- and
+// clock-domain analyzers (phasesafe, clockdomain). It builds a static,
+// package-local call graph: one node per declared function or method and
+// one per function literal, with edges for call sites whose callee
+// resolves statically to a function declared in the same package. Calls
+// through function values, interface methods or imported packages carry
+// no edge — analyzers that need cross-package contracts express them as
+// annotations on the callee's own package (each package is analyzed with
+// its own graph) or as type-based rules.
+
+// A FuncNode is one function-like body: a declared function/method
+// (Decl, Obj set) or a function literal (Lit set, Parent the lexically
+// enclosing node).
+type FuncNode struct {
+	Decl   *ast.FuncDecl
+	Lit    *ast.FuncLit
+	Obj    *types.Func
+	Parent *FuncNode
+
+	// Calls lists this body's statically resolved package-local call
+	// sites, in source order. Calls inside nested literals belong to the
+	// literal's node, not to this one.
+	Calls []CallEdge
+	// Lits lists the function literals nested directly inside this body.
+	Lits []*FuncNode
+}
+
+// A CallEdge is one statically resolved package-local call site.
+type CallEdge struct {
+	Site   *ast.CallExpr
+	Callee *FuncNode
+}
+
+// Name renders the node for diagnostics: the declared name, or
+// "function literal" (qualified by the nearest named ancestor).
+func (n *FuncNode) Name() string {
+	if n.Decl != nil {
+		return n.Decl.Name.Name
+	}
+	for p := n.Parent; p != nil; p = p.Parent {
+		if p.Decl != nil {
+			return "function literal in " + p.Decl.Name.Name
+		}
+	}
+	return "function literal"
+}
+
+// Pos returns the node's source position for diagnostics.
+func (n *FuncNode) Pos() token.Pos {
+	if n.Decl != nil {
+		return n.Decl.Pos()
+	}
+	return n.Lit.Pos()
+}
+
+// Body returns the node's statement block (nil for body-less
+// declarations).
+func (n *FuncNode) Body() *ast.BlockStmt {
+	if n.Decl != nil {
+		return n.Decl.Body
+	}
+	return n.Lit.Body
+}
+
+// A CallGraph is the package-local static call graph.
+type CallGraph struct {
+	// Nodes holds every declared function and literal in source order.
+	Nodes []*FuncNode
+	// ByObj maps a declared function's type object to its node.
+	ByObj map[*types.Func]*FuncNode
+}
+
+// BuildCallGraph constructs the call graph for the pass's package.
+func BuildCallGraph(pass *Pass) *CallGraph {
+	cg := &CallGraph{ByObj: make(map[*types.Func]*FuncNode)}
+	// First pass: one node per declaration, so forward references resolve.
+	for _, f := range pass.Files {
+		for _, decl := range f.Decls {
+			fn, ok := decl.(*ast.FuncDecl)
+			if !ok {
+				continue
+			}
+			node := &FuncNode{Decl: fn}
+			if obj, ok := pass.Info.Defs[fn.Name].(*types.Func); ok {
+				node.Obj = obj
+				cg.ByObj[obj] = node
+			}
+			cg.Nodes = append(cg.Nodes, node)
+		}
+	}
+	// Second pass: walk each body, maintaining the enclosing-node stack so
+	// calls and literals attach to the innermost function-like body.
+	for _, root := range append([]*FuncNode(nil), cg.Nodes...) {
+		if root.Decl.Body == nil {
+			continue
+		}
+		cg.walk(pass, root, root.Decl.Body)
+	}
+	return cg
+}
+
+// walk attaches calls and nested literals under cur, recursing into each
+// literal with a fresh node.
+func (cg *CallGraph) walk(pass *Pass, cur *FuncNode, body ast.Node) {
+	ast.Inspect(body, func(n ast.Node) bool {
+		switch n := n.(type) {
+		case *ast.FuncLit:
+			lit := &FuncNode{Lit: n, Parent: cur}
+			cur.Lits = append(cur.Lits, lit)
+			cg.Nodes = append(cg.Nodes, lit)
+			cg.walk(pass, lit, n.Body)
+			return false
+		case *ast.CallExpr:
+			if callee := cg.resolve(pass, n); callee != nil {
+				cur.Calls = append(cur.Calls, CallEdge{Site: n, Callee: callee})
+			}
+		}
+		return true
+	})
+}
+
+// resolve returns the package-local node a call statically targets, or
+// nil (dynamic call, builtin, conversion, or imported function).
+func (cg *CallGraph) resolve(pass *Pass, call *ast.CallExpr) *FuncNode {
+	var id *ast.Ident
+	switch f := stripParens(call.Fun).(type) {
+	case *ast.Ident:
+		id = f
+	case *ast.SelectorExpr:
+		id = f.Sel
+	default:
+		return nil
+	}
+	fn, ok := pass.Info.Uses[id].(*types.Func)
+	if !ok {
+		return nil
+	}
+	return cg.ByObj[fn]
+}
+
+func stripParens(e ast.Expr) ast.Expr {
+	for {
+		p, ok := e.(*ast.ParenExpr)
+		if !ok {
+			return e
+		}
+		e = p.X
+	}
+}

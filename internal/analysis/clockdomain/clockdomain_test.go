@@ -1,0 +1,13 @@
+package clockdomain_test
+
+import (
+	"testing"
+
+	"csbsim/internal/analysis/antest"
+	"csbsim/internal/analysis/clockdomain"
+)
+
+func TestClockDomain(t *testing.T) {
+	antest.Run(t, clockdomain.Analyzer, "testdata/clock",
+		"csbsim/internal/analysis/clockdomain/fixture")
+}

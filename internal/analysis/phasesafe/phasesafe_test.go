@@ -1,0 +1,13 @@
+package phasesafe_test
+
+import (
+	"testing"
+
+	"csbsim/internal/analysis/antest"
+	"csbsim/internal/analysis/phasesafe"
+)
+
+func TestPhaseSafe(t *testing.T) {
+	antest.Run(t, phasesafe.Analyzer, "testdata/phase",
+		"csbsim/internal/analysis/phasesafe/fixture")
+}

@@ -53,6 +53,25 @@ type LintConfig struct {
 	// IOBase is the first address of uncached/combining device space;
 	// zero means DefaultIOBase.
 	IOBase uint64
+	// IORanges adds extra [start, end) windows below IOBase that are also
+	// mapped uncached/combining — e.g. a DMA staging buffer in low memory
+	// that guests map KindUncached so the DMA engine never reads stale
+	// cache lines. Accesses in these windows get the same store-buffer
+	// ordering checks as accesses above IOBase.
+	IORanges [][2]uint64
+}
+
+// inIO reports whether a known-constant address falls in device space.
+func (cfg *LintConfig) inIO(addr uint64) bool {
+	if addr >= cfg.IOBase {
+		return true
+	}
+	for _, r := range cfg.IORanges {
+		if addr >= r[0] && addr < r[1] {
+			return true
+		}
+	}
+	return false
 }
 
 // Diag is one lint finding at a source position.
@@ -302,7 +321,7 @@ const (
 
 func (l *linter) classify(v absval) uint8 {
 	if v.kind == avConst {
-		if v.c >= l.cfg.IOBase {
+		if l.cfg.inIO(v.c) {
 			return avIO
 		}
 		return avTop

@@ -405,3 +405,48 @@ func TestLintAssemblerErrorPassthrough(t *testing.T) {
 		t.Errorf("error not positioned: %v", err)
 	}
 }
+
+// TestLintIORanges: a low-memory window listed in LintConfig.IORanges is
+// device space — stores there stay pending until a membar, and the same
+// program with no extra ranges is plain cacheable memory and clean.
+func TestLintIORanges(t *testing.T) {
+	const prog = `
+_start:
+	set 0x200000, %o1
+	mov 42, %g1
+	st %g1, [%o1]
+	halt                ! staging store may still be buffered
+`
+	diags, err := Lint("test.s", prog, LintConfig{
+		IORanges: [][2]uint64{{0x200000, 0x210000}},
+	})
+	if err != nil {
+		t.Fatalf("Lint: %v", err)
+	}
+	wantChecks(t, diags, "missing-membar")
+
+	diags, err = Lint("test.s", prog, LintConfig{})
+	if err != nil {
+		t.Fatalf("Lint: %v", err)
+	}
+	wantChecks(t, diags)
+}
+
+// TestLintIORangesBoundary pins the half-open interval: the end address
+// is outside the window.
+func TestLintIORangesBoundary(t *testing.T) {
+	const prog = `
+_start:
+	set 0x210000, %o1
+	mov 42, %g1
+	st %g1, [%o1]
+	halt
+`
+	diags, err := Lint("test.s", prog, LintConfig{
+		IORanges: [][2]uint64{{0x200000, 0x210000}},
+	})
+	if err != nil {
+		t.Fatalf("Lint: %v", err)
+	}
+	wantChecks(t, diags)
+}

@@ -345,6 +345,7 @@ func (c *Cluster) AttachTrace(jcfg journey.Config, tcfg ctrace.Config) (*ctrace.
 		// Drain stamps are deferred to the node's event log and replayed
 		// at the barrier: the hook fires on the node's goroutine under the
 		// parallel engine, where the shared tracer must not be touched.
+		//csb:worker RX drain hook fires on the node goroutine inside a window
 		n.NIC.SetRxDrainHook(func(id uint64) {
 			node.logEvent(evDrain, id, node.M.Cycle())
 		})
@@ -387,6 +388,8 @@ func (c *Cluster) AttachTelemetry(s *telemetry.Streamer, every uint64) error {
 // node's partial metrics windows, the deferred trace logs, and one final
 // telemetry frame — so a wedged or faulted node still yields a partial
 // dump, mirroring the single-node flushObs abort behavior.
+//
+//csb:barrier drains every node's deferred state; all node goroutines are parked
 func (c *Cluster) flushObs() {
 	c.drainTraceLogs()
 	for _, n := range c.nodes {
@@ -469,6 +472,8 @@ func (n *Node) applyDue(cycle uint64) {
 // commute across packets (independent span stamps, order-free histogram
 // and counter updates), so replay order between nodes cannot affect the
 // final trace state — within a node the log is chronological.
+//
+//csb:barrier replays deferred tracer mutations into the shared tracer
 func (c *Cluster) drainTraceLogs() {
 	if c.tracer == nil {
 		return
@@ -492,6 +497,8 @@ func (c *Cluster) drainTraceLogs() {
 // routeAll drains every node's outbox in one global deterministic order —
 // (pump cycle, node index, push order) — turning departures into flights
 // scheduled on links and inserted into destination inboxes.
+//
+//csb:barrier mutates every node's inbox and the shared link state
 func (c *Cluster) routeAll() {
 	pos := make([]int, len(c.nodes))
 	touched := false
@@ -534,6 +541,8 @@ func (c *Cluster) routeAll() {
 }
 
 // routeOne schedules one departure onto its link.
+//
+//csb:barrier writes the destination node's inbox and link queues
 func (c *Cluster) routeOne(from int, d *departure) {
 	dest := d.dest
 	if dest < 0 {
@@ -591,6 +600,8 @@ func (c *Cluster) routeOne(from int, d *departure) {
 // carries its descriptor journey ID). When the journey has been evicted —
 // or the sender is untraced — the NIC's bus-cycle stamps are scaled to
 // the CPU-cycle domain as a fallback.
+//
+//csb:barrier reads the sender's journey tracer and stamps the shared wire tracer
 func (c *Cluster) openSpan(from, dest int, d *departure) uint64 {
 	var fifoPush, txStart uint64
 	if jt := c.nodes[from].M.Journeys(); jt != nil && d.jid != 0 {
@@ -610,6 +621,8 @@ func (c *Cluster) openSpan(from, dest int, d *departure) uint64 {
 }
 
 // compactInboxes releases fully delivered inbox prefixes.
+//
+//csb:barrier rewrites inbox slices the node goroutines index into
 func (c *Cluster) compactInboxes() {
 	for _, n := range c.nodes {
 		switch {
@@ -626,6 +639,8 @@ func (c *Cluster) compactInboxes() {
 }
 
 // maybePublish emits a telemetry frame once per cadence interval.
+//
+//csb:barrier publishes to the shared telemetry streamer
 func (c *Cluster) maybePublish() {
 	if c.telem != nil && c.cycle-c.lastPub >= c.telemEvery {
 		c.lastPub = c.cycle

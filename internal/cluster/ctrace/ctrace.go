@@ -132,6 +132,8 @@ func New(cfg Config, reg *counters.Registry) (*Tracer, error) {
 
 // SetAlign records a node's clock offset to the shared cluster timeline.
 // Call before running; today's lockstep cluster passes 0 for both nodes.
+//
+//csb:barrier rewrites the offset table every merged stamp reads
 func (t *Tracer) SetAlign(node string, offset int64) { t.offsets[node] = offset }
 
 // E2EHistogram returns the end-to-end (fifo_push → rx_drain, aligned)
@@ -156,6 +158,7 @@ func (t *Tracer) slot(id uint64) *Span {
 // domain), and returns the trace ID the flight carries.
 //
 //csb:hotpath
+//csb:barrier mutates the shared span ring; called from routing at barriers
 func (t *Tracer) PacketDeparted(from, to string, size uint32, jid, fifoPush, txStart, depart uint64) uint64 {
 	t.next++
 	id := t.next
@@ -187,6 +190,7 @@ func (t *Tracer) stamp(id uint64) *Span {
 // cycle domain.
 //
 //csb:hotpath
+//csb:barrier mutates the shared span ring; replayed from node logs at barriers
 func (t *Tracer) PacketArrived(id, recvCycle uint64) {
 	if s := t.stamp(id); s != nil {
 		s.WireArrive = recvCycle
@@ -197,6 +201,7 @@ func (t *Tracer) PacketArrived(id, recvCycle uint64) {
 // queue.
 //
 //csb:hotpath
+//csb:barrier mutates the shared span ring; replayed from node logs at barriers
 func (t *Tracer) PacketEnqueued(id, recvCycle uint64) {
 	if s := t.stamp(id); s != nil {
 		s.RxEnqueue = recvCycle
@@ -207,6 +212,7 @@ func (t *Tracer) PacketEnqueued(id, recvCycle uint64) {
 // and e2e latencies (aligned) land in the histograms.
 //
 //csb:hotpath
+//csb:barrier updates shared histograms and the span ring at barriers
 func (t *Tracer) PacketDrained(id, recvCycle uint64) {
 	s := t.stamp(id)
 	if s == nil {

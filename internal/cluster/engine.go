@@ -58,6 +58,7 @@ func (c *Cluster) lookahead() (uint64, error) {
 // fast-forward is exact.
 //
 //csb:hotpath
+//csb:worker runs a whole lookahead window on the node's own goroutine
 func (n *Node) runWindow(start, end uint64) {
 	if n.frozen && !n.hookActive() {
 		n.applyDue(end)
@@ -103,6 +104,7 @@ func (c *Cluster) startWorkers() *nodeWorkers {
 	for i, n := range c.nodes {
 		ch := make(chan [2]uint64, 1)
 		w.start[i] = ch
+		//csb:worker the per-node goroutine body: one window per start-channel message
 		go func(n *Node, ch chan [2]uint64, idx int) {
 			for win := range ch {
 				n.runWindow(win[0], win[1])

@@ -205,6 +205,11 @@ func (g *Generator) Stats() Stats { return g.stats }
 func (g *Generator) Latency() *counters.Histogram { return g.hist }
 
 // hook is the per-cycle driver: drain replies, then issue per schedule.
+// It runs on the node's goroutine inside lookahead windows and touches
+// only this node's state (its NIC, the generator's own accounting and
+// histogram).
+//
+//csb:worker per-cycle NodeHook on the owning node's goroutine
 func (g *Generator) hook(cycle uint64) bool {
 	g.drain(cycle)
 	if cycle >= g.nextIssue && (g.cfg.IssueUntil == 0 || cycle <= g.cfg.IssueUntil) {

@@ -1,0 +1,101 @@
+package loadgen
+
+import (
+	"strings"
+	"testing"
+
+	"csbsim/internal/asm"
+	"csbsim/internal/bench"
+)
+
+// serverLintCfg classifies the uncached DMA staging window as device
+// space, so staging stores get the same store-buffer ordering checks as
+// NIC accesses.
+func serverLintCfg() asm.LintConfig {
+	return asm.LintConfig{IORanges: [][2]uint64{{DMAStageBase, DMAStageBase + DMAStageSize}}}
+}
+
+// serverVariants enumerates every (method, words) pair ServerProgram
+// accepts: all three -send modes, each word count 1..8 (CSB requires the
+// full 8-word line).
+func serverVariants() []struct {
+	method bench.SendMethod
+	words  int
+} {
+	var out []struct {
+		method bench.SendMethod
+		words  int
+	}
+	for _, m := range []bench.SendMethod{bench.SendPIO, bench.SendCSB, bench.SendDMA} {
+		for w := 1; w <= 8; w++ {
+			if m == bench.SendCSB && w != 8 {
+				continue
+			}
+			out = append(out, struct {
+				method bench.SendMethod
+				words  int
+			}{m, w})
+		}
+	}
+	return out
+}
+
+// TestServerProgramsLintClean runs csblint's engine over every generated
+// server program: codegen output is held to the same store-buffer
+// protocol checks as the hand-written examples.
+func TestServerProgramsLintClean(t *testing.T) {
+	for _, v := range serverVariants() {
+		prog, err := ServerProgram(v.method, v.words)
+		if err != nil {
+			t.Fatalf("%v/%d: %v", v.method, v.words, err)
+		}
+		diags, err := asm.Lint("server.s", prog, serverLintCfg())
+		if err != nil {
+			t.Fatalf("%v/%d: lint: %v", v.method, v.words, err)
+		}
+		for _, d := range diags {
+			t.Errorf("%v/%d words: %s", v.method, v.words, d)
+		}
+	}
+}
+
+// TestServerProgramsLintIgnoresAreLoadBearing strips the generated
+// lint:ignore pragmas and checks the poll loads are then reported: the
+// pragmas document real findings the uncached buffer's strong ordering
+// makes safe, not dead annotations.
+func TestServerProgramsLintIgnoresAreLoadBearing(t *testing.T) {
+	for _, v := range serverVariants() {
+		prog, err := ServerProgram(v.method, v.words)
+		if err != nil {
+			t.Fatal(err)
+		}
+		stripped := strings.ReplaceAll(prog, "! lint:ignore missing-membar", "! was:")
+		diags, err := asm.Lint("server.s", stripped, serverLintCfg())
+		if err != nil {
+			t.Fatalf("%v/%d: lint: %v", v.method, v.words, err)
+		}
+		membar := 0
+		for _, d := range diags {
+			if d.Check == "missing-membar" {
+				membar++
+			}
+		}
+		if membar == 0 {
+			t.Errorf("%v/%d words: expected missing-membar findings once ignores are stripped, got none (diags: %v)",
+				v.method, v.words, diags)
+		}
+	}
+}
+
+// TestServerProgramRejectsBadSizes pins the argument contract.
+func TestServerProgramRejectsBadSizes(t *testing.T) {
+	if _, err := ServerProgram(bench.SendPIO, 0); err == nil {
+		t.Error("ServerProgram(PIO, 0) should fail")
+	}
+	if _, err := ServerProgram(bench.SendPIO, 9); err == nil {
+		t.Error("ServerProgram(PIO, 9) should fail")
+	}
+	if _, err := ServerProgram(bench.SendCSB, 4); err == nil {
+		t.Error("ServerProgram(CSB, 4) should fail: CSB needs the full line")
+	}
+}

@@ -100,6 +100,8 @@ func (s *Streamer) AddNode(name string, reg *counters.Registry) error {
 
 // Publish snapshots every node and broadcasts one frame. Called from the
 // sim loop on a sim-cycle cadence; it never blocks on consumers.
+//
+//csb:barrier snapshots every node's registry; only safe between windows
 func (s *Streamer) Publish(cycle uint64) {
 	s.seq++
 	f := Frame{Cycle: cycle, Seq: s.seq, Nodes: make(map[string]*NodeFrame, len(s.nodes))}

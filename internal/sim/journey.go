@@ -102,6 +102,8 @@ func (m *Machine) ExportJourneys() {
 // flushObs drains buffered observability state on any run exit —
 // including the abort paths (watchdog trip, typed device error), which
 // previously lost the final partial metrics window.
+//
+//csb:barrier flushes windows shared consumers read; never inside a window
 func (m *Machine) flushObs() {
 	m.FlushMetrics()
 	if m.periodicFn != nil {
@@ -113,4 +115,6 @@ func (m *Machine) flushObs() {
 // window, one last periodic-hook firing). Machine.Run's abort paths call
 // it internally; cluster.Run calls it on its own error paths so a wedged
 // node still yields a partial dump.
+//
+//csb:barrier flushes windows shared consumers read; never inside a window
 func (m *Machine) FlushObs() { m.flushObs() }

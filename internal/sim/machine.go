@@ -324,6 +324,7 @@ func (m *Machine) Cycle() uint64 { return m.cycle }
 // traffic, then DMA devices.
 //
 //csb:hotpath
+//csb:worker ticked from the node's goroutine inside cluster lookahead windows
 func (m *Machine) Tick() {
 	// The uncached buffer's send stage drains at core rate, before this
 	// cycle's retiring stores arrive (so an idle system interface takes
