@@ -4,7 +4,7 @@ GO ?= go
 # Parallel workers for figure sweeps (cmd/csbfig -j); defaults to all cores.
 J ?= 0
 
-.PHONY: all build vet lint test race bench-smoke obsbench figures bench-simspeed bench-cluster zero-alloc faults journeys cluster-trace ci
+.PHONY: all build vet lint test race bench-smoke obsbench figures bench-simspeed bench-cluster zero-alloc faults faults-cluster journeys cluster-trace ci
 
 all: build
 
@@ -93,4 +93,14 @@ faults:
 	$(GO) run ./cmd/faultcampaign -seeds 25
 	$(GO) run ./cmd/faultcampaign -wedge -watchdog 10000 > /dev/null
 
-ci: lint build race zero-alloc bench-smoke faults
+# Cluster fault campaign: wire faults (drop/duplicate/delay/outage) ×
+# topologies × retry policies over the serving workload. Asserts engine
+# determinism under faults, zero lost requests with retries at the
+# calibrated rates, goodput ≥ 90% of the fault-free baseline, and exact
+# accounting with retries disabled. Diagnostic dumps land in out/ on
+# failure (CI uploads them).
+faults-cluster:
+	mkdir -p out
+	$(GO) run ./cmd/faultcampaign -cluster -seeds 3 -topologies ring,star,mesh -outdir out -v
+
+ci: lint build race zero-alloc bench-smoke faults faults-cluster

@@ -52,6 +52,7 @@ import (
 	"csbsim/internal/cluster"
 	"csbsim/internal/cluster/ctrace"
 	"csbsim/internal/cluster/loadgen"
+	"csbsim/internal/fault"
 	"csbsim/internal/mem"
 	"csbsim/internal/obs/counters"
 	"csbsim/internal/obs/journey"
@@ -77,6 +78,14 @@ type options struct {
 	servers  string
 	horizon  uint64
 	reqWords int
+
+	wireFaults string
+	nodeFaults string
+	watchdog   uint64
+	degrade    bool
+	timeout    uint64
+	retries    int
+	backoff    uint64
 
 	traceOut  string
 	perfetto  string
@@ -108,6 +117,14 @@ func main() {
 	flag.StringVar(&o.servers, "servers", "0", "comma-separated server node indices; all other nodes are clients")
 	flag.Uint64Var(&o.horizon, "horizon", 300_000, "serving run length in cluster cycles")
 	flag.IntVar(&o.reqWords, "req-words", 8, "request/reply payload in 8-byte words (1..8)")
+
+	flag.StringVar(&o.wireFaults, "wire-faults", "", "wire fault spec, e.g. \"wire\" or \"wiredrop=16,outage=2\" (see internal/fault)")
+	flag.StringVar(&o.nodeFaults, "node-faults", "", "machine fault spec attached to every node, or one node with an \"IDX:\" prefix (node i draws from seed+i)")
+	flag.Uint64Var(&o.watchdog, "watchdog", 0, "cluster watchdog window in cycles (0 = off): abort when a node retires nothing for that long")
+	flag.BoolVar(&o.degrade, "degrade", false, "with -watchdog, mark a wedged node down and keep serving instead of aborting")
+	flag.Uint64Var(&o.timeout, "timeout", 0, "per-request deadline in cycles for -serve clients (0 = fire-and-forget)")
+	flag.IntVar(&o.retries, "retries", 0, "retry budget per timed-out request (-serve; needs -timeout)")
+	flag.Uint64Var(&o.backoff, "backoff", 0, "base retry backoff in cycles (0 = timeout/4)")
 
 	flag.StringVar(&o.traceOut, "trace", "", "write the merged distributed-trace dump to FILE")
 	flag.StringVar(&o.perfetto, "perfetto", "", "write the per-node-timeline Chrome trace to FILE (load at ui.perfetto.dev)")
@@ -199,6 +216,51 @@ func run(o *options, args []string) error {
 		}
 		defer stopTelem()
 		fmt.Fprintf(os.Stderr, "csbcluster: telemetry on http://%s (snapshot: /snapshot, live: /stream)\n", addr)
+	}
+
+	// Fault injection and the cluster watchdog attach before anything runs.
+	if o.wireFaults != "" {
+		fcfg, err := fault.ParseSpec(o.wireFaults)
+		if err != nil {
+			return err
+		}
+		if _, err := c.AttachWireFaults(fcfg); err != nil {
+			return err
+		}
+	}
+	if o.nodeFaults != "" {
+		spec, target := o.nodeFaults, -1
+		// An "IDX:" prefix confines the faults to one node — the shape of a
+		// failover experiment (wedge one server, watch clients re-steer).
+		if k := strings.IndexByte(spec, ':'); k > 0 {
+			if v, err := strconv.Atoi(spec[:k]); err == nil {
+				if v < 0 || v >= c.NumNodes() {
+					return fmt.Errorf("-node-faults node %d out of range (cluster has %d nodes)", v, c.NumNodes())
+				}
+				target, spec = v, spec[k+1:]
+			}
+		}
+		fcfg, err := fault.ParseSpec(spec)
+		if err != nil {
+			return err
+		}
+		for i, n := range c.Nodes() {
+			if target >= 0 && i != target {
+				continue
+			}
+			ncfg := fcfg
+			ncfg.Seed += uint64(i)
+			if _, err := n.M.AttachFaults(ncfg); err != nil {
+				return err
+			}
+		}
+	}
+	if o.watchdog > 0 {
+		if err := c.SetWatchdog(o.watchdog, o.degrade); err != nil {
+			return err
+		}
+	} else if o.degrade {
+		return fmt.Errorf("-degrade needs a -watchdog window")
 	}
 
 	var gens []*loadgen.Generator
@@ -350,11 +412,14 @@ func setupServe(c *cluster.Cluster, o *options, method bench.SendMethod) ([]*loa
 			}
 		}
 		g := loadgen.New(loadgen.Config{
-			MeanGap: meanGap,
-			Dist:    dist,
-			Seed:    o.seed + uint64(i),
-			Words:   o.reqWords,
-			Servers: reach,
+			MeanGap:     meanGap,
+			Dist:        dist,
+			Seed:        o.seed + uint64(i),
+			Words:       o.reqWords,
+			Servers:     reach,
+			Timeout:     o.timeout,
+			MaxRetries:  o.retries,
+			BackoffBase: o.backoff,
 		})
 		if err := g.Attach(c, i); err != nil {
 			return nil, nil, err
@@ -388,10 +453,17 @@ func reportServe(c *cluster.Cluster, o *options, gens []*loadgen.Generator, clie
 		Total      loadgen.Stats    `json:"total"`
 		Latency    counters.Summary `json:"latency"`
 		Throughput float64          `json:"completed_per_kcycle"`
+		WireFaults *fault.Stats     `json:"wire_faults,omitempty"`
+		NodesDown  []string         `json:"nodes_down,omitempty"`
 	}{
 		Cycles: c.Cycle(), Nodes: c.NumNodes(), Method: o.send, Dist: o.dist,
 		RatePerK: o.rate,
 	}
+	if inj := c.WireFaults(); inj != nil {
+		fs := inj.Stats()
+		out.WireFaults = &fs
+	}
+	out.NodesDown = c.DownNodes()
 	topo := o.topology
 	if topo == "" {
 		topo = cluster.TopoStar.String()
@@ -410,6 +482,10 @@ func reportServe(c *cluster.Cluster, o *options, gens []*loadgen.Generator, clie
 		out.Total.Completed += st.Completed
 		out.Total.Lost += st.Lost
 		out.Total.Stray += st.Stray
+		out.Total.Timeouts += st.Timeouts
+		out.Total.Retries += st.Retries
+		out.Total.DuplicateReplies += st.DuplicateReplies
+		out.Total.Goodput += st.Goodput
 		merged.Merge(g.Latency())
 	}
 	out.Latency = merged.Summary()
@@ -428,8 +504,20 @@ func reportServe(c *cluster.Cluster, o *options, gens []*loadgen.Generator, clie
 		out.Cycles, len(gens), c.NumNodes()-len(gens), out.Topology, o.send, o.dist)
 	fmt.Printf("offered %.2f req/kcycle/client; issued %d, completed %d (%.2f/kcycle), lost %d, stray %d\n",
 		o.rate, out.Total.Issued, out.Total.Completed, out.Throughput, out.Total.Lost, out.Total.Stray)
+	if o.timeout > 0 {
+		fmt.Printf("reliability: timeouts %d, retries %d, duplicate replies %d, goodput %d\n",
+			out.Total.Timeouts, out.Total.Retries, out.Total.DuplicateReplies, out.Total.Goodput)
+	}
 	fmt.Printf("latency: p50=%d p95=%d p99=%d max=%d cycles\n",
 		out.Latency.P50, out.Latency.P95, out.Latency.P99, out.Latency.Max)
+	if fs := out.WireFaults; fs != nil {
+		fmt.Printf("wire faults: seed=%d drops=%d dups=%d delays=%d (%d cycles) outages=%d (%d cycles)\n",
+			fs.Seed, fs.WireDrops, fs.WireDups, fs.WireDelays, fs.WireDelayCycles,
+			fs.OutageWindows, fs.OutageCycles)
+	}
+	if len(out.NodesDown) > 0 {
+		fmt.Printf("degraded: nodes down: %s\n", strings.Join(out.NodesDown, ", "))
+	}
 	if o.verbose {
 		fmt.Print(c.Registry().Snapshot().Format())
 	}

@@ -162,12 +162,30 @@ func render(f, prev *telemetry.Frame) {
 			continue
 		}
 		sort.Slice(clients, func(i, j int) bool { return natLess(clients[i], clients[j]) })
-		fmt.Printf("\n%-10s %10s %10s %8s %10s %10s\n", "client", "issued", "completed", "Δdone", "p50", "p99")
+		fmt.Printf("\n%-10s %10s %10s %8s %8s %8s %6s %10s %10s\n",
+			"client", "issued", "completed", "Δdone", "outst", "retries", "lost", "p50", "p99")
 		for _, cl := range clients {
 			h := nf.Histograms["loadgen/"+cl+"/latency"]
-			issued := nf.Counters["loadgen/"+cl+"/issued"]
-			done := nf.Counters["loadgen/"+cl+"/completed"]
-			fmt.Printf("%-10s %10d %10d %8d %10d %10d\n", cl, issued, done, h.Delta, h.P50, h.P99)
+			pre := "loadgen/" + cl + "/"
+			fmt.Printf("%-10s %10d %10d %8d %8d %8d %6d %10d %10d\n", cl,
+				nf.Counters[pre+"issued"], nf.Counters[pre+"completed"], h.Delta,
+				nf.Counters[pre+"outstanding"], nf.Counters[pre+"retries"],
+				nf.Counters[pre+"lost"], h.P50, h.P99)
+		}
+		// Fabric-health line: only once wire faults or degradation have
+		// actually bitten (the counters exist, at zero, in every run).
+		drops := nf.Counters["cluster/fault_drops"]
+		dups := nf.Counters["cluster/fault_dups"]
+		outage := nf.Counters["cluster/outage_drops"]
+		down := nf.Counters["cluster/nodes_down"]
+		if drops+dups+outage+down > 0 {
+			fmt.Printf("wire faults: drops=%d dups=%d outage_drops=%d delay_cycles=%d",
+				drops, dups, outage, nf.Counters["cluster/fault_delay_cycles"])
+			if down > 0 {
+				fmt.Printf("  DEGRADED: %d node(s) down, %d drops at corpses",
+					down, nf.Counters["cluster/degraded_drops"])
+			}
+			fmt.Println()
 		}
 		break
 	}

@@ -17,6 +17,7 @@
 //	faultcampaign -seeds 50                # sweep seeds 1..50
 //	faultcampaign -seed-base 37 -seeds 1   # replay seed 37
 //	faultcampaign -wedge                   # demo: watchdog catches a wedged guest
+//	faultcampaign -cluster                 # cluster campaign (see cluster.go)
 package main
 
 import (
@@ -396,8 +397,42 @@ func main() {
 		cycles   = flag.Uint64("cycles", 100_000_000, "cycle limit per run")
 		verbose  = flag.Bool("v", false, "print per-run injection counters")
 		wedge    = flag.Bool("wedge", false, "instead of a sweep, wedge a guest and show the watchdog dump")
+
+		clusterMode = flag.Bool("cluster", false, "run the cluster campaign: wire faults × topologies × retry policies over the serving workload")
+		topologies  = flag.String("topologies", "ring,star", "comma-separated topologies for the cluster campaign")
+		wireSpecs   = flag.String("wire-specs", "wire;wiredrop=16,wiredup=8,wiredelay=32,wiredelaymax=400",
+			"semicolon-separated wire fault specs for the cluster campaign")
+		goodputMin = flag.Float64("goodput-min", 0.9, "cluster campaign: minimum goodput as a fraction of the fault-free baseline")
+		horizon    = flag.Uint64("horizon", 300_000, "cluster campaign: serving run length in cluster cycles")
+		outDir     = flag.String("outdir", "", "cluster campaign: write diagnostic dumps here on failure")
 	)
 	flag.Parse()
+
+	if *clusterMode {
+		// The machine sweep's 20-seed default would be a very long lunch at
+		// cluster scale: default to 2 unless -seeds was given explicitly.
+		seedCount := 2
+		flag.Visit(func(f *flag.Flag) {
+			if f.Name == "seeds" {
+				seedCount = *seeds
+			}
+		})
+		co := &clusterOptions{
+			seeds:      seedCount,
+			seedBase:   *seedBase,
+			topologies: *topologies,
+			specs:      *wireSpecs,
+			horizon:    *horizon,
+			goodputMin: *goodputMin,
+			outDir:     *outDir,
+			verbose:    *verbose,
+		}
+		if err := runClusterCampaign(co); err != nil {
+			fmt.Fprintln(os.Stderr, "faultcampaign:", err)
+			os.Exit(1)
+		}
+		return
+	}
 
 	if *wedge {
 		if err := runWedge(*watchdog); err != nil {

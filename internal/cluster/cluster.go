@@ -38,6 +38,7 @@ import (
 
 	"csbsim/internal/cluster/ctrace"
 	"csbsim/internal/device"
+	"csbsim/internal/fault"
 	"csbsim/internal/mem"
 	"csbsim/internal/obs/counters"
 	"csbsim/internal/obs/journey"
@@ -122,6 +123,11 @@ type Node struct {
 	// with everything settled (and no live hook), or it faulted.
 	frozen bool
 	err    error
+
+	// down marks a node the cluster watchdog declared wedged and removed
+	// from service under graceful degradation: it is no longer ticked and
+	// packets routed to it are dropped (cluster/degraded_drops).
+	down bool
 }
 
 // Name returns the node's cluster-local name ("n0", "n1", … — or "a"/"b"
@@ -176,6 +182,23 @@ type Cluster struct {
 	seq        uint64 // flight sequence numbers (total routing order)
 	routeDrops uint64 // packets with no usable destination
 	linkDrops  uint64 // packets refused by a full link queue
+
+	// Wire fault-injection state; nil when unattached. Consumed only at
+	// the routing barrier, in the global (pump cycle, node index, push
+	// order) routing order, so the schedule is engine-independent.
+	wfaults          *fault.Injector
+	faultDrops       uint64 // packets dropped by WireDrop
+	faultDups        uint64 // duplicate deliveries injected by WireDup
+	faultDelayCycles uint64 // extra propagation cycles injected by WireDelay
+	outageDrops      uint64 // packets dropped inside link outage windows
+
+	// Cluster watchdog state (see watchdog.go); wdWindow 0 = disabled.
+	wdWindow      uint64
+	wdDegrade     bool
+	wdLast        []uint64 // last observed retired-instruction count per node
+	wdMark        []uint64 // cluster cycle of last observed progress per node
+	nodesDown     uint64   // nodes removed from service by degradation
+	degradedDrops uint64   // packets dropped because their destination is down
 
 	// Optional observability state; nil/zero when unattached.
 	tracer     *ctrace.Tracer
@@ -314,7 +337,50 @@ func (c *Cluster) registerWireCounters(r *counters.Registry) {
 	})
 	r.Counter("cluster/route_drops", func() uint64 { return c.routeDrops })
 	r.Counter("cluster/link_drops", func() uint64 { return c.linkDrops })
+	// Per-directed-link breakdown of link_drops, so one saturated or
+	// faulted link is attributable in dumps and csbtop.
+	for i := range c.links {
+		for j := range c.links[i] {
+			if lk := c.links[i][j]; lk != nil {
+				r.Counter("cluster/link_drops/"+c.nodes[i].name+"->"+c.nodes[j].name,
+					func() uint64 { return lk.drops })
+			}
+		}
+	}
+	// Wire fault injection and graceful degradation. Registered
+	// unconditionally (zero when no injector/watchdog is attached) so
+	// snapshots have a stable shape.
+	r.Counter("cluster/fault_drops", func() uint64 { return c.faultDrops })
+	r.Counter("cluster/fault_dups", func() uint64 { return c.faultDups })
+	r.Counter("cluster/fault_delay_cycles", func() uint64 { return c.faultDelayCycles })
+	r.Counter("cluster/outage_drops", func() uint64 { return c.outageDrops })
+	r.Counter("cluster/nodes_down", func() uint64 { return c.nodesDown })
+	r.Counter("cluster/degraded_drops", func() uint64 { return c.degradedDrops })
 }
+
+// AttachWireFaults creates the cluster's wire fault injector from cfg
+// (only the cluster-scope wire classes are consumed; machine classes in
+// cfg are ignored — attach those per node with sim.Machine.AttachFaults).
+// The injector draws at the single-threaded routing barrier in the global
+// routing order, so RunParallel stays byte-identical to RunSequentialRef
+// under any seed. Attach before running.
+func (c *Cluster) AttachWireFaults(cfg fault.Config) (*fault.Injector, error) {
+	if c.wfaults != nil {
+		return nil, fmt.Errorf("cluster: wire faults already attached")
+	}
+	if !cfg.WireEnabled() {
+		return nil, fmt.Errorf("cluster: wire fault config enables no wire class (want WireDrop/WireDup/WireDelay/LinkOutage)")
+	}
+	inj, err := fault.New(cfg)
+	if err != nil {
+		return nil, err
+	}
+	c.wfaults = inj
+	return inj, nil
+}
+
+// WireFaults returns the attached wire fault injector, or nil.
+func (c *Cluster) WireFaults() *fault.Injector { return c.wfaults }
 
 // Registry returns the cluster-level counter registry (nil until
 // AttachCounters or AttachTrace).
@@ -540,7 +606,10 @@ func (c *Cluster) routeAll() {
 	}
 }
 
-// routeOne schedules one departure onto its link.
+// routeOne schedules one departure onto its link. Wire faults are drawn
+// here — and only here — in the global routing order: outage window,
+// drop, extra delay, then duplication, a fixed draw sequence per packet
+// so the schedule is a pure function of (fault seed, traffic).
 //
 //csb:barrier writes the destination node's inbox and link queues
 func (c *Cluster) routeOne(from int, d *departure) {
@@ -552,7 +621,31 @@ func (c *Cluster) routeOne(from int, d *departure) {
 		c.routeDrops++
 		return
 	}
+	if c.nodes[dest].down {
+		// Destination removed from service by the watchdog: degraded-mode
+		// drop, surfaced separately from fault/queue drops.
+		c.degradedDrops++
+		c.dropSpan(from, dest, d)
+		return
+	}
 	lk := c.links[from][dest]
+	if inj := c.wfaults; inj != nil {
+		if lk.outageUntil <= d.cycle {
+			if n := inj.LinkOutage(); n > 0 {
+				lk.outageUntil = d.cycle + uint64(n)
+			}
+		}
+		if d.cycle < lk.outageUntil {
+			c.outageDrops++
+			c.dropSpan(from, dest, d)
+			return
+		}
+		if inj.DropPacket() {
+			c.faultDrops++
+			c.dropSpan(from, dest, d)
+			return
+		}
+	}
 	if lk.Depth > 0 {
 		// Prune arrivals, then check the bound.
 		keep := lk.pending[:0]
@@ -564,8 +657,16 @@ func (c *Cluster) routeOne(from int, d *departure) {
 		lk.pending = keep
 		if len(lk.pending) >= lk.Depth {
 			c.linkDrops++
+			lk.drops++
 			return
 		}
+	}
+	dup := false
+	extra := uint64(0)
+	if inj := c.wfaults; inj != nil {
+		extra = uint64(inj.PacketDelay())
+		c.faultDelayCycles += extra
+		dup = inj.DupPacket()
 	}
 	start := d.cycle
 	var due uint64
@@ -579,6 +680,7 @@ func (c *Cluster) routeOne(from int, d *departure) {
 	} else {
 		due = start + lk.Latency
 	}
+	due += extra
 	if lk.Depth > 0 {
 		lk.pending = append(lk.pending, due)
 	}
@@ -593,6 +695,53 @@ func (c *Cluster) routeOne(from int, d *departure) {
 		f.traceID = c.openSpan(from, dest, d)
 	}
 	c.nodes[dest].inbox = append(c.nodes[dest].inbox, f)
+	if dup {
+		// The duplicate rides one wire latency behind the original,
+		// re-serializing through the link front; it is subject to the
+		// same queue bound, and is never traced (the span belongs to the
+		// original delivery).
+		c.faultDups++
+		if lk.Depth > 0 && len(lk.pending) >= lk.Depth {
+			c.linkDrops++
+			lk.drops++
+			return
+		}
+		start := due
+		var due2 uint64
+		if lk.CyclesPerWord > 0 {
+			if lk.freeAt > start {
+				start = lk.freeAt
+			}
+			ser := lk.CyclesPerWord * uint64(len(d.words))
+			lk.freeAt = start + ser
+			due2 = start + ser + lk.Latency
+		} else {
+			due2 = start + lk.Latency
+		}
+		if lk.Depth > 0 {
+			lk.pending = append(lk.pending, due2)
+		}
+		c.seq++
+		c.nodes[dest].inbox = append(c.nodes[dest].inbox, flight{
+			words:  d.words,
+			due:    due2,
+			dueEnq: due2 + c.cfg.RxEnqueueDelay,
+			seq:    c.seq,
+		})
+	}
+}
+
+// dropSpan closes the trace span of a packet the fabric discarded
+// (outage, injected drop, or degraded destination) so partial dumps show
+// the loss instead of leaking an open span.
+//
+//csb:barrier stamps the shared wire tracer
+func (c *Cluster) dropSpan(from, dest int, d *departure) {
+	if c.tracer == nil {
+		return
+	}
+	id := c.openSpan(from, dest, d)
+	c.tracer.PacketDropped(id, d.cycle)
 }
 
 // openSpan starts a wire-trace span for a freshly routed packet, grafting
@@ -661,7 +810,9 @@ func (c *Cluster) Tick() {
 				n.hookDone = true
 			}
 		}
-		n.M.Tick()
+		if !n.down {
+			n.M.Tick()
+		}
 	}
 	c.cycle = next
 	c.drainTraceLogs()
@@ -685,6 +836,9 @@ func (c *Cluster) Run(maxCycles uint64) error {
 	for i := uint64(0); i < maxCycles; i++ {
 		allHalted := true
 		for _, n := range c.nodes {
+			if n.down {
+				continue // removed from service; never halts, never errs
+			}
 			if err := n.M.CPU.Err(); err != nil {
 				c.flushObs()
 				return fmt.Errorf("cluster: node %s: %w", n.name, err)
@@ -697,6 +851,9 @@ func (c *Cluster) Run(maxCycles uint64) error {
 			return nil
 		}
 		c.Tick()
+		if err := c.checkWatchdog(); err != nil {
+			return err // checkWatchdog flushed observability state
+		}
 	}
 	c.flushObs()
 	return fmt.Errorf("cluster: cycle limit %d reached (%s)", maxCycles, c.haltSummary())

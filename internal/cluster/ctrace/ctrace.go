@@ -52,6 +52,13 @@ type Span struct {
 	Size uint32 `json:"size"`
 	Done bool   `json:"done"`
 
+	// Dropped marks a packet the fabric discarded (injected wire fault,
+	// link outage, or degraded destination); DropCycle is the routing
+	// cycle it was lost at (sender domain). A dropped span never
+	// completes and contributes to no latency histogram.
+	Dropped   bool   `json:"dropped,omitempty"`
+	DropCycle uint64 `json:"drop_cycle,omitempty"`
+
 	FIFOPush   uint64 `json:"fifo_push"`   // sender domain
 	TxStart    uint64 `json:"tx_start"`    // sender domain
 	WireDepart uint64 `json:"wire_depart"` // sender domain
@@ -86,6 +93,7 @@ type Tracer struct {
 
 	started   uint64
 	completed uint64
+	dropped   uint64 // spans closed as fabric-dropped (wire faults, outages, degraded routes)
 	stale     uint64 // stamps dropped: span already evicted from the ring
 
 	// offsets maps node name → cycles added to that node's stamps to land
@@ -126,6 +134,7 @@ func New(cfg Config, reg *counters.Registry) (*Tracer, error) {
 	t.hE2E = reg.Histogram("ctrace/e2e")
 	reg.Counter("ctrace/packets_started", func() uint64 { return t.started })
 	reg.Counter("ctrace/packets_completed", func() uint64 { return t.completed })
+	reg.Counter("ctrace/packets_dropped", func() uint64 { return t.dropped })
 	reg.Counter("ctrace/stale_drops", func() uint64 { return t.stale })
 	return t, nil
 }
@@ -185,6 +194,25 @@ func (t *Tracer) stamp(id uint64) *Span {
 	}
 	return s
 }
+
+// PacketDropped closes a span as lost to the fabric (injected wire
+// fault, link outage window, or a degraded destination): the span is
+// marked dropped at the given routing cycle (sender domain) and will
+// never complete. Partial dumps then show the loss explicitly instead of
+// an eternally open span.
+//
+//csb:hotpath
+//csb:barrier mutates the shared span ring; called from routing at barriers
+func (t *Tracer) PacketDropped(id, cycle uint64) {
+	if s := t.stamp(id); s != nil {
+		s.Dropped = true
+		s.DropCycle = cycle
+		t.dropped++
+	}
+}
+
+// Dropped returns the number of spans closed as fabric-dropped.
+func (t *Tracer) Dropped() uint64 { return t.dropped }
 
 // PacketArrived stamps the wire latency elapsing, in the receiver's
 // cycle domain.
@@ -250,6 +278,9 @@ func (t *Tracer) aligned(s Span) MergedSpan {
 	s.FIFOPush = uint64(int64(s.FIFOPush) + fromOff)
 	s.TxStart = uint64(int64(s.TxStart) + fromOff)
 	s.WireDepart = uint64(int64(s.WireDepart) + fromOff)
+	if s.DropCycle != 0 {
+		s.DropCycle = uint64(int64(s.DropCycle) + fromOff)
+	}
 	if s.WireArrive != 0 {
 		s.WireArrive = uint64(int64(s.WireArrive) + toOff)
 	}
@@ -293,6 +324,7 @@ type Dump struct {
 	ClockOffsets map[string]int64            `json:"clock_offsets"`
 	Started      uint64                      `json:"started"`
 	Completed    uint64                      `json:"completed"`
+	Dropped      uint64                      `json:"dropped"`
 	StaleDrops   uint64                      `json:"stale_drops"`
 	Histograms   map[string]counters.Summary `json:"histograms"`
 	Spans        []MergedSpan                `json:"spans"`
@@ -304,6 +336,7 @@ func (t *Tracer) BuildDump() *Dump {
 		ClockOffsets: make(map[string]int64, len(t.offsets)),
 		Started:      t.started,
 		Completed:    t.completed,
+		Dropped:      t.dropped,
 		StaleDrops:   t.stale,
 		Histograms:   make(map[string]counters.Summary, 6),
 		Spans:        t.Retained(),
@@ -392,6 +425,9 @@ func (t *Tracer) WritePerfetto(w io.Writer) (int64, error) {
 				"trace_id": s.TraceID, "size": s.Size,
 				"fifo_push": s.FIFOPush, "tx_start": s.TxStart, "wire_depart": s.WireDepart,
 			},
+		}
+		if s.Dropped {
+			sendSlice.Args["dropped_at"] = s.DropCycle
 		}
 		events = append(events, sendSlice)
 		if s.WireArrive == 0 {

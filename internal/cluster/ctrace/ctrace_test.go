@@ -166,6 +166,56 @@ func TestStampPathZeroAlloc(t *testing.T) {
 	}
 }
 
+// TestDroppedSpan: a packet the fabric discards is closed as dropped —
+// counted in the registry, flagged in the merged dump, and annotated on
+// its sender-side slice in the Perfetto export.
+func TestDroppedSpan(t *testing.T) {
+	reg := counters.NewRegistry()
+	tr, err := New(Config{Window: 8}, reg)
+	if err != nil {
+		t.Fatal(err)
+	}
+	drive(tr, 10, 12, 20, 140, 141, 200)
+	id := tr.PacketDeparted("a", "b", 64, 0, 300, 302, 310)
+	tr.PacketDropped(id, 310)
+	if tr.Dropped() != 1 {
+		t.Fatalf("Dropped() = %d, want 1", tr.Dropped())
+	}
+	if got := reg.Snapshot().Counters["ctrace/packets_dropped"]; got != 1 {
+		t.Fatalf("ctrace/packets_dropped = %d, want 1", got)
+	}
+	var lost MergedSpan
+	for _, s := range tr.Retained() {
+		if s.TraceID == id {
+			lost = s
+		}
+	}
+	if lost.TraceID != id {
+		t.Fatal("dropped span not retained")
+	}
+	if !lost.Dropped || lost.DropCycle != 310 || lost.Done {
+		t.Fatalf("bad dropped span: %+v", lost)
+	}
+	var buf bytes.Buffer
+	if _, err := tr.WriteTo(&buf); err != nil {
+		t.Fatal(err)
+	}
+	var d Dump
+	if err := json.Unmarshal(buf.Bytes(), &d); err != nil {
+		t.Fatal(err)
+	}
+	if d.Dropped != 1 || d.Completed != 1 {
+		t.Fatalf("dump dropped=%d completed=%d, want 1/1", d.Dropped, d.Completed)
+	}
+	var pb bytes.Buffer
+	if _, err := tr.WritePerfetto(&pb); err != nil {
+		t.Fatal(err)
+	}
+	if !strings.Contains(pb.String(), "dropped_at") {
+		t.Error("perfetto export missing the dropped_at annotation")
+	}
+}
+
 func TestWritePerfetto(t *testing.T) {
 	tr, err := New(Config{Window: 8}, nil)
 	if err != nil {

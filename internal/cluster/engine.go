@@ -168,6 +168,9 @@ func (c *Cluster) runWindowed(limit uint64, parallel, limitIsErr bool) error {
 				return fmt.Errorf("cluster: node %s: %w", n.name, n.err)
 			}
 		}
+		if err := c.checkWatchdog(); err != nil {
+			return err // checkWatchdog flushed observability state
+		}
 		if c.settled() {
 			return nil
 		}

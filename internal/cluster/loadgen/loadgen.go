@@ -19,6 +19,17 @@
 // Inter-arrival gaps come from a seeded fault.PRNG under three
 // distributions (uniform, bursty, heavy-tailed Pareto), the synthetic
 // shapes the Boukhobza/Timsit trace-simulation work validates against.
+//
+// Request reliability: with Config.Timeout set, every request carries a
+// deadline; a timed-out request is retried up to MaxRetries times with
+// exponential backoff plus seeded jitter (and failover to the next
+// server when several are configured), then counted lost. Each attempt
+// stamps a generation number into the request header, and the reply
+// echoes it — a late or wire-duplicated reply whose generation does not
+// match the live attempt is suppressed (duplicate_replies), the paper's
+// §3.2 check-and-retry discipline lifted to the request layer. Goodput
+// counts completions within one timeout of first issue; retried
+// completions also land in a dedicated retry-latency histogram.
 package loadgen
 
 import (
@@ -79,6 +90,16 @@ const burstLen = 8
 // the open-loop analogue of a timeout.
 const pendingCap = 1 << 13
 
+// idMask extracts the request ID from a header word: bits 39:0 carry the
+// ID, bits 47:40 the attempt generation, bits 63:48 the client node —
+// byte-identical to the historical 48-bit-ID encoding while generations
+// stay zero (no retries).
+const idMask = 1<<40 - 1
+
+// maxBackoff caps the exponential backoff shift so BackoffBase<<attempt
+// cannot overflow or schedule a retry past any practical horizon.
+const maxBackoff = 1 << 22
+
 // Config parameterizes one generator.
 type Config struct {
 	// MeanGap is the mean inter-arrival time in CPU cycles (the offered
@@ -99,24 +120,70 @@ type Config struct {
 	IssueUntil uint64
 	// Warmup delays the first request until this cluster cycle.
 	Warmup uint64
+	// Timeout is the per-request deadline in cluster cycles (0 disables
+	// deadlines, retries and goodput accounting — the historical
+	// fire-and-forget behavior). A request unanswered for Timeout cycles
+	// is retried (budget permitting) or counted lost.
+	Timeout uint64
+	// MaxRetries bounds re-sends per request (0 = no retries: the first
+	// timeout is terminal). Requires Timeout > 0.
+	MaxRetries int
+	// BackoffBase is the base retry delay: attempt k waits
+	// BackoffBase<<k cycles plus seeded jitter in [0, half that] after
+	// its timeout fires. 0 defaults to Timeout/4 (min 1).
+	BackoffBase uint64
 }
 
-// Stats is a generator's cumulative request accounting.
+// Stats is a generator's cumulative request accounting. At any read
+// point, Issued == Completed + Lost + outstanding (requests still in
+// flight) — the exact-accounting invariant the fault campaign asserts.
 type Stats struct {
 	Issued    uint64 `json:"issued"`
 	Completed uint64 `json:"completed"`
-	// Lost counts requests whose tracking slot was reused before a reply
-	// arrived (reply dropped, server overloaded, or still queued at run
-	// end — the open-loop overload signal).
+	// Lost counts requests given up on: the retry budget was exhausted
+	// after a timeout, or the tracking slot was reused before a reply
+	// arrived (the open-loop overload signal).
 	Lost uint64 `json:"lost"`
 	// Stray counts reply packets that matched no outstanding request.
 	Stray uint64 `json:"stray"`
+	// Timeouts counts deadline expiries (a request retried three times
+	// contributes up to four).
+	Timeouts uint64 `json:"timeouts"`
+	// Retries counts re-sent requests.
+	Retries uint64 `json:"retries"`
+	// DuplicateReplies counts replies suppressed by the generation check:
+	// a stale attempt answering after its retry was sent, a reply for an
+	// already-completed or given-up request, or a wire-duplicated packet.
+	DuplicateReplies uint64 `json:"duplicate_replies"`
+	// Goodput counts completions within Timeout cycles of first issue
+	// (== Completed when Timeout is 0) — the SLO-meaningful completions.
+	Goodput uint64 `json:"goodput"`
 }
 
 type pendingReq struct {
-	id     uint64
-	issued uint64
-	live   bool
+	id       uint64
+	issued   uint64 // first-issue cycle (latency baseline across retries)
+	deadline uint64
+	srv      int   // index into cfg.Servers of the current attempt's target
+	gen      uint8 // current attempt generation, echoed in the reply header
+	attempts uint8 // re-sends so far
+	live     bool
+}
+
+// deadlineEnt is one armed deadline. Deadlines are appended in
+// nondecreasing order (send cycles are monotone, Timeout constant), so
+// expiry is a head-of-queue scan.
+type deadlineEnt struct {
+	id       uint64
+	deadline uint64
+	gen      uint8
+}
+
+// retryEnt is one backoff-delayed retry waiting to fire.
+type retryEnt struct {
+	id  uint64
+	at  uint64
+	gen uint8
 }
 
 // Generator drives one client node. Create with New, wire with Attach,
@@ -135,13 +202,20 @@ type Generator struct {
 	rrIdx     int
 
 	pending []pendingReq
+	pendCap uint64 // pending ring size; the default pendingCap, shrinkable in tests
 	stats   Stats
+
+	// Reliability state (only populated when cfg.Timeout > 0).
+	dlq    []deadlineEnt // armed deadlines, nondecreasing; head at dlHead
+	dlHead int
+	retryq []retryEnt // backoff-delayed retries, fired in insertion order
 
 	// reply reassembly: replies arrive packet-atomically, Words words each
 	rxHave int
 	rxHdr  uint64
 
 	hist    *counters.Histogram
+	rhist   *counters.Histogram // retried completions' e2e latency
 	scratch [8]byte
 }
 
@@ -154,7 +228,10 @@ func New(cfg Config) *Generator {
 	if cfg.Words == 0 {
 		cfg.Words = 8
 	}
-	return &Generator{cfg: cfg, prng: fault.NewPRNG(cfg.Seed)}
+	if cfg.Timeout > 0 && cfg.BackoffBase == 0 {
+		cfg.BackoffBase = clamp1(cfg.Timeout / 4)
+	}
+	return &Generator{cfg: cfg, prng: fault.NewPRNG(cfg.Seed), pendCap: pendingCap}
 }
 
 // Attach binds the generator to node `self` of c: validates the server
@@ -168,6 +245,12 @@ func (g *Generator) Attach(c *cluster.Cluster, self int) error {
 	}
 	if g.cfg.Words < 1 || g.cfg.Words > 8 {
 		return fmt.Errorf("loadgen: %d-word requests unsupported (want 1..8, one NIC line)", g.cfg.Words)
+	}
+	if g.cfg.MaxRetries < 0 || g.cfg.MaxRetries > 200 {
+		return fmt.Errorf("loadgen: MaxRetries %d outside [0, 200]", g.cfg.MaxRetries)
+	}
+	if g.cfg.MaxRetries > 0 && g.cfg.Timeout == 0 {
+		return fmt.Errorf("loadgen: MaxRetries %d without a Timeout", g.cfg.MaxRetries)
 	}
 	if len(g.cfg.Servers) == 0 {
 		return fmt.Errorf("loadgen: no server nodes")
@@ -184,13 +267,19 @@ func (g *Generator) Attach(c *cluster.Cluster, self int) error {
 	g.self = self
 	g.slotBytes = uint64(g.cfg.Words * 8)
 	g.slots = int(uint64(device.PacketBufSize) / g.slotBytes)
-	g.pending = make([]pendingReq, pendingCap)
+	g.pending = make([]pendingReq, g.pendCap)
 	reg := c.AttachCounters()
 	prefix := "loadgen/" + g.node.Name() + "/"
 	g.hist = reg.Histogram(prefix + "latency")
+	g.rhist = reg.Histogram(prefix + "retry_latency")
 	reg.Counter(prefix+"issued", func() uint64 { return g.stats.Issued })
 	reg.Counter(prefix+"completed", func() uint64 { return g.stats.Completed })
 	reg.Counter(prefix+"lost", func() uint64 { return g.stats.Lost })
+	reg.Counter(prefix+"outstanding", func() uint64 { return g.stats.Issued - g.stats.Completed - g.stats.Lost })
+	reg.Counter(prefix+"timeouts", func() uint64 { return g.stats.Timeouts })
+	reg.Counter(prefix+"retries", func() uint64 { return g.stats.Retries })
+	reg.Counter(prefix+"duplicate_replies", func() uint64 { return g.stats.DuplicateReplies })
+	reg.Counter(prefix+"goodput", func() uint64 { return g.stats.Goodput })
 	g.nextIssue = g.cfg.Warmup + g.gap()
 	c.SetNodeHook(self, g.hook)
 	return nil
@@ -204,14 +293,19 @@ func (g *Generator) Stats() Stats { return g.stats }
 // Latency returns the round-trip latency histogram.
 func (g *Generator) Latency() *counters.Histogram { return g.hist }
 
-// hook is the per-cycle driver: drain replies, then issue per schedule.
-// It runs on the node's goroutine inside lookahead windows and touches
-// only this node's state (its NIC, the generator's own accounting and
-// histogram).
+// hook is the per-cycle driver: drain replies, expire deadlines, fire
+// due retries, then issue per schedule — a fixed order so the PRNG draw
+// sequence (and with it the whole run) is deterministic. It runs on the
+// node's goroutine inside lookahead windows and touches only this node's
+// state (its NIC, the generator's own accounting and histograms).
 //
 //csb:worker per-cycle NodeHook on the owning node's goroutine
 func (g *Generator) hook(cycle uint64) bool {
 	g.drain(cycle)
+	if g.cfg.Timeout > 0 {
+		g.expire(cycle)
+		g.fireRetries(cycle)
+	}
 	if cycle >= g.nextIssue && (g.cfg.IssueUntil == 0 || cycle <= g.cfg.IssueUntil) {
 		g.inject(cycle)
 		g.nextIssue = cycle + g.gap()
@@ -219,34 +313,115 @@ func (g *Generator) hook(cycle uint64) bool {
 	return true
 }
 
-// inject issues one request: payload into the next packet-buffer slot,
-// destination steered via RegTxDest, one descriptor push. Mirrors what a
-// guest's uncached stores would do, without costing simulated cycles —
-// the client models an aggregation point for many remote users, not a
-// CPU-bound sender.
+// inject issues one fresh request. Mirrors what a guest's uncached
+// stores would do, without costing simulated cycles — the client models
+// an aggregation point for many remote users, not a CPU-bound sender.
 func (g *Generator) inject(cycle uint64) {
-	slot := uint64(int(g.reqID)%g.slots) * g.slotBytes
-	base := cluster.NICBase + device.PacketBufBase + slot
-	hdr := uint64(g.self)<<48 | (g.reqID & (1<<48 - 1))
-	g.writeWord(base, hdr)
-	for w := 1; w < g.cfg.Words; w++ {
-		g.writeWord(base+uint64(w*8), g.prng.Uint64())
-	}
-	srv := g.cfg.Servers[g.rrIdx]
-	g.rrIdx = (g.rrIdx + 1) % len(g.cfg.Servers)
-	g.writeWord(cluster.NICBase+device.RegTxDest, uint64(srv))
-	g.writeWord(cluster.NICBase+device.RegTxFIFO, slot|g.slotBytes<<48)
-	p := &g.pending[g.reqID%pendingCap]
+	id := g.reqID & idMask
+	p := &g.pending[id%g.pendCap]
 	if p.live {
+		// Slot recycled under an unanswered request: the old request is
+		// lost, and any late reply for it will be counted stray (its ID no
+		// longer matches the slot).
 		g.stats.Lost++
 	}
-	*p = pendingReq{id: g.reqID, issued: cycle, live: true}
+	*p = pendingReq{id: id, issued: cycle, srv: g.rrIdx, live: true}
+	g.rrIdx = (g.rrIdx + 1) % len(g.cfg.Servers)
+	g.send(p, cycle)
 	g.stats.Issued++
 	g.reqID++
 }
 
+// send transmits the current attempt of request p: payload into its
+// packet-buffer slot, destination steered via RegTxDest, one descriptor
+// push, and (with deadlines on) arms the attempt's deadline.
+func (g *Generator) send(p *pendingReq, cycle uint64) {
+	slot := uint64(int(p.id)%g.slots) * g.slotBytes
+	base := cluster.NICBase + device.PacketBufBase + slot
+	hdr := uint64(g.self)<<48 | uint64(p.gen)<<40 | p.id
+	g.writeWord(base, hdr)
+	for w := 1; w < g.cfg.Words; w++ {
+		g.writeWord(base+uint64(w*8), g.prng.Uint64())
+	}
+	g.writeWord(cluster.NICBase+device.RegTxDest, uint64(g.cfg.Servers[p.srv]))
+	g.writeWord(cluster.NICBase+device.RegTxFIFO, slot|g.slotBytes<<48)
+	if g.cfg.Timeout > 0 {
+		p.deadline = cycle + g.cfg.Timeout
+		g.dlq = append(g.dlq, deadlineEnt{id: p.id, deadline: p.deadline, gen: p.gen})
+	}
+}
+
+// expire fires deadlines due at or before cycle. A timed-out request
+// with retry budget left schedules a backoff-delayed retry; one without
+// is lost. Entries for completed or superseded attempts are skipped.
+func (g *Generator) expire(cycle uint64) {
+	for g.dlHead < len(g.dlq) && g.dlq[g.dlHead].deadline <= cycle {
+		e := g.dlq[g.dlHead]
+		g.dlHead++
+		p := &g.pending[e.id%g.pendCap]
+		if !p.live || p.id != e.id || p.gen != e.gen {
+			continue
+		}
+		g.stats.Timeouts++
+		if int(p.attempts) < g.cfg.MaxRetries {
+			g.retryq = append(g.retryq, retryEnt{id: e.id, at: cycle + g.backoff(p.attempts), gen: e.gen})
+		} else {
+			p.live = false
+			g.stats.Lost++
+		}
+	}
+	if g.dlHead > 4096 && 2*g.dlHead >= len(g.dlq) {
+		n := copy(g.dlq, g.dlq[g.dlHead:])
+		g.dlq = g.dlq[:n]
+		g.dlHead = 0
+	}
+}
+
+// backoff draws attempt k's retry delay: BackoffBase<<k plus seeded
+// jitter in [0, half that], capped at maxBackoff.
+func (g *Generator) backoff(attempt uint8) uint64 {
+	b := g.cfg.BackoffBase << attempt
+	if b == 0 || b > maxBackoff {
+		b = maxBackoff
+	}
+	return b + uint64(g.prng.Intn(int(b/2)+1))
+}
+
+// fireRetries re-sends requests whose backoff elapsed. A reply that
+// arrived during the backoff already completed the request (its
+// generation was still current), so stale entries are skipped. Each
+// retry bumps the generation — orphaning any still-flying older attempt
+// — and fails over to the next server when several are configured.
+func (g *Generator) fireRetries(cycle uint64) {
+	if len(g.retryq) == 0 {
+		return
+	}
+	keep := g.retryq[:0]
+	for _, e := range g.retryq {
+		if e.at > cycle {
+			keep = append(keep, e)
+			continue
+		}
+		p := &g.pending[e.id%g.pendCap]
+		if !p.live || p.id != e.id || p.gen != e.gen {
+			continue
+		}
+		p.attempts++
+		p.gen++
+		if len(g.cfg.Servers) > 1 {
+			p.srv = (p.srv + 1) % len(g.cfg.Servers)
+		}
+		g.stats.Retries++
+		g.send(p, cycle)
+	}
+	g.retryq = keep
+}
+
 // drain pops every waiting RX word, reassembling fixed-size replies and
-// recording their round-trip latency.
+// recording their round-trip latency. The reply header must match the
+// live request's ID *and* generation: a reply from a stale attempt (or a
+// wire duplicate) is suppressed, never double-completing a request or
+// corrupting a recycled slot's latency sample.
 func (g *Generator) drain(cycle uint64) {
 	for {
 		w, ok := g.node.NIC.RxPop()
@@ -261,13 +436,31 @@ func (g *Generator) drain(cycle uint64) {
 			continue
 		}
 		g.rxHave = 0
-		id := g.rxHdr & (1<<48 - 1)
-		p := &g.pending[id%pendingCap]
-		if p.live && p.id == id && g.rxHdr>>48 == uint64(g.self) {
+		if g.rxHdr>>48 != uint64(g.self) {
+			g.stats.Stray++
+			continue
+		}
+		id := g.rxHdr & idMask
+		gen := uint8(g.rxHdr >> 40)
+		p := &g.pending[id%g.pendCap]
+		switch {
+		case p.live && p.id == id && p.gen == gen:
 			p.live = false
-			g.hist.Record(cycle - p.issued)
+			lat := cycle - p.issued
+			g.hist.Record(lat)
 			g.stats.Completed++
-		} else {
+			if g.cfg.Timeout == 0 || lat <= g.cfg.Timeout {
+				g.stats.Goodput++
+			}
+			if p.attempts > 0 {
+				g.rhist.Record(lat)
+			}
+		case p.id == id:
+			// Same request, wrong generation or already settled: a late
+			// original overtaken by its retry, a duplicate delivery, or a
+			// reply to a request we gave up on.
+			g.stats.DuplicateReplies++
+		default:
 			g.stats.Stray++
 		}
 	}

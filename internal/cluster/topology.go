@@ -73,6 +73,13 @@ type link struct {
 	// pending holds the due cycles of packets scheduled on the link and
 	// not yet arrived (only maintained when Depth > 0).
 	pending []uint64
+	// drops counts packets this directed link refused for a full queue —
+	// the per-link breakdown behind cluster/link_drops.
+	drops uint64
+	// outageUntil is the first cycle past the link's current injected
+	// outage window (0 / past cycles: no window open). Packets scheduled
+	// while the window is open are dropped as cluster/outage_drops.
+	outageUntil uint64
 }
 
 // buildLinks wires the adjacency matrix for cfg and computes each node's

@@ -18,6 +18,14 @@
 //   - CSB and uncached-buffer capacity pressure (stores are refused and
 //     the retire stage retries).
 //
+// Beyond the single machine, the same injector serves the cluster fabric
+// (internal/cluster): wire-scope classes drop, duplicate or delay routed
+// packets and open whole-link outage windows. Cluster injection happens
+// exclusively at the windowed engine's single-threaded barrier, in the
+// deterministic (pump cycle, node index, push order) routing order, so
+// the parallel engine stays byte-identical to its sequential reference
+// under any fault seed.
+//
 // Every decision comes from a hand-rolled seeded xorshift PRNG — no
 // math/rand, so the determinism analyzer holds for this package too —
 // and the same seed plus configuration yields a bit-identical fault
@@ -128,6 +136,26 @@ type Config struct {
 	// UBPressure makes the uncached buffer report itself full for one
 	// store or load attempt.
 	UBPressure int
+
+	// ---- cluster-scope wire classes (consumed by internal/cluster at
+	// the routing barrier; ignored by the single-machine wiring) ----
+
+	// WireDrop silently drops a routed packet on the wire.
+	WireDrop int
+	// WireDup delivers a routed packet twice: the duplicate is scheduled
+	// behind the original through the same serialization front, modeling
+	// a link-layer retransmission whose original was not actually lost.
+	WireDup int
+	// WireDelay adds [1, WireDelayMax] extra propagation cycles to a
+	// routed packet (transient congestion beyond the fixed link latency).
+	WireDelay    int
+	WireDelayMax int
+	// LinkOutage opens a window of [1, LinkOutageMax] cluster cycles
+	// during which a link drops every packet scheduled onto it (cable
+	// pull / switch reset). Checked per link, at most one window open per
+	// link at a time.
+	LinkOutage    int
+	LinkOutageMax int
 }
 
 // DefaultConfig is the standard campaign mix: every class enabled at a
@@ -149,6 +177,23 @@ func DefaultConfig() Config {
 	}
 }
 
+// DefaultWireConfig is the standard cluster campaign mix: wire classes
+// only, at rates calibrated so a retry-enabled serving workload recovers
+// every request (the goodput-under-faults acceptance envelope) while
+// still exercising drop, duplicate, delay and outage paths within a few
+// hundred kcycles.
+func DefaultWireConfig() Config {
+	return Config{
+		Seed:          1,
+		WireDrop:      8,
+		WireDup:       4,
+		WireDelay:     16,
+		WireDelayMax:  300,
+		LinkOutage:    2,
+		LinkOutageMax: 1200,
+	}
+}
+
 // Validate reports configuration errors.
 func (c Config) Validate() error {
 	for _, r := range []struct {
@@ -162,6 +207,10 @@ func (c Config) Validate() error {
 		{"FlushDrop", c.FlushDrop},
 		{"CSBPressure", c.CSBPressure},
 		{"UBPressure", c.UBPressure},
+		{"WireDrop", c.WireDrop},
+		{"WireDup", c.WireDup},
+		{"WireDelay", c.WireDelay},
+		{"LinkOutage", c.LinkOutage},
 	} {
 		if r.v < 0 || r.v > RateScale {
 			return fmt.Errorf("fault: %s rate %d outside [0, %d]", r.name, r.v, RateScale)
@@ -176,13 +225,26 @@ func (c Config) Validate() error {
 	if c.FlushDelay > 0 && c.FlushDelayMax <= 0 {
 		return fmt.Errorf("fault: FlushDelay enabled with FlushDelayMax %d", c.FlushDelayMax)
 	}
+	if c.WireDelay > 0 && c.WireDelayMax <= 0 {
+		return fmt.Errorf("fault: WireDelay enabled with WireDelayMax %d", c.WireDelayMax)
+	}
+	if c.LinkOutage > 0 && c.LinkOutageMax <= 0 {
+		return fmt.Errorf("fault: LinkOutage enabled with LinkOutageMax %d", c.LinkOutageMax)
+	}
 	return nil
 }
 
 // Enabled reports whether any fault class has a non-zero rate.
 func (c Config) Enabled() bool {
 	return c.BusNack > 0 || c.DeviceStall > 0 || c.NICBackpressure > 0 ||
-		c.FlushDelay > 0 || c.FlushDrop > 0 || c.CSBPressure > 0 || c.UBPressure > 0
+		c.FlushDelay > 0 || c.FlushDrop > 0 || c.CSBPressure > 0 || c.UBPressure > 0 ||
+		c.WireEnabled()
+}
+
+// WireEnabled reports whether any cluster-scope wire class has a
+// non-zero rate.
+func (c Config) WireEnabled() bool {
+	return c.WireDrop > 0 || c.WireDup > 0 || c.WireDelay > 0 || c.LinkOutage > 0
 }
 
 // Stats counts what the injector actually did. Seed is carried along so
@@ -199,12 +261,28 @@ type Stats struct {
 	FlushDrops          uint64 // would-succeed flushes failed
 	CSBPressureStalls   uint64 // combining stores refused
 	UBPressureStalls    uint64 // uncached buffer accepts refused
+
+	// Cluster-scope wire classes (zero on machine-level injectors).
+	WireDrops       uint64 `json:",omitempty"` // packets dropped on the wire
+	WireDups        uint64 `json:",omitempty"` // packets delivered twice
+	WireDelays      uint64 `json:",omitempty"` // packets given extra propagation delay
+	WireDelayCycles uint64 `json:",omitempty"` // total extra propagation cycles injected
+	OutageWindows   uint64 `json:",omitempty"` // link outage windows opened
+	OutageCycles    uint64 `json:",omitempty"` // total link outage window cycles
 }
 
 // Total returns the number of injected fault events (windows count once).
 func (s Stats) Total() uint64 {
 	return s.BusNacks + s.DeviceStalls + s.BackpressureWindows +
-		s.FlushDelays + s.FlushDrops + s.CSBPressureStalls + s.UBPressureStalls
+		s.FlushDelays + s.FlushDrops + s.CSBPressureStalls + s.UBPressureStalls +
+		s.WireTotal()
+}
+
+// WireTotal returns the number of injected wire fault events (outage
+// windows count once; the per-packet drops inside them are counted by the
+// cluster as cluster/outage_drops).
+func (s Stats) WireTotal() uint64 {
+	return s.WireDrops + s.WireDups + s.WireDelays + s.OutageWindows
 }
 
 // Injector draws the fault schedule. One injector serves one machine; the
@@ -351,6 +429,77 @@ func (i *Injector) SqueezeUB() bool {
 	return false
 }
 
+// ---- cluster-scope wire decisions (called only at the routing barrier,
+// single-threaded, in the deterministic global routing order) ----
+
+// DropPacket decides whether to drop the packet being routed.
+//
+//csb:hotpath
+func (i *Injector) DropPacket() bool {
+	if i.cfg.WireDrop == 0 {
+		return false
+	}
+	i.stats.Draws++
+	if i.rng.chance(i.cfg.WireDrop) {
+		i.stats.WireDrops++
+		return true
+	}
+	return false
+}
+
+// DupPacket decides whether to deliver the packet being routed twice.
+//
+//csb:hotpath
+func (i *Injector) DupPacket() bool {
+	if i.cfg.WireDup == 0 {
+		return false
+	}
+	i.stats.Draws++
+	if i.rng.chance(i.cfg.WireDup) {
+		i.stats.WireDups++
+		return true
+	}
+	return false
+}
+
+// PacketDelay returns extra propagation cycles to add to the packet being
+// routed (0: none).
+//
+//csb:hotpath
+func (i *Injector) PacketDelay() int {
+	if i.cfg.WireDelay == 0 {
+		return 0
+	}
+	i.stats.Draws++
+	if !i.rng.chance(i.cfg.WireDelay) {
+		return 0
+	}
+	i.stats.Draws++
+	n := 1 + i.rng.Intn(i.cfg.WireDelayMax)
+	i.stats.WireDelays++
+	i.stats.WireDelayCycles += uint64(n)
+	return n
+}
+
+// LinkOutage returns the length of a link outage window to open (0:
+// none). Called once per routed packet on links with no window open.
+//
+//csb:hotpath
+func (i *Injector) LinkOutage() int {
+	if i.cfg.LinkOutage == 0 {
+		return 0
+	}
+	i.stats.Draws++
+	if !i.rng.chance(i.cfg.LinkOutage) {
+		return 0
+	}
+	i.stats.Draws++
+	n := 1 + i.rng.Intn(i.cfg.LinkOutageMax)
+	i.stats.OutageWindows++
+	i.stats.OutageCycles += uint64(n)
+	return n
+}
+
 // specKeys maps spec-string keys to Config fields. Kept in one table so
 // ParseSpec and FormatSpec cannot drift apart.
 var specKeys = []struct {
@@ -367,17 +516,27 @@ var specKeys = []struct {
 	{"flushdrop", func(c *Config) *int { return &c.FlushDrop }},
 	{"csbpressure", func(c *Config) *int { return &c.CSBPressure }},
 	{"ubpressure", func(c *Config) *int { return &c.UBPressure }},
+	{"wiredrop", func(c *Config) *int { return &c.WireDrop }},
+	{"wiredup", func(c *Config) *int { return &c.WireDup }},
+	{"wiredelay", func(c *Config) *int { return &c.WireDelay }},
+	{"wiredelaymax", func(c *Config) *int { return &c.WireDelayMax }},
+	{"outage", func(c *Config) *int { return &c.LinkOutage }},
+	{"outagemax", func(c *Config) *int { return &c.LinkOutageMax }},
 }
 
 // ParseSpec parses a command-line fault specification: a comma-separated
-// list of key=value pairs, plus the bare token "default" which mixes in
-// DefaultConfig. Unnamed classes stay disabled, so "busnack=1024" enables
-// exactly one fault class. Window maxima default sensibly when a rate is
-// enabled without one. Examples:
+// list of key=value pairs, plus the bare tokens "default" (mixes in
+// DefaultConfig's machine classes) and "wire" (mixes in
+// DefaultWireConfig's cluster classes, leaving machine classes as set).
+// Unnamed classes stay disabled, so "busnack=1024" enables exactly one
+// fault class. Window maxima default sensibly when a rate is enabled
+// without one. Examples:
 //
 //	default
 //	default,seed=7
 //	busnack=64,flushdrop=128,seed=3
+//	wire,seed=11
+//	wiredrop=32,outage=4,outagemax=2000
 func ParseSpec(spec string) (Config, error) {
 	cfg := Config{Seed: 1}
 	for _, part := range strings.Split(spec, ",") {
@@ -387,9 +546,26 @@ func ParseSpec(spec string) (Config, error) {
 		}
 		if part == "default" || part == "on" {
 			seed := cfg.Seed
+			wire := cfg // wire classes possibly set by an earlier "wire" token
 			def := DefaultConfig()
 			def.Seed = seed
+			def.WireDrop = wire.WireDrop
+			def.WireDup = wire.WireDup
+			def.WireDelay = wire.WireDelay
+			def.WireDelayMax = wire.WireDelayMax
+			def.LinkOutage = wire.LinkOutage
+			def.LinkOutageMax = wire.LinkOutageMax
 			cfg = def
+			continue
+		}
+		if part == "wire" {
+			w := DefaultWireConfig()
+			cfg.WireDrop = w.WireDrop
+			cfg.WireDup = w.WireDup
+			cfg.WireDelay = w.WireDelay
+			cfg.WireDelayMax = w.WireDelayMax
+			cfg.LinkOutage = w.LinkOutage
+			cfg.LinkOutageMax = w.LinkOutageMax
 			continue
 		}
 		k, v, ok := strings.Cut(part, "=")
@@ -424,6 +600,7 @@ func ParseSpec(spec string) (Config, error) {
 	}
 	// Fill window maxima for classes enabled without one.
 	def := DefaultConfig()
+	wdef := DefaultWireConfig()
 	if cfg.DeviceStall > 0 && cfg.DeviceStallMax == 0 {
 		cfg.DeviceStallMax = def.DeviceStallMax
 	}
@@ -432,6 +609,12 @@ func ParseSpec(spec string) (Config, error) {
 	}
 	if cfg.FlushDelay > 0 && cfg.FlushDelayMax == 0 {
 		cfg.FlushDelayMax = def.FlushDelayMax
+	}
+	if cfg.WireDelay > 0 && cfg.WireDelayMax == 0 {
+		cfg.WireDelayMax = wdef.WireDelayMax
+	}
+	if cfg.LinkOutage > 0 && cfg.LinkOutageMax == 0 {
+		cfg.LinkOutageMax = wdef.LinkOutageMax
 	}
 	if err := cfg.Validate(); err != nil {
 		return Config{}, err

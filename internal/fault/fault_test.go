@@ -226,6 +226,130 @@ func TestParseSpec(t *testing.T) {
 	}
 }
 
+// TestWireValidate: wire rates obey the [0, RateScale] bound and window
+// classes need their maxima, mirroring the machine classes.
+func TestWireValidate(t *testing.T) {
+	bad := []Config{
+		{WireDrop: -1},
+		{WireDup: RateScale + 1},
+		{WireDelay: 8},  // enabled without a max
+		{LinkOutage: 8}, // enabled without a max
+	}
+	for i, c := range bad {
+		if err := c.Validate(); err == nil {
+			t.Errorf("config %d validated: %+v", i, c)
+		}
+	}
+	if err := DefaultWireConfig().Validate(); err != nil {
+		t.Errorf("default wire config invalid: %v", err)
+	}
+	wire := DefaultWireConfig()
+	if !wire.WireEnabled() || !wire.Enabled() {
+		t.Error("default wire config reports itself disabled")
+	}
+	if DefaultConfig().WireEnabled() {
+		t.Error("machine default config claims wire classes")
+	}
+}
+
+// TestWireInjectorDisabledDrawsNothing: a machine-class-only injector
+// consumes no PRNG draws through the wire decision points, so attaching
+// wire accounting cannot perturb an existing machine fault schedule.
+func TestWireInjectorDisabledDrawsNothing(t *testing.T) {
+	inj, err := New(Config{Seed: 3, BusNack: 64})
+	if err != nil {
+		t.Fatal(err)
+	}
+	for i := 0; i < 100; i++ {
+		if inj.DropPacket() || inj.DupPacket() {
+			t.Fatal("disabled wire class fired")
+		}
+		if inj.PacketDelay() != 0 || inj.LinkOutage() != 0 {
+			t.Fatal("disabled wire window class fired")
+		}
+	}
+	if s := inj.Stats(); s.Draws != 0 || s.WireTotal() != 0 {
+		t.Fatalf("disabled wire classes consumed draws: %+v", s)
+	}
+}
+
+// TestWireWindowLengthsBounded: injected delays and outage windows stay
+// inside [1, max].
+func TestWireWindowLengthsBounded(t *testing.T) {
+	cfg := DefaultWireConfig()
+	cfg.WireDelay = RateScale
+	cfg.LinkOutage = RateScale
+	inj, err := New(cfg)
+	if err != nil {
+		t.Fatal(err)
+	}
+	for i := 0; i < 1000; i++ {
+		if n := inj.PacketDelay(); n < 1 || n > cfg.WireDelayMax {
+			t.Fatalf("packet delay %d outside [1, %d]", n, cfg.WireDelayMax)
+		}
+		if n := inj.LinkOutage(); n < 1 || n > cfg.LinkOutageMax {
+			t.Fatalf("outage window %d outside [1, %d]", n, cfg.LinkOutageMax)
+		}
+	}
+	s := inj.Stats()
+	if s.WireDelays != 1000 || s.OutageWindows != 1000 {
+		t.Fatalf("always-on wire windows fired %d/%d times", s.WireDelays, s.OutageWindows)
+	}
+	if s.WireDelayCycles == 0 || s.OutageCycles == 0 || s.WireTotal() != 2000 {
+		t.Fatalf("wire accounting off: %+v", s)
+	}
+}
+
+// TestParseSpecWire covers the "wire" mix-in token, the wire window
+// maxima defaulting, and the interplay with "default".
+func TestParseSpecWire(t *testing.T) {
+	cfg, err := ParseSpec("wire")
+	if err != nil {
+		t.Fatal(err)
+	}
+	if cfg != DefaultWireConfig() {
+		t.Fatalf("spec \"wire\" = %+v, want DefaultWireConfig", cfg)
+	}
+
+	cfg, err = ParseSpec("wire,seed=11")
+	if err != nil {
+		t.Fatal(err)
+	}
+	want := DefaultWireConfig()
+	want.Seed = 11
+	if cfg != want {
+		t.Fatalf("spec \"wire,seed=11\" = %+v, want %+v", cfg, want)
+	}
+
+	// Wire window rates named without maxima get the wire defaults.
+	cfg, err = ParseSpec("wiredelay=8,outage=4")
+	if err != nil {
+		t.Fatal(err)
+	}
+	def := DefaultWireConfig()
+	if cfg.WireDelayMax != def.WireDelayMax || cfg.LinkOutageMax != def.LinkOutageMax {
+		t.Fatalf("wire maxima not defaulted: %+v", cfg)
+	}
+	if cfg.Enabled() && !cfg.WireEnabled() {
+		t.Fatalf("wire-only spec misclassified: %+v", cfg)
+	}
+
+	// "default,wire" and "wire,default" both yield the full campaign mix.
+	for _, spec := range []string{"default,wire", "wire,default"} {
+		cfg, err = ParseSpec(spec)
+		if err != nil {
+			t.Fatal(err)
+		}
+		if cfg.BusNack != DefaultConfig().BusNack || cfg.WireDrop != DefaultWireConfig().WireDrop {
+			t.Fatalf("spec %q lost a mix-in: %+v", spec, cfg)
+		}
+	}
+
+	if _, err := ParseSpec("wiredrop=2000"); err == nil {
+		t.Error("out-of-range wire rate parsed")
+	}
+}
+
 func TestStatsSeedCarried(t *testing.T) {
 	inj, err := New(Config{Seed: 1234, BusNack: 1})
 	if err != nil {
