@@ -4,7 +4,7 @@ GO ?= go
 # Parallel workers for figure sweeps (cmd/csbfig -j); defaults to all cores.
 J ?= 0
 
-.PHONY: all build vet lint test race bench-smoke obsbench figures bench-simspeed bench-cluster zero-alloc faults faults-cluster journeys cluster-trace ci
+.PHONY: all build vet lint test race bench-smoke obsbench figures bench-simspeed bench-cluster zero-alloc faults faults-cluster journeys cluster-trace flight-recorder ci
 
 all: build
 
@@ -77,14 +77,30 @@ journeys:
 
 # Cross-node tracing: run a traced two-node ping-pong, write the merged
 # distributed-trace dump plus the two-timeline Perfetto export to out/,
-# then re-measure the observability overheads and gate the cluster-trace
-# mode at 10%. CI uploads out/ as an artifact.
+# then re-measure the observability overheads and gate both the
+# cluster-trace and flight-recorder modes at 10%. CI uploads out/ as an
+# artifact.
 cluster-trace:
 	mkdir -p out
 	$(GO) run ./cmd/csbcluster -send csb -rounds 50 -wire 120 \
 		-trace out/cluster_trace.json -perfetto out/cluster_trace_perfetto.json -v
 	$(GO) run ./cmd/obsbench -reps 5 > out/BENCH_observability.json
-	$(GO) run ./cmd/obsbench -gate out/BENCH_observability.json -max-cluster-overhead 10
+	$(GO) run ./cmd/obsbench -gate out/BENCH_observability.json \
+		-max-cluster-overhead 10 -max-recorder-overhead 10
+
+# Flight recorder end to end: record a faulted serving run with the
+# committed SLO spec riding along (live breaches land in the event log),
+# print the summary, re-verify the spec offline with `csbrec check`, and
+# export the counter-track Perfetto view. out/serve.rec is the replayable
+# artifact (`csbtop -replay out/serve.rec`); CI uploads out/.
+flight-recorder:
+	mkdir -p out
+	$(GO) run ./cmd/csbcluster -serve -nodes 4 -rate 0.33 -send csb -horizon 300000 \
+		-timeout 6000 -retries 4 -wire-faults "wiredrop=8,outage=2,outagemax=300" \
+		-record out/serve.rec -record-every 20000 -slo @specs/serving.slo
+	$(GO) run ./cmd/csbrec summary out/serve.rec
+	$(GO) run ./cmd/csbrec check -slo @specs/serving.slo out/serve.rec
+	$(GO) run ./cmd/csbrec perfetto -o out/serve_rec_perfetto.json out/serve.rec
 
 # Fault campaign: sweep injection seeds across the recovery guests and
 # assert every run converges to the fault-free architectural state, then

@@ -56,6 +56,7 @@ import (
 	"csbsim/internal/mem"
 	"csbsim/internal/obs/counters"
 	"csbsim/internal/obs/journey"
+	"csbsim/internal/obs/rec"
 	"csbsim/internal/obs/telemetry"
 )
 
@@ -92,6 +93,9 @@ type options struct {
 	window    int
 	telemAddr string
 	telemEach uint64
+	record    string
+	recEvery  uint64
+	slo       string
 
 	verbose bool
 	jsonOut bool
@@ -131,6 +135,9 @@ func main() {
 	flag.IntVar(&o.window, "trace-window", 0, "count of recent wire spans retained in the dump (0 = default 4096)")
 	flag.StringVar(&o.telemAddr, "telemetry", "", "serve live cluster telemetry on ADDR (/snapshot, /stream; watch with csbtop)")
 	flag.Uint64Var(&o.telemEach, "telemetry-every", 10_000, "telemetry frame interval in cluster cycles")
+	flag.StringVar(&o.record, "record", "", "write a flight-recorder recording to FILE (inspect with csbrec, replay with csbtop -replay)")
+	flag.Uint64Var(&o.recEvery, "record-every", 10_000, "recording window in cluster cycles")
+	flag.StringVar(&o.slo, "slo", "", "SLO spec (string or @file) evaluated per recording window; breaches land in the event log and telemetry alerts")
 
 	flag.BoolVar(&o.verbose, "v", false, "print the wire-hop histograms")
 	flag.BoolVar(&o.jsonOut, "json", false, "print the run summary as JSON")
@@ -216,6 +223,47 @@ func run(o *options, args []string) error {
 		}
 		defer stopTelem()
 		fmt.Fprintf(os.Stderr, "csbcluster: telemetry on http://%s (snapshot: /snapshot, live: /stream)\n", addr)
+	}
+
+	// Flight recorder: -record persists windows to disk, -slo alone still
+	// evaluates live (ring-only) and feeds telemetry alerts. Series tables
+	// seal at run start, so attaching before the workloads register their
+	// counters is fine.
+	if o.record != "" || o.slo != "" {
+		r, err := rec.New(rec.Config{Every: o.recEvery})
+		if err != nil {
+			return err
+		}
+		if o.slo != "" {
+			spec := o.slo
+			if strings.HasPrefix(spec, "@") {
+				data, err := os.ReadFile(spec[1:])
+				if err != nil {
+					return err
+				}
+				spec = string(data)
+			}
+			slo, err := rec.ParseSLO(spec)
+			if err != nil {
+				return err
+			}
+			if err := r.SetSLO(slo); err != nil {
+				return err
+			}
+		}
+		if o.record != "" {
+			f, err := os.Create(o.record)
+			if err != nil {
+				return err
+			}
+			defer f.Close()
+			if err := r.SetWriter(f); err != nil {
+				return err
+			}
+		}
+		if err := c.AttachRecorder(r); err != nil {
+			return err
+		}
 	}
 
 	// Fault injection and the cluster watchdog attach before anything runs.
@@ -319,6 +367,19 @@ func run(o *options, args []string) error {
 			return err
 		}); err != nil {
 			return err
+		}
+	}
+	if r := c.Recorder(); r != nil {
+		if err := r.Err(); err != nil {
+			return err
+		}
+		if o.record != "" {
+			fmt.Fprintf(os.Stderr, "csbcluster: recorded %d windows, %d events -> %s\n",
+				r.Windows(), r.EventCount(), o.record)
+		}
+		for _, a := range r.ActiveAlerts() {
+			fmt.Fprintf(os.Stderr, "csbcluster: SLO BREACHED at end: %s rule=%q value=%g (since cycle %d)\n",
+				a.Series, a.Rule, a.Value, a.Since)
 		}
 	}
 	if runErr != nil {

@@ -48,6 +48,7 @@ import (
 	"csbsim/internal/mem"
 	"csbsim/internal/obs"
 	"csbsim/internal/obs/journey"
+	"csbsim/internal/obs/rec"
 	"csbsim/internal/obs/telemetry"
 	"csbsim/internal/trace"
 )
@@ -77,6 +78,10 @@ func main() {
 
 		telemAddr = flag.String("telemetry", "", "serve live counter telemetry on ADDR (e.g. 127.0.0.1:8077); /snapshot for the latest frame, /stream for SSE — watch with csbtop")
 		telemEach = flag.Uint64("telemetry-every", 10_000, "telemetry frame interval in CPU cycles")
+
+		record  = flag.String("record", "", "write a flight-recorder recording to FILE (inspect with csbrec, replay with csbtop -replay)")
+		recEach = flag.Uint64("record-every", 10_000, "recording window in CPU cycles")
+		sloSpec = flag.String("slo", "", "SLO spec (string or @file) evaluated per recording window; breaches land in the event log and telemetry alerts")
 
 		perfetto    = flag.String("perfetto", "", "write a Chrome trace-event JSON file (load at ui.perfetto.dev)")
 		metrics     = flag.String("metrics", "", "write periodic machine metrics to FILE (JSONL, or CSV with a .csv extension)")
@@ -158,10 +163,71 @@ func main() {
 	} else if *journeyWindow > 0 {
 		fatal(fmt.Errorf("-journey-window needs -journeys"))
 	}
+	// The flight recorder rides the generic periodic hook next to
+	// telemetry: one rollup window per -record-every cycles, flushed with
+	// a footer after the run (even an aborted one). -slo without -record
+	// still evaluates live, ring-only.
+	var recorder *rec.Recorder
+	var recFile *os.File
+	if *record != "" || *sloSpec != "" {
+		r, err := rec.New(rec.Config{Every: *recEach})
+		if err != nil {
+			fatal(err)
+		}
+		if err := r.AddSource("machine", m.AttachCounters()); err != nil {
+			fatal(err)
+		}
+		if *sloSpec != "" {
+			spec := *sloSpec
+			if strings.HasPrefix(spec, "@") {
+				data, err := os.ReadFile(spec[1:])
+				if err != nil {
+					fatal(err)
+				}
+				spec = string(data)
+			}
+			slo, err := rec.ParseSLO(spec)
+			if err != nil {
+				fatal(err)
+			}
+			if err := r.SetSLO(slo); err != nil {
+				fatal(err)
+			}
+		}
+		if *record != "" {
+			f, err := os.Create(*record)
+			if err != nil {
+				fatal(err)
+			}
+			recFile = f
+			if err := r.SetWriter(f); err != nil {
+				fatal(err)
+			}
+		}
+		r.Start(m.Cycle())
+		if err := m.AttachPeriodic(*recEach, r.Roll); err != nil {
+			fatal(err)
+		}
+		recorder = r
+	}
 	if *telemAddr != "" {
 		streamer := telemetry.New()
 		if err := streamer.AddNode("machine", m.AttachCounters()); err != nil {
 			fatal(err)
+		}
+		if recorder != nil {
+			r := recorder
+			streamer.SetAlerts(func() []telemetry.Alert {
+				active := r.ActiveAlerts()
+				if len(active) == 0 {
+					return nil
+				}
+				out := make([]telemetry.Alert, len(active))
+				for i, a := range active {
+					out[i] = telemetry.Alert{Rule: a.Rule, Series: a.Series, Since: a.Since, Value: a.Value}
+				}
+				return out
+			})
 		}
 		if err := m.AttachPeriodic(*telemEach, streamer.Publish); err != nil {
 			fatal(err)
@@ -262,6 +328,25 @@ func main() {
 		}
 		if err := f.Close(); err != nil {
 			fatal(err)
+		}
+	}
+	// The recording is closed even when the run aborted: the machine's
+	// flushObs already fired the final periodic roll, this adds the footer.
+	if recorder != nil {
+		recorder.Flush(m.Cycle())
+		if err := recorder.Err(); err != nil {
+			fatal(err)
+		}
+		if recFile != nil {
+			if err := recFile.Close(); err != nil {
+				fatal(err)
+			}
+			fmt.Fprintf(os.Stderr, "csbsim: recorded %d windows, %d events -> %s\n",
+				recorder.Windows(), recorder.EventCount(), *record)
+		}
+		for _, a := range recorder.ActiveAlerts() {
+			fmt.Fprintf(os.Stderr, "csbsim: SLO BREACHED at end: %s rule=%q value=%g (since cycle %d)\n",
+				a.Series, a.Rule, a.Value, a.Since)
 		}
 	}
 	if runErr != nil {

@@ -1,12 +1,14 @@
 // Command csbtop is a live terminal dashboard for a running simulation:
 // it consumes the telemetry SSE stream served by `csbcluster -telemetry`
 // (or `csbsim -telemetry`) and renders per-node throughput, RX-queue
-// depth, and end-to-end wire latency quantiles, refreshed on every frame
-// the simulator publishes.
+// depth, end-to-end wire latency quantiles, and any SLO alerts the
+// flight recorder has active, refreshed on every frame the simulator
+// publishes.
 //
 // Usage:
 //
-//	csbtop [-url http://127.0.0.1:8077] [-frames N] [-plain]
+//	csbtop [-url http://127.0.0.1:8077] [-frames N] [-plain] [-once]
+//	csbtop -replay run.rec [-at CYCLE] [-frames N] [-plain]
 //
 // Each SSE event is one telemetry.Frame keyed by simulated cycle. The
 // dashboard redraws in place (ANSI clear) unless -plain is given, in
@@ -16,6 +18,17 @@
 //
 //	csbcluster -rounds 200 -telemetry 127.0.0.1:8077 &
 //	csbtop -frames 5 -plain
+//
+// -once fetches a single /snapshot frame, renders it, and exits 0 — the
+// mode for health checks and one-shot status in scripts.
+//
+// -replay renders from a flight-recorder file (csbcluster -record)
+// instead of a live stream: each recorded window becomes one frame, so
+// the same dashboard scrubs through a finished run. -at CYCLE jumps to
+// the single window containing that cycle. Replayed histogram panels
+// show per-window samples (that is what recordings store), and the
+// alerts panel replays the recording's own SLO spec up to the rendered
+// window.
 package main
 
 import (
@@ -28,6 +41,7 @@ import (
 	"sort"
 	"strings"
 
+	"csbsim/internal/obs/rec"
 	"csbsim/internal/obs/telemetry"
 )
 
@@ -36,8 +50,30 @@ func main() {
 		url    = flag.String("url", "http://127.0.0.1:8077", "telemetry server base URL")
 		frames = flag.Int("frames", 0, "exit after N frames (0 = until the stream closes)")
 		plain  = flag.Bool("plain", false, "append frames instead of redrawing in place")
+		once   = flag.Bool("once", false, "fetch one /snapshot frame, render it, exit 0")
+		replay = flag.String("replay", "", "render windows from a flight-recorder file instead of a live stream")
+		at     = flag.Uint64("at", 0, "with -replay: render only the window containing this cycle")
 	)
 	flag.Parse()
+	atSet := false
+	flag.Visit(func(f *flag.Flag) {
+		if f.Name == "at" {
+			atSet = true
+		}
+	})
+
+	if *replay != "" {
+		if err := replayRun(*replay, atSet, *at, *frames, *plain); err != nil {
+			fatal(err)
+		}
+		return
+	}
+	if *once {
+		if err := renderOnce(*url); err != nil {
+			fatal(err)
+		}
+		return
+	}
 
 	resp, err := http.Get(strings.TrimSuffix(*url, "/") + "/stream")
 	if err != nil {
@@ -75,6 +111,131 @@ func main() {
 	if err := sc.Err(); err != nil {
 		fatal(err)
 	}
+}
+
+// renderOnce fetches a single /snapshot frame and renders it.
+func renderOnce(url string) error {
+	resp, err := http.Get(strings.TrimSuffix(url, "/") + "/snapshot")
+	if err != nil {
+		return err
+	}
+	defer resp.Body.Close()
+	if resp.StatusCode != http.StatusOK {
+		return fmt.Errorf("snapshot returned %s", resp.Status)
+	}
+	var f telemetry.Frame
+	if err := json.NewDecoder(resp.Body).Decode(&f); err != nil {
+		return fmt.Errorf("bad snapshot: %w", err)
+	}
+	render(&f, nil)
+	return nil
+}
+
+// replayRun scrubs through a flight recording, rendering each window as
+// one dashboard frame (or just the window at -at).
+func replayRun(path string, atSet bool, at uint64, frames int, plain bool) error {
+	rc, err := rec.ReadFile(path)
+	if err != nil {
+		return err
+	}
+	if rc.Truncated {
+		fmt.Fprintln(os.Stderr, "csbtop: warning: recording is truncated (no clean footer)")
+	}
+	if len(rc.Windows) == 0 {
+		return fmt.Errorf("%s: recording has no windows", path)
+	}
+	var slo *rec.SLO
+	if len(rc.SLOSpecs) > 0 {
+		// The recording carries its own spec; a parse failure here means a
+		// newer grammar wrote the file — degrade to no alerts panel.
+		slo, _ = rec.ParseSLO(strings.Join(rc.SLOSpecs, "\n"))
+	}
+
+	first, last := 0, len(rc.Windows)-1
+	if atSet {
+		i := sort.Search(len(rc.Windows), func(i int) bool { return rc.Windows[i].C1 >= at })
+		if i == len(rc.Windows) {
+			i = len(rc.Windows) - 1
+		}
+		first, last = i, i
+	}
+	var prev *telemetry.Frame
+	seen := 0
+	for wi := first; wi <= last; wi++ {
+		f := frameFromWindow(rc, wi, slo)
+		if wi > first {
+			prev = frameFromWindow(rc, wi-1, nil)
+		}
+		if !plain && !atSet {
+			fmt.Print("\x1b[2J\x1b[H")
+		}
+		fmt.Printf("replay %s  window %d/%d  cycles %d..%d\n", path, wi+1, len(rc.Windows), rc.Windows[wi].C0, rc.Windows[wi].C1)
+		render(f, prev)
+		seen++
+		if frames > 0 && seen >= frames {
+			break
+		}
+	}
+	return nil
+}
+
+// frameFromWindow synthesizes a telemetry frame from one recorded
+// window: counters carry end-of-window cumulative values, histogram
+// panels carry the window's own samples. Series names split on the
+// first '/' back into (node, name); the full series name is also keyed
+// so prefix-skipped cluster-registry names ("cluster/nodes_down")
+// resolve exactly as they do in live frames.
+func frameFromWindow(rc *rec.Recording, wi int, slo *rec.SLO) *telemetry.Frame {
+	w := &rc.Windows[wi]
+	f := &telemetry.Frame{Cycle: w.C1, Seq: w.Index + 1, Nodes: map[string]*telemetry.NodeFrame{}}
+	node := func(name string) *telemetry.NodeFrame {
+		nf := f.Nodes[name]
+		if nf == nil {
+			nf = &telemetry.NodeFrame{Counters: map[string]uint64{}}
+			f.Nodes[name] = nf
+		}
+		return nf
+	}
+	for i, name := range rc.CtrNames {
+		src, restName := splitSeries(name)
+		nf := node(src)
+		nf.Counters[restName] = w.CtrEnd[i]
+		if restName != name {
+			nf.Counters[name] = w.CtrEnd[i]
+		}
+	}
+	for i, name := range rc.HistNames {
+		src, restName := splitSeries(name)
+		nf := node(src)
+		if nf.Histograms == nil {
+			nf.Histograms = map[string]telemetry.HistFrame{}
+		}
+		h := &w.Hist[i]
+		var hf telemetry.HistFrame
+		hf.Count, hf.Min, hf.Max = h.N, h.Min, h.Max
+		hf.P50, hf.P95, hf.P99 = h.P50, h.P95, h.P99
+		hf.Mean = h.Mean()
+		hf.Delta = h.N
+		nf.Histograms[restName] = hf
+		if restName != name {
+			nf.Histograms[name] = hf
+		}
+	}
+	if slo != nil {
+		for _, a := range slo.ActiveAt(rc, wi) {
+			f.Alerts = append(f.Alerts, telemetry.Alert{Rule: a.Rule, Series: a.Series, Since: a.Since, Value: a.Value})
+		}
+	}
+	return f
+}
+
+// splitSeries splits "node/rest" at the first '/'; a bare name maps to
+// itself as both node and counter.
+func splitSeries(s string) (string, string) {
+	if i := strings.IndexByte(s, '/'); i >= 0 {
+		return s[:i], s[i+1:]
+	}
+	return s, s
 }
 
 // render draws one frame. prev supplies the per-node deltas (throughput
@@ -188,6 +349,16 @@ func render(f, prev *telemetry.Frame) {
 			fmt.Println()
 		}
 		break
+	}
+
+	// SLO alert panel: rules the flight recorder holds in breach as of
+	// this frame (live: mirrored into the frame; replay: recomputed).
+	if len(f.Alerts) > 0 {
+		fmt.Printf("\nALERTS (%d active):\n", len(f.Alerts))
+		for _, a := range f.Alerts {
+			fmt.Printf("  BREACHED  %-44s %s  since cycle %d (last %.6g)\n",
+				a.Series, a.Rule, a.Since, a.Value)
+		}
 	}
 	fmt.Println()
 }

@@ -7,13 +7,16 @@
 //
 // Cluster workloads additionally run with the PR 6 cross-node layer
 // (distributed wire tracing + live telemetry publishing) attached, and
-// -gate FILE re-reads a recorded report and fails if that mode's overhead
-// regressed past -max-cluster-overhead percent — the CI regression gate.
+// once more with the flight recorder + SLO engine rolling windows on top
+// of that stack. -gate FILE re-reads a recorded report and fails if the
+// cluster-trace or recorder overhead regressed past
+// -max-cluster-overhead / -max-recorder-overhead percent — the CI
+// regression gates.
 //
 // Usage:
 //
 //	obsbench [-reps N] > BENCH_observability.json
-//	obsbench -gate BENCH_observability.json -max-cluster-overhead 10
+//	obsbench -gate BENCH_observability.json -max-cluster-overhead 10 -max-recorder-overhead 10
 package main
 
 import (
@@ -31,6 +34,7 @@ import (
 	"csbsim/internal/mem"
 	"csbsim/internal/obs"
 	"csbsim/internal/obs/journey"
+	"csbsim/internal/obs/rec"
 	"csbsim/internal/obs/telemetry"
 	"csbsim/internal/sim"
 )
@@ -43,9 +47,11 @@ type result struct {
 	WallOnNs            int64   `json:"wall_ns_hooks_on"`
 	WallJourneysNs      int64   `json:"wall_ns_journeys_on"`
 	WallClusterTraceNs  int64   `json:"wall_ns_cluster_trace,omitempty"`
+	WallRecorderNs      int64   `json:"wall_ns_recorder_on,omitempty"`
 	OverheadPct         float64 `json:"hooks_on_overhead_pct"`
 	JourneysOverheadPct float64 `json:"journeys_overhead_pct"`
 	ClusterTracePct     float64 `json:"cluster_trace_overhead_pct,omitempty"`
+	RecorderPct         float64 `json:"recorder_overhead_pct,omitempty"`
 	Insts               uint64  `json:"instructions"`
 }
 
@@ -63,6 +69,7 @@ const (
 	modeHooks                    // Perfetto exporter + metrics sampler
 	modeJourneys                 // journey tracer + unified counter registry
 	modeClusterTrace             // distributed wire tracing + telemetry publishing (cluster workloads only)
+	modeRecorder                 // cluster trace + flight recorder with an SLO attached (cluster workloads only)
 )
 
 // workload builds a fresh machine-or-cluster, optionally instruments it,
@@ -79,10 +86,11 @@ func main() {
 	reps := flag.Int("reps", 5, "repetitions per configuration (best wall time wins)")
 	gate := flag.String("gate", "", "read a recorded report from FILE and gate on its overheads instead of benchmarking")
 	maxCluster := flag.Float64("max-cluster-overhead", 10, "with -gate: fail if cluster_trace_overhead_pct exceeds this")
+	maxRecorder := flag.Float64("max-recorder-overhead", 10, "with -gate: fail if recorder_overhead_pct exceeds this")
 	flag.Parse()
 
 	if *gate != "" {
-		if err := runGate(*gate, *maxCluster); err != nil {
+		if err := runGate(*gate, *maxCluster, *maxRecorder); err != nil {
 			fmt.Fprintln(os.Stderr, "obsbench:", err)
 			os.Exit(1)
 		}
@@ -105,7 +113,7 @@ func main() {
 	}
 
 	rep := report{
-		Description: "observability overhead: example workloads with hooks off vs Perfetto+metrics attached vs journey tracer+counter registry attached; cluster workloads also run with distributed wire tracing+telemetry attached",
+		Description: "observability overhead: example workloads with hooks off vs Perfetto+metrics attached vs journey tracer+counter registry attached; cluster workloads also run with distributed wire tracing+telemetry attached, and again with the flight recorder + SLO engine on top",
 		Reps:        *reps,
 	}
 	for _, w := range workloads {
@@ -113,7 +121,7 @@ func main() {
 		r.Workload = w.name
 		modes := []mode{modeOff, modeHooks, modeJourneys}
 		if w.cluster {
-			modes = append(modes, modeClusterTrace)
+			modes = append(modes, modeClusterTrace, modeRecorder)
 		}
 		// Modes are interleaved round-robin (not run in blocks) so machine
 		// load drifting over the benchmark biases every mode equally
@@ -140,12 +148,16 @@ func main() {
 		r.WallJourneysNs = best[modeJourneys].Nanoseconds()
 		if w.cluster {
 			r.WallClusterTraceNs = best[modeClusterTrace].Nanoseconds()
+			r.WallRecorderNs = best[modeRecorder].Nanoseconds()
 		}
 		if r.WallOffNs > 0 {
 			r.OverheadPct = 100 * float64(r.WallOnNs-r.WallOffNs) / float64(r.WallOffNs)
 			r.JourneysOverheadPct = 100 * float64(r.WallJourneysNs-r.WallOffNs) / float64(r.WallOffNs)
 			if r.WallClusterTraceNs > 0 {
 				r.ClusterTracePct = 100 * float64(r.WallClusterTraceNs-r.WallOffNs) / float64(r.WallOffNs)
+			}
+			if r.WallRecorderNs > 0 {
+				r.RecorderPct = 100 * float64(r.WallRecorderNs-r.WallOffNs) / float64(r.WallOffNs)
 			}
 		}
 		rep.Results = append(rep.Results, r)
@@ -162,7 +174,7 @@ func main() {
 // runGate reads a recorded report and fails if the cluster-trace mode's
 // overhead exceeds the budget — the CI regression gate for the cross-node
 // observability layer.
-func runGate(path string, maxClusterPct float64) error {
+func runGate(path string, maxClusterPct, maxRecorderPct float64) error {
 	data, err := os.ReadFile(path)
 	if err != nil {
 		return err
@@ -182,6 +194,14 @@ func runGate(path string, maxClusterPct float64) error {
 		if r.ClusterTracePct > maxClusterPct {
 			return fmt.Errorf("%s: cluster-trace overhead %.1f%% exceeds budget %.1f%%",
 				r.Workload, r.ClusterTracePct, maxClusterPct)
+		}
+		if r.WallRecorderNs > 0 {
+			fmt.Printf("gate: %s recorder_overhead_pct = %.1f (budget %.1f)\n",
+				r.Workload, r.RecorderPct, maxRecorderPct)
+			if r.RecorderPct > maxRecorderPct {
+				return fmt.Errorf("%s: flight-recorder overhead %.1f%% exceeds budget %.1f%%",
+					r.Workload, r.RecorderPct, maxRecorderPct)
+			}
 		}
 	}
 	if checked == 0 {
@@ -244,7 +264,7 @@ func runPingPong(md mode) (uint64, uint64, time.Duration, error) {
 		n.M.MapRange(0x200000, 1<<16, mem.KindCached)
 		attach(n.M, md)
 	}
-	if md == modeClusterTrace {
+	if md == modeClusterTrace || md == modeRecorder {
 		// The full PR 6 stack: per-node journeys + wire spans + live
 		// telemetry frames (published, not served — the publish path is
 		// the per-tick cost).
@@ -252,6 +272,28 @@ func runPingPong(md mode) (uint64, uint64, time.Duration, error) {
 			return 0, 0, 0, err
 		}
 		if err := c.AttachTelemetry(telemetry.New(), 10_000); err != nil {
+			return 0, 0, 0, err
+		}
+	}
+	if md == modeRecorder {
+		// On top of the cluster-trace stack: the flight recorder rolling
+		// windows into a discarded writer — the rollup and SLO evaluation
+		// are the per-window cost being measured, not the disk.
+		fr, err := rec.New(rec.DefaultConfig())
+		if err != nil {
+			return 0, 0, 0, err
+		}
+		if err := fr.SetWriter(io.Discard); err != nil {
+			return 0, 0, 0, err
+		}
+		slo, err := rec.ParseSLO("cluster/nodes_down == 0; p99(*/ctrace/e2e) <= 1000000")
+		if err != nil {
+			return 0, 0, 0, err
+		}
+		if err := fr.SetSLO(slo); err != nil {
+			return 0, 0, 0, err
+		}
+		if err := c.AttachRecorder(fr); err != nil {
 			return 0, 0, 0, err
 		}
 	}

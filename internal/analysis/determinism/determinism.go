@@ -38,6 +38,7 @@ var Packages = []string{
 	"csbsim/internal/device",
 	"csbsim/internal/obs/counters",
 	"csbsim/internal/obs/journey",
+	"csbsim/internal/obs/rec",
 	"csbsim/internal/obs/telemetry",
 	"csbsim/internal/cluster",
 	// Covered by the prefix rule above, but listed explicitly: the load

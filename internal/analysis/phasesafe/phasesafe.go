@@ -50,6 +50,7 @@ var sharedTypes = map[string]string{
 	"csbsim/internal/cluster/ctrace.Tracer": "the shared wire tracer",
 	"csbsim/internal/obs/telemetry.Streamer": "the telemetry sink",
 	"csbsim/internal/obs/counters.Registry":  "a counter registry read at barriers",
+	"csbsim/internal/obs/rec.Recorder":       "the flight recorder (reads every node's registries)",
 }
 
 // barrierAPIs lists barrier-only entry points on otherwise-sanctioned
@@ -65,6 +66,10 @@ var barrierAPIs = map[string]bool{
 	"csbsim/internal/cluster/ctrace.Tracer.PacketArrived":  true,
 	"csbsim/internal/cluster/ctrace.Tracer.PacketEnqueued": true,
 	"csbsim/internal/cluster/ctrace.Tracer.PacketDrained":  true,
+	"csbsim/internal/obs/rec.Recorder.Start":               true,
+	"csbsim/internal/obs/rec.Recorder.Roll":                true,
+	"csbsim/internal/obs/rec.Recorder.Flush":               true,
+	"csbsim/internal/obs/rec.Recorder.Event":               true,
 }
 
 type color uint8

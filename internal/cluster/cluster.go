@@ -42,6 +42,7 @@ import (
 	"csbsim/internal/mem"
 	"csbsim/internal/obs/counters"
 	"csbsim/internal/obs/journey"
+	"csbsim/internal/obs/rec"
 	"csbsim/internal/obs/telemetry"
 	"csbsim/internal/sim"
 )
@@ -207,6 +208,9 @@ type Cluster struct {
 	telem      *telemetry.Streamer
 	telemEvery uint64
 	lastPub    uint64
+	rec        *rec.Recorder
+	recEvery   uint64
+	lastRoll   uint64
 }
 
 // New builds an N-node cluster (cfg.Nodes, default 2) wired per
@@ -450,16 +454,101 @@ func (c *Cluster) AttachTelemetry(s *telemetry.Streamer, every uint64) error {
 	return nil
 }
 
+// AttachRecorder attaches a flight recorder: every node's registry plus
+// the cluster registry become recorder sources, and the cluster rolls a
+// window every recorder-cadence cycles at the single-threaded barrier
+// (so recordings of parallel runs are byte-identical to sequential
+// ones). Cluster events — watchdog fires, node-down transitions, wire
+// outage windows — land in the recording's event log, and active SLO
+// alerts surface in telemetry frames when a streamer is also attached.
+// Attach before running, after any loadgen/workload registration that
+// creates counters.
+func (c *Cluster) AttachRecorder(r *rec.Recorder) error {
+	if c.rec != nil {
+		return fmt.Errorf("cluster: recorder already attached")
+	}
+	c.AttachCounters()
+	for _, n := range c.nodes {
+		if err := r.AddSource(n.name, n.M.Counters()); err != nil {
+			return err
+		}
+	}
+	if err := r.AddSource("cluster", c.reg); err != nil {
+		return err
+	}
+	c.rec = r
+	c.recEvery = r.Every()
+	return nil
+}
+
+// Recorder returns the attached flight recorder, or nil.
+func (c *Cluster) Recorder() *rec.Recorder { return c.rec }
+
+// startObs seals the recorder's series tables at run start (all counter
+// registration has happened by then — sources register lazily right up
+// to the first window) and wires active SLO alerts into telemetry
+// frames. Idempotent; called at the top of every engine's run loop.
+//
+//csb:barrier reads every source registry; all node goroutines are parked
+func (c *Cluster) startObs() {
+	if c.rec == nil {
+		return
+	}
+	c.rec.Start(c.cycle)
+	c.lastRoll = c.cycle
+	if c.telem != nil {
+		r := c.rec
+		c.telem.SetAlerts(func() []telemetry.Alert {
+			active := r.ActiveAlerts()
+			if len(active) == 0 {
+				return nil
+			}
+			out := make([]telemetry.Alert, len(active))
+			for i, a := range active {
+				out[i] = telemetry.Alert{Rule: a.Rule, Series: a.Series, Since: a.Since, Value: a.Value}
+			}
+			return out
+		})
+	}
+}
+
+// maybeRoll closes a recorder window once per cadence interval. Runs
+// before maybePublish so a frame published at the same barrier already
+// reflects this window's SLO state.
+//
+//csb:barrier reads every source registry; all node goroutines are parked
+func (c *Cluster) maybeRoll() {
+	if c.rec != nil && c.cycle-c.lastRoll >= c.recEvery {
+		c.lastRoll = c.cycle
+		c.rec.Roll(c.cycle)
+	}
+}
+
+// recEvent logs one cluster event into the recording (no-op when no
+// recorder is attached). All call sites run at barriers in the global
+// deterministic order, so event logs are engine-independent.
+//
+//csb:barrier appends to the recorder's shared event log
+func (c *Cluster) recEvent(cycle uint64, kind, node string, value float64) {
+	if c.rec != nil {
+		c.rec.Event(cycle, kind, node, "", value)
+	}
+}
+
 // flushObs drains buffered observability state on any Run exit — every
-// node's partial metrics windows, the deferred trace logs, and one final
-// telemetry frame — so a wedged or faulted node still yields a partial
-// dump, mirroring the single-node flushObs abort behavior.
+// node's partial metrics windows, the deferred trace logs, the
+// recorder's final partial window plus footer, and one final telemetry
+// frame — so a wedged or faulted node still yields a partial dump,
+// mirroring the single-node flushObs abort behavior.
 //
 //csb:barrier drains every node's deferred state; all node goroutines are parked
 func (c *Cluster) flushObs() {
 	c.drainTraceLogs()
 	for _, n := range c.nodes {
 		n.M.FlushObs()
+	}
+	if c.rec != nil {
+		c.rec.Flush(c.cycle)
 	}
 	if c.telem != nil {
 		c.telem.Publish(c.cycle)
@@ -633,6 +722,7 @@ func (c *Cluster) routeOne(from int, d *departure) {
 		if lk.outageUntil <= d.cycle {
 			if n := inj.LinkOutage(); n > 0 {
 				lk.outageUntil = d.cycle + uint64(n)
+				c.recEvent(d.cycle, "link_outage", c.nodes[from].name+"->"+c.nodes[dest].name, float64(n))
 			}
 		}
 		if d.cycle < lk.outageUntil {
@@ -825,14 +915,17 @@ func (c *Cluster) Tick() {
 	}
 	c.drainTraceLogs()
 	c.compactInboxes()
+	c.maybeRoll()
 	c.maybePublish()
 }
 
 // Run advances the cluster in lockstep until every node halts (or
-// maxCycles elapse). Every error path flushes observability state first,
-// so post-mortems of a wedged or faulted node see everything up to the
-// abort.
+// maxCycles elapse). Every exit path — success, fault, watchdog, limit —
+// flushes observability state first, so post-mortems of a wedged or
+// faulted node see everything up to the abort and recordings always
+// carry their final window and footer.
 func (c *Cluster) Run(maxCycles uint64) error {
+	c.startObs()
 	for i := uint64(0); i < maxCycles; i++ {
 		allHalted := true
 		for _, n := range c.nodes {
@@ -848,6 +941,7 @@ func (c *Cluster) Run(maxCycles uint64) error {
 			}
 		}
 		if allHalted {
+			c.flushObs()
 			return nil
 		}
 		c.Tick()

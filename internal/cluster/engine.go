@@ -143,6 +143,7 @@ func (c *Cluster) runWindowed(limit uint64, parallel, limitIsErr bool) error {
 		workers = c.startWorkers()
 		defer workers.stop()
 	}
+	c.startObs()
 	horizon := c.cycle + limit
 	for c.cycle < horizon {
 		end := c.cycle + w
@@ -161,6 +162,7 @@ func (c *Cluster) runWindowed(limit uint64, parallel, limitIsErr bool) error {
 		c.drainTraceLogs()
 		c.routeAll()
 		c.compactInboxes()
+		c.maybeRoll()
 		c.maybePublish()
 		for _, n := range c.nodes {
 			if n.err != nil {
@@ -172,6 +174,7 @@ func (c *Cluster) runWindowed(limit uint64, parallel, limitIsErr bool) error {
 			return err // checkWatchdog flushed observability state
 		}
 		if c.settled() {
+			c.flushObs()
 			return nil
 		}
 	}

@@ -104,6 +104,7 @@ func (c *Cluster) checkWatchdog() error {
 				c.markDown(i)
 				continue
 			}
+			c.recEvent(c.cycle, "watchdog", n.name, float64(c.wdWindow))
 			c.flushObs()
 			return &WatchdogError{
 				Node:    n.name,
@@ -126,6 +127,7 @@ func (c *Cluster) markDown(i int) {
 	n.down = true
 	n.frozen = true
 	c.nodesDown++
+	c.recEvent(c.cycle, "node_down", n.name, float64(c.nodesDown))
 }
 
 // DiagnosticDump renders the cluster-wide post-mortem: the wire fault

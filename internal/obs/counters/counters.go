@@ -118,6 +118,107 @@ func (h *Histogram) Quantile(q float64) uint64 {
 	return h.max
 }
 
+// HistState is a raw point-in-time copy of a histogram's buckets and
+// exact min/max/sum/count — the substrate for *windowed* statistics: two
+// states taken at different cycles subtract bucket-wise, so a flight
+// recorder can compute per-window quantiles instead of cumulative ones.
+type HistState struct {
+	Buckets [numBuckets]uint64
+	Count   uint64
+	Sum     uint64
+	Min     uint64
+	Max     uint64
+}
+
+// ReadState copies the histogram's current state into dst without
+// allocating — the per-window rollup path calls this on every attached
+// histogram at every window boundary.
+//
+//csb:hotpath
+func (h *Histogram) ReadState(dst *HistState) {
+	dst.Buckets = h.buckets
+	dst.Count = h.count
+	dst.Sum = h.sum
+	dst.Min = h.min
+	dst.Max = h.max
+}
+
+// WindowStats summarizes only the samples recorded between prev and cur
+// (cur must be the later state of the same histogram). Quantiles are
+// exact at bucket resolution over the window's own samples; min/max are
+// the tightest bounds derivable from the delta buckets, clamped by the
+// exactly-tracked global extrema where those remain valid bounds.
+// An empty window returns a zero Summary.
+func WindowStats(prev, cur *HistState) Summary {
+	n := cur.Count - prev.Count
+	if n == 0 {
+		return Summary{}
+	}
+	var delta [numBuckets]uint64
+	lo, hi := -1, 0
+	for i := 0; i < numBuckets; i++ {
+		delta[i] = cur.Buckets[i] - prev.Buckets[i]
+		if delta[i] > 0 {
+			if lo < 0 {
+				lo = i
+			}
+			hi = i
+		}
+	}
+	s := Summary{Count: n, Min: bucketLo(lo), Max: bucketHi(hi)}
+	// The global max is an upper bound on any window's max; the global
+	// min a lower bound on any window's min. Take the tighter bound.
+	if cur.Max < s.Max {
+		s.Max = cur.Max
+	}
+	if cur.Min > s.Min {
+		s.Min = cur.Min
+	}
+	s.Mean = float64(cur.Sum-prev.Sum) / float64(n)
+	q := func(qf float64) uint64 {
+		rank := uint64(qf * float64(n))
+		if rank == 0 {
+			rank = 1
+		}
+		if rank > n {
+			rank = n
+		}
+		var cum uint64
+		for i := lo; i < numBuckets; i++ {
+			cum += delta[i]
+			if cum >= rank {
+				ub := bucketHi(i)
+				if ub > s.Max {
+					ub = s.Max
+				}
+				if ub < s.Min {
+					ub = s.Min
+				}
+				return ub
+			}
+		}
+		return s.Max
+	}
+	s.P50, s.P95, s.P99 = q(0.50), q(0.95), q(0.99)
+	return s
+}
+
+// bucketLo is the smallest value bucket i can hold.
+func bucketLo(i int) uint64 {
+	if i <= 0 {
+		return 0
+	}
+	return 1 << uint(i-1)
+}
+
+// bucketHi is the largest value bucket i can hold.
+func bucketHi(i int) uint64 {
+	if i <= 0 {
+		return 0
+	}
+	return 1<<uint(i) - 1
+}
+
 // Summary is the rendered form of a histogram: counts plus the
 // percentile set the paper's latency-decomposition figures use.
 type Summary struct {
@@ -186,6 +287,23 @@ func (r *Registry) claim(name string) {
 		panic(fmt.Sprintf("counters: duplicate registration of %q", name))
 	}
 	r.names[name] = true
+}
+
+// VisitCounters calls fn for every registered counter in registration
+// order — the flight recorder uses this at seal time to build its series
+// table without going through an allocating Snapshot.
+func (r *Registry) VisitCounters(fn func(name string, read func() uint64)) {
+	for _, c := range r.counters {
+		fn(c.name, c.read)
+	}
+}
+
+// VisitHistograms calls fn for every registered histogram in
+// registration order.
+func (r *Registry) VisitHistograms(fn func(h *Histogram)) {
+	for _, h := range r.histograms {
+		fn(h)
+	}
 }
 
 // Snapshot is a point-in-time copy of every registered counter value and

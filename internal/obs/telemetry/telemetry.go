@@ -42,6 +42,16 @@ type NodeFrame struct {
 	Histograms map[string]HistFrame `json:"histograms,omitempty"`
 }
 
+// Alert is one currently-breached SLO rule binding, mirrored from the
+// flight recorder into frames so live dashboards show breach state
+// without parsing the recording.
+type Alert struct {
+	Rule   string  `json:"rule"`
+	Series string  `json:"series"`
+	Since  uint64  `json:"since_cycle"`
+	Value  float64 `json:"value"`
+}
+
 // Frame is one published telemetry snapshot.
 type Frame struct {
 	// Cycle is the simulated cycle the frame was taken at.
@@ -52,6 +62,9 @@ type Frame struct {
 	// received (0 on /snapshot and for keeping-up streams).
 	Dropped uint64                `json:"dropped,omitempty"`
 	Nodes   map[string]*NodeFrame `json:"nodes"`
+	// Alerts lists the SLO rules in breach when the frame was taken
+	// (absent when no recorder/SLO is attached or nothing is breached).
+	Alerts []Alert `json:"alerts,omitempty"`
 }
 
 // node is one registered snapshot source.
@@ -73,8 +86,9 @@ type subscriber struct {
 // nodes and attach the publish cadence before running; Serve (or an
 // external http server via ServeHTTP) can start at any time.
 type Streamer struct {
-	nodes []*node
-	seq   uint64
+	nodes  []*node
+	seq    uint64
+	alerts func() []Alert
 
 	mu   sync.Mutex // guards subs and last across sim and HTTP goroutines
 	subs map[*subscriber]struct{}
@@ -98,6 +112,11 @@ func (s *Streamer) AddNode(name string, reg *counters.Registry) error {
 	return nil
 }
 
+// SetAlerts installs the active-alert source (the flight recorder's
+// ActiveAlerts), called at every Publish from the sim loop. The last
+// setter wins; pass nil to detach.
+func (s *Streamer) SetAlerts(fn func() []Alert) { s.alerts = fn }
+
 // Publish snapshots every node and broadcasts one frame. Called from the
 // sim loop on a sim-cycle cadence; it never blocks on consumers.
 //
@@ -105,6 +124,9 @@ func (s *Streamer) AddNode(name string, reg *counters.Registry) error {
 func (s *Streamer) Publish(cycle uint64) {
 	s.seq++
 	f := Frame{Cycle: cycle, Seq: s.seq, Nodes: make(map[string]*NodeFrame, len(s.nodes))}
+	if s.alerts != nil {
+		f.Alerts = s.alerts()
+	}
 	for _, n := range s.nodes {
 		snap := n.reg.Snapshot()
 		nf := &NodeFrame{Counters: snap.Counters}

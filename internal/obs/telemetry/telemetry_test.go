@@ -189,3 +189,38 @@ func TestSlowSubscriberDropsNotBlocks(t *testing.T) {
 		t.Fatal("gap not surfaced in Dropped")
 	}
 }
+
+// TestAlertsInFrames: once an alerts source is wired (the flight
+// recorder in real runs), every published frame carries the currently
+// active alerts, and frames go back to omitting the field when the
+// breach clears.
+func TestAlertsInFrames(t *testing.T) {
+	s, sent, _ := newTestStreamer(t)
+	var active []Alert
+	s.SetAlerts(func() []Alert { return active })
+
+	*sent = 1
+	active = []Alert{{Rule: "nic/packets_sent == 0", Series: "a/nic/packets_sent", Since: 500, Value: 1}}
+	s.Publish(1000)
+	var f Frame
+	if err := json.Unmarshal(s.Snapshot(), &f); err != nil {
+		t.Fatal(err)
+	}
+	if len(f.Alerts) != 1 || f.Alerts[0].Series != "a/nic/packets_sent" || f.Alerts[0].Since != 500 {
+		t.Fatalf("alerts = %+v", f.Alerts)
+	}
+
+	active = nil
+	s.Publish(2000)
+	raw := s.Snapshot()
+	f = Frame{}
+	if err := json.Unmarshal(raw, &f); err != nil {
+		t.Fatal(err)
+	}
+	if len(f.Alerts) != 0 {
+		t.Errorf("cleared alerts still present: %+v", f.Alerts)
+	}
+	if strings.Contains(string(raw), `"alerts"`) {
+		t.Error("empty alerts field not omitted from the frame JSON")
+	}
+}

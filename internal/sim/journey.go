@@ -106,8 +106,8 @@ func (m *Machine) ExportJourneys() {
 //csb:barrier flushes windows shared consumers read; never inside a window
 func (m *Machine) flushObs() {
 	m.FlushMetrics()
-	if m.periodicFn != nil {
-		m.periodicFn(m.cycle)
+	for i := range m.periodicHooks {
+		m.periodicHooks[i].fn(m.cycle)
 	}
 }
 

@@ -140,12 +140,11 @@ type Machine struct {
 	journeys    *journey.Tracer
 	devCounters int // next device counter-prefix index
 
-	// Optional periodic hook (AttachPeriodic): fires every periodicEvery
-	// CPU cycles — the telemetry streamer's publish cadence. One nil
-	// check per tick when unattached.
-	periodicFn        func(cycle uint64)
-	periodicEvery     uint64
-	periodicCountdown uint64
+	// Optional periodic hooks (AttachPeriodic): each fires every
+	// hook.every CPU cycles — the cadence driver for the telemetry
+	// streamer and the flight recorder, which may run side by side. One
+	// len check per tick when unattached.
+	periodicHooks []periodicHook
 
 	console bytes.Buffer
 	cycle   uint64
@@ -361,19 +360,29 @@ func (m *Machine) Tick() {
 			m.sampleMetrics()
 		}
 	}
-	if m.periodicFn != nil {
-		m.periodicCountdown--
-		if m.periodicCountdown == 0 {
-			m.periodicCountdown = m.periodicEvery
-			m.periodicFn(m.cycle)
+	for i := range m.periodicHooks {
+		h := &m.periodicHooks[i]
+		h.countdown--
+		if h.countdown == 0 {
+			h.countdown = h.every
+			h.fn(m.cycle)
 		}
 	}
 }
 
+// periodicHook is one AttachPeriodic registration.
+type periodicHook struct {
+	every     uint64
+	countdown uint64
+	fn        func(cycle uint64)
+}
+
 // AttachPeriodic installs a hook invoked every `every` CPU cycles with
 // the current cycle — the cadence driver for the telemetry streamer
-// (cmd/csbsim -telemetry) and any other live consumer. One hook per
-// machine; attach before running.
+// (cmd/csbsim -telemetry) and the flight recorder (cmd/csbsim -record),
+// which may be attached side by side with independent cadences. Hooks
+// fire in attach order; attach before running. Every hook also fires
+// once more from FlushObs so abort paths emit their final window.
 func (m *Machine) AttachPeriodic(every uint64, fn func(cycle uint64)) error {
 	if every == 0 {
 		return fmt.Errorf("sim: periodic interval must be positive")
@@ -381,12 +390,7 @@ func (m *Machine) AttachPeriodic(every uint64, fn func(cycle uint64)) error {
 	if fn == nil {
 		return fmt.Errorf("sim: nil periodic hook")
 	}
-	if m.periodicFn != nil {
-		return fmt.Errorf("sim: periodic hook already attached")
-	}
-	m.periodicFn = fn
-	m.periodicEvery = every
-	m.periodicCountdown = every
+	m.periodicHooks = append(m.periodicHooks, periodicHook{every: every, countdown: every, fn: fn})
 	return nil
 }
 

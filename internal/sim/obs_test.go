@@ -217,8 +217,10 @@ func TestUnattachedMachineHasNoObservers(t *testing.T) {
 	m.FlushMetrics() // must be a no-op, not a panic
 }
 
-// TestAttachPeriodic verifies the generic periodic hook: one firing per
-// interval while running, plus exactly one more from the final flush.
+// TestAttachPeriodic verifies the generic periodic hooks: one firing per
+// interval per hook while running, plus exactly one more each from the
+// final flush, and independent cadences for coexisting hooks (telemetry
+// alongside the flight recorder).
 func TestAttachPeriodic(t *testing.T) {
 	m := runStoreLoop(t)
 	if err := m.AttachPeriodic(0, func(uint64) {}); err == nil {
@@ -238,8 +240,9 @@ func TestAttachPeriodic(t *testing.T) {
 	}); err != nil {
 		t.Fatal(err)
 	}
-	if err := m.AttachPeriodic(250, func(uint64) {}); err == nil {
-		t.Error("second periodic attach accepted")
+	var fired2 int
+	if err := m.AttachPeriodic(700, func(uint64) { fired2++ }); err != nil {
+		t.Fatalf("second periodic attach rejected: %v", err)
 	}
 	if err := m.Run(1_000_000); err != nil {
 		t.Fatal(err)
@@ -251,5 +254,9 @@ func TestAttachPeriodic(t *testing.T) {
 	}
 	if lastCycle != m.Cycle() {
 		t.Errorf("final flush fired at cycle %d, machine at %d", lastCycle, m.Cycle())
+	}
+	want2 := int(m.Cycle() / 700)
+	if fired2 < want2 || fired2 > want2+2 {
+		t.Errorf("second hook fired %d times over %d cycles (interval 700)", fired2, m.Cycle())
 	}
 }
